@@ -1,0 +1,63 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md §4) and prints the same rows/series the paper reports.  The
+timed quantity is the full experiment at a bench-sized preset, so the
+pytest-benchmark table doubles as a cost sheet for the reproduction.
+
+Run everything:  pytest benchmarks/ --benchmark-only
+Full-fidelity grids: REPRO_PRESET=full python -m repro.experiments.run_all
+"""
+
+import pytest
+
+from repro.experiments.presets import Preset
+
+#: Reduced grids so the whole benchmark suite finishes in minutes while
+#: still exercising every axis of every figure.
+BENCH_PRESET = Preset(
+    name="bench",
+    training_sizes=(100, 500, 2000),
+    holdout=300,
+    repeats=1,
+    tuner_sizes=(500, 2000),
+    tuner_m=(10, 50, 200),
+    fig14_train=1000,
+    fig14_m=100,
+    fig14_random_budget=10000,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_preset():
+    return BENCH_PRESET
+
+
+@pytest.fixture(scope="session")
+def conv_k40_pool():
+    """Shared measured sample of convolution on the K40 for the ablations:
+    (spec, oracle, train_idx, train_times, holdout_idx, holdout_times)."""
+    import numpy as np
+
+    from repro.experiments.oracle import TrueTimeOracle
+    from repro.kernels import ConvolutionKernel
+    from repro.simulator import NVIDIA_K40
+
+    spec = ConvolutionKernel()
+    oracle = TrueTimeOracle(spec, NVIDIA_K40)
+    rng = np.random.default_rng(12)
+    pool = spec.space.sample_indices(4200, rng)
+    measured = oracle.measure(pool, rng)
+    ok = ~np.isnan(measured)
+    idx, times = pool[ok], measured[ok]
+    assert idx.shape[0] > 2000
+    return spec, oracle, idx[:1600], times[:1600], idx[1600:2000], times[1600:2000]
+
+
+def emit(text: str) -> None:
+    """Print a figure's regenerated series.
+
+    pytest captures this; ``-rP`` (benchmarks/pytest.ini) replays the
+    captured output of passing tests in the run summary, so the series
+    land in the benchmark log either way (pass or fail)."""
+    print(text)

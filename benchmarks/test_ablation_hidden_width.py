@@ -1,0 +1,43 @@
+"""Ablation: hidden-layer width (§5.2).
+
+"Through experimentation, we found that a network with a single hidden
+layer with 30 neurons ... gave good performance."  This bench redoes the
+experimentation: tiny networks underfit, and growth past ~30 buys little —
+the paper's choice should sit at the knee.
+"""
+
+from conftest import emit
+
+from repro.core.encoding import ConfigEncoder
+from repro.ml.ensemble import EnsembleMLPRegressor
+from repro.ml.metrics import mean_relative_error
+
+import numpy as np
+
+WIDTHS = (2, 8, 30, 60)
+
+
+def sweep(spec, idx, times, hold_idx, hold_times):
+    enc = ConfigEncoder(spec.space)
+    X, y = enc.encode_indices(idx), np.log(times)
+    Xv = enc.encode_indices(hold_idx)
+    errors = {}
+    for h in WIDTHS:
+        m = EnsembleMLPRegressor(k=11, hidden=h, seed=0).fit(X, y)
+        errors[h] = mean_relative_error(np.exp(m.predict(Xv)), hold_times)
+    return errors
+
+
+def test_hidden_width_knee_around_30(benchmark, conv_k40_pool):
+    spec, _, idx, times, hold_idx, hold_times = conv_k40_pool
+    errors = benchmark.pedantic(
+        sweep, args=(spec, idx, times, hold_idx, hold_times), rounds=1, iterations=1
+    )
+    emit(
+        "Ablation: hidden width (convolution @ K40, N=1600)\n"
+        + "\n".join(f"  {h:>3d} neurons: {errors[h]:.1%}" for h in WIDTHS)
+    )
+    # Severe underfit at width 2.
+    assert errors[2] > errors[30] * 1.15
+    # Past the knee: doubling the width changes little.
+    assert abs(errors[60] - errors[30]) < 0.05

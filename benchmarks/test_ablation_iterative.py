@@ -1,0 +1,60 @@
+"""Ablation: one-shot pipeline (the paper) vs iterative refinement.
+
+The paper spends its whole budget as one random batch plus one top-M
+sweep.  The iterative extension re-invests intermediate models each round.
+Compared at equal total measurement budgets on the K40.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.iterative import IterativeSettings, IterativeTuner
+from repro.core.tuner import MLAutoTuner, TunerSettings
+from repro.experiments.oracle import TrueTimeOracle
+from repro.kernels import ConvolutionKernel
+from repro.runtime import Context
+from repro.simulator import NVIDIA_K40
+
+BUDGET = 600
+SEEDS = (0, 1, 2)
+
+
+def compare():
+    spec = ConvolutionKernel()
+    oracle = TrueTimeOracle(spec, NVIDIA_K40)
+    _, opt = oracle.global_optimum()
+    slowdowns = {"one-shot": [], "iterative": []}
+    for seed in SEEDS:
+        r1 = MLAutoTuner(
+            Context(NVIDIA_K40, seed=seed),
+            spec,
+            TunerSettings(n_train=BUDGET - 100, m_candidates=100),
+        ).tune(np.random.default_rng(seed), model_seed=seed)
+        if not r1.failed:
+            slowdowns["one-shot"].append(oracle.time_of(r1.best_index) / opt)
+        r2 = IterativeTuner(
+            Context(NVIDIA_K40, seed=seed),
+            spec,
+            IterativeSettings(total_budget=BUDGET, rounds=3),
+        ).tune(np.random.default_rng(seed), model_seed=seed)
+        if not r2.failed:
+            slowdowns["iterative"].append(oracle.time_of(r2.best_index) / opt)
+    return slowdowns
+
+
+def test_iterative_refinement_competitive(benchmark):
+    slowdowns = benchmark.pedantic(compare, rounds=1, iterations=1)
+    mean = {k: float(np.mean(v)) if v else float("nan") for k, v in slowdowns.items()}
+    emit(
+        f"Ablation: budget layout (convolution @ K40, budget={BUDGET}, "
+        f"{len(SEEDS)} seeds)\n"
+        f"  one-shot (paper): {mean['one-shot']:.3f}x of optimum "
+        f"({len(slowdowns['one-shot'])}/{len(SEEDS)} succeeded)\n"
+        f"  iterative x3:     {mean['iterative']:.3f}x of optimum "
+        f"({len(slowdowns['iterative'])}/{len(SEEDS)} succeeded)"
+    )
+    assert slowdowns["iterative"], "iterative tuner failed everywhere"
+    # Iterative must be at least competitive at equal budget.
+    if slowdowns["one-shot"]:
+        assert mean["iterative"] < mean["one-shot"] * 1.15
+    assert mean["iterative"] < 1.5

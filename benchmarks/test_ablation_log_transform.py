@@ -1,0 +1,40 @@
+"""Ablation: regressing log(time) vs raw time (§5.2).
+
+The paper's argument: ANN training minimizes squared error, but with
+kernel times spanning orders of magnitude the *relative* error is what
+matters; taking the logarithm makes MSE-in-log equal relative-error-in-
+time.  This bench quantifies the claim: the log-transformed model must
+deliver clearly lower mean relative error than the raw-time model trained
+on the same data.
+"""
+
+from conftest import emit
+
+from repro.core.model import PerformanceModel
+
+
+def fit_both(spec, idx, times, hold_idx, hold_times):
+    out = {}
+    for log_transform in (True, False):
+        model = PerformanceModel(spec.space, seed=0, log_transform=log_transform)
+        model.fit(idx, times)
+        out[log_transform] = model.relative_error(hold_idx, hold_times)
+    return out
+
+
+def test_log_transform_reduces_relative_error(benchmark, conv_k40_pool):
+    spec, _, idx, times, hold_idx, hold_times = conv_k40_pool
+    errors = benchmark.pedantic(
+        fit_both,
+        args=(spec, idx, times, hold_idx, hold_times),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Ablation: log-transform (convolution @ K40, N=1600)\n"
+        f"  with log(time):   {errors[True]:.1%} mean relative error\n"
+        f"  raw time target:  {errors[False]:.1%} mean relative error"
+    )
+    assert errors[True] < errors[False]
+    # The win should be substantial, not a rounding artifact.
+    assert errors[False] / errors[True] > 1.3

@@ -1,0 +1,56 @@
+"""Ablation: the ANN vs the related work's model families (§3).
+
+Bergstra et al. [29] used boosted regression trees, Starchart [30] a
+single recursive-partitioning tree, Magni et al. [26] nearest neighbours.
+Same training data, same encoding, same log-transform — only the regressor
+changes.  Expected ordering: the interaction-capable models (ANN, boosted
+trees, forest) clearly beat the single tree, kNN and the linear model.
+"""
+
+from conftest import emit
+
+from repro.core.model import PerformanceModel
+from repro.ml import (
+    GradientBoostedTrees,
+    KNNRegressor,
+    RandomForestRegressor,
+    RegressionTree,
+    RidgeRegression,
+)
+
+FAMILIES = {
+    "ann": None,
+    "boosted": lambda: GradientBoostedTrees(n_stages=150, seed=0),
+    "tree": lambda: RegressionTree(max_depth=12),
+    "forest": lambda: RandomForestRegressor(n_trees=40, seed=0),
+    "knn": lambda: KNNRegressor(k=5),
+    "linear": lambda: RidgeRegression(),
+}
+
+
+def sweep(spec, idx, times, hold_idx, hold_times):
+    errors = {}
+    for name, factory in FAMILIES.items():
+        kwargs = dict(seed=0)
+        if factory is not None:
+            kwargs.update(base_factory=factory, k=5)
+        model = PerformanceModel(spec.space, **kwargs).fit(idx, times)
+        errors[name] = model.relative_error(hold_idx, hold_times)
+    return errors
+
+
+def test_model_families(benchmark, conv_k40_pool):
+    spec, _, idx, times, hold_idx, hold_times = conv_k40_pool
+    errors = benchmark.pedantic(
+        sweep, args=(spec, idx, times, hold_idx, hold_times), rounds=1, iterations=1
+    )
+    emit(
+        "Ablation: model family (convolution @ K40, N=1600)\n"
+        + "\n".join(f"  {n:8s}: {e:.1%}" for n, e in sorted(errors.items(), key=lambda kv: kv[1]))
+    )
+    # The paper's ANN must be competitive with the strongest tree ensemble...
+    assert errors["ann"] < 1.25 * min(errors["boosted"], errors["forest"])
+    # ...and decisively better than the weak baselines.
+    assert errors["ann"] < errors["linear"]
+    assert errors["ann"] < errors["knn"]
+    assert errors["ann"] < errors["tree"]

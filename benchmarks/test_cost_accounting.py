@@ -1,0 +1,26 @@
+"""§6 cost accounting: gathering the data dwarfs training the model.
+
+Paper: ~30 min to gather 2000 convolution samples on the K40 (compiles,
+runs, and wasted attempts on invalid configurations) vs ~1 min to train.
+"""
+
+from conftest import emit
+
+from repro.experiments import cost_accounting as exp
+
+
+def test_cost_gathering_dominates_training(benchmark):
+    results = benchmark.pedantic(
+        exp.run, kwargs={"n_train": 2000}, rounds=1, iterations=1
+    )
+    emit(exp.format_text(results))
+
+    gather_min = results["gather_total_s"] / 60.0
+    # Same order as the paper's ~30 minutes.
+    assert 10.0 < gather_min < 90.0
+    # Gathering must dwarf training by orders of magnitude.
+    assert results["gather_total_s"] > 20 * results["train_wall_s"]
+    # Compilation, not kernel runtime, is the dominant cost (§6).
+    assert results["compile_s"] > results["run_s"]
+    # Invalid configurations burn real time too.
+    assert results["failed_s"] > 0

@@ -1,0 +1,42 @@
+"""Figure 1: cross-device slowdowns of per-device optima (convolution).
+
+Paper shape: using another device's best configuration costs real
+performance — order 10-20x between CPU and GPU (17.1x for the K40 config
+on the i7), around 3x between the two GPUs — and some transplants cannot
+run at all.
+"""
+
+import math
+
+from conftest import emit
+
+from repro.experiments import fig01_motivation
+
+
+def test_fig01_cross_device_slowdowns(benchmark):
+    results = benchmark.pedantic(fig01_motivation.run, rounds=1, iterations=1)
+    emit(fig01_motivation.format_text(results))
+
+    m = results["matrix"]
+    # Diagonal is 1 by construction.
+    for d in results["devices"]:
+        assert m[d][d] == 1.0
+
+    # CPU <-> GPU transplants: order 10x+ when runnable.
+    cpu_gpu = [m["intel"]["nvidia"], m["intel"]["amd"],
+               m["nvidia"]["intel"], m["amd"]["intel"]]
+    runnable = [s for s in cpu_gpu if s is not None]
+    assert runnable, "every CPU<->GPU transplant came out invalid"
+    assert max(runnable) > 5.0
+
+    # GPU <-> GPU: meaningful but smaller penalty (paper: ~3x).
+    gpu_gpu = [s for s in (m["nvidia"]["amd"], m["amd"]["nvidia"]) if s is not None]
+    assert gpu_gpu, "both GPU<->GPU transplants invalid"
+    for s in gpu_gpu:
+        assert 1.2 < s < 10.0
+
+    # The optima themselves differ across devices (the premise of §2).
+    best_indices = {results["best"][d]["index"] for d in results["devices"]}
+    assert len(best_indices) == 3
+    for d in results["devices"]:
+        assert math.isfinite(results["best"][d]["time_s"])

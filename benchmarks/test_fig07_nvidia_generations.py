@@ -1,0 +1,27 @@
+"""Figure 7: convolution model accuracy across Nvidia generations.
+
+Paper shape: K40 (Kepler) and C2070 (Fermi) similar; GTX980 (Maxwell)
+slightly worse.
+"""
+
+from conftest import emit
+
+from repro.experiments import fig07_nvidia_generations as fig
+
+
+def test_fig07_generation_accuracy(benchmark, bench_preset):
+    results = benchmark.pedantic(
+        fig.run, kwargs={"preset": bench_preset}, rounds=1, iterations=1
+    )
+    emit(fig.format_text(results))
+
+    top_n = max(results["sizes"])
+    err = {d: results["curves"][d]["errors"][top_n] for d in fig.NVIDIA_GENERATIONS}
+    # Maxwell the hardest to predict; Fermi/Kepler within a couple points.
+    assert err["gtx980"] > err["nvidia"]
+    assert err["gtx980"] > err["c2070"]
+    assert abs(err["nvidia"] - err["c2070"]) < 0.06
+    # Everyone's curve still decreases with data.
+    for d in fig.NVIDIA_GENERATIONS:
+        first = results["curves"][d]["errors"][min(results["sizes"])]
+        assert err[d] < first

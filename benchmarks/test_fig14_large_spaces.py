@@ -1,0 +1,39 @@
+"""Figure 14: tuning the 655K/2.36M-point spaces (raycasting, stereo).
+
+Paper shape: with N+M a fraction of a percent of the space, the tuner
+matches — occasionally beats — the best of a 50K-configuration random
+search.  (The paper's stereo-on-GPU cells are missing due to all-invalid
+predictions; our harness reports such failures the same way when they
+occur.)
+"""
+
+from conftest import emit
+
+from repro.experiments import fig14_large_spaces as fig
+
+
+def test_fig14_large_space_tuning(benchmark, bench_preset):
+    results = benchmark.pedantic(
+        fig.run, kwargs={"preset": bench_preset}, rounds=1, iterations=1
+    )
+    emit(fig.format_text(results))
+
+    succeeded = 0
+    for (bench_name, device), cell in results["cells"].items():
+        if cell.get("failed"):
+            # The paper's own failure mode; must be reported, not hidden.
+            assert cell["reason"]
+            continue
+        succeeded += 1
+        # Within ~25% of (sometimes better than) a 10x larger random budget.
+        # Stereo on the GPUs is the paper's known-hard cell (often *missing*
+        # there); when it does succeed at bench-sized budgets, allow a
+        # weaker result rather than demanding parity.
+        hard_cell = bench_name == "stereo" and device in ("nvidia", "amd")
+        upper = 2.0 if hard_cell else 1.3
+        assert 0.7 < cell["slowdown"] < upper, (bench_name, device, cell["slowdown"])
+        # Budget bookkeeping: we really did evaluate a tiny fraction.
+        space = 655360 if bench_name == "raycasting" else 2359296
+        frac = (cell["n_train"] + cell["m"]) / space
+        assert frac < 0.01
+    assert succeeded >= 3, "large-space tuning failed almost everywhere"

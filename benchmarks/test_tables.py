@@ -1,0 +1,18 @@
+"""Tables 1 & 2: benchmark inventory and parameter spaces."""
+
+from conftest import emit
+
+from repro.experiments import tables
+
+
+def test_table1_table2_parameter_spaces(benchmark):
+    results = benchmark.pedantic(tables.run, rounds=1, iterations=1)
+    emit(tables.format_text(results))
+    # The quoted space sizes (§5.1) must match exactly.
+    for name, r in results.items():
+        assert r["space_size"] == r["paper_size"], name
+    # Work-group / pixels-per-thread axes are the paper's 1..128 range.
+    conv = dict(results)["convolution"]
+    by_name = {p[0]: p[2] for p in conv["parameters"]}
+    assert by_name["wg_x"] == (1, 2, 4, 8, 16, 32, 64, 128)
+    assert by_name["unroll"] == (0, 1)

@@ -1,0 +1,76 @@
+"""Model families head-to-head as the tuner's performance model.
+
+The paper chose a bagged ANN; its related work used boosted regression
+trees (Bergstra et al.), a single regression tree (Starchart), nearest
+neighbours (Magni et al.) and linear models.  This example trains each
+family on the same stage-one sample of the stereo benchmark and compares
+(a) held-out mean relative error and (b) the quality of the configuration
+a two-stage tuner built on that model would return.
+
+Run:  python examples/compare_models.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.model import PerformanceModel
+from repro.experiments.oracle import TrueTimeOracle
+from repro.kernels import StereoKernel
+from repro.ml import (
+    GradientBoostedTrees,
+    KNNRegressor,
+    RandomForestRegressor,
+    RegressionTree,
+    RidgeRegression,
+)
+from repro.simulator import NVIDIA_K40
+
+FAMILIES = {
+    "bagged ANN (paper)": None,  # PerformanceModel's default
+    "boosted trees [29]": lambda: GradientBoostedTrees(n_stages=150, seed=0),
+    "regression tree [30]": lambda: RegressionTree(max_depth=12),
+    "random forest": lambda: RandomForestRegressor(n_trees=40, seed=0),
+    "k-nearest neighbours": lambda: KNNRegressor(k=5),
+    "ridge (linear)": lambda: RidgeRegression(),
+}
+
+N_TRAIN, N_HOLD, M = 1500, 400, 100
+
+
+def main() -> None:
+    spec = StereoKernel()
+    device = NVIDIA_K40
+    oracle = TrueTimeOracle(spec, device)
+    rng = np.random.default_rng(9)
+
+    pool = spec.space.sample_indices(int((N_TRAIN + N_HOLD) * 2.2), rng)
+    measured = oracle.measure(pool, rng)
+    ok = ~np.isnan(measured)
+    idx, times = pool[ok], measured[ok]
+    train_i, train_t = idx[:N_TRAIN], times[:N_TRAIN]
+    hold_i, hold_t = idx[N_TRAIN : N_TRAIN + N_HOLD], times[N_TRAIN : N_TRAIN + N_HOLD]
+
+    print(f"{spec.name} on {device.name}: {N_TRAIN} training samples, "
+          f"{N_HOLD} held out, two-stage M={M}\n")
+    print(f"{'model':24s} {'holdout MRE':>12s} {'tuned time':>12s} {'fit time':>9s}")
+
+    for label, factory in FAMILIES.items():
+        kwargs = dict(seed=0) if factory is None else dict(seed=0, base_factory=factory, k=5)
+        t0 = time.perf_counter()
+        model = PerformanceModel(spec.space, **kwargs).fit(train_i, train_t)
+        fit_s = time.perf_counter() - t0
+        err = model.relative_error(hold_i, hold_t)
+
+        top = model.top_m(M)
+        stage2 = oracle.measure(top, np.random.default_rng(1))
+        if np.all(np.isnan(stage2)):
+            tuned = float("nan")
+        else:
+            tuned = oracle.time_of(int(top[int(np.nanargmin(stage2))]))
+        tuned_txt = "all-invalid" if tuned != tuned else f"{tuned * 1e3:9.2f} ms"
+        print(f"{label:24s} {err:11.1%} {tuned_txt:>12s} {fit_s:8.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Tuning for a novel architecture: the Xeon Phi (§8 future work).
+
+The method is architecture-agnostic — nothing in the tuner knows what a
+warp or a core is.  This example points it at a many-core device model
+(Xeon Phi 5110P: CPU-style emulation, GPU-scale parallelism), checks the
+model accuracy lands between the CPU's and the GPUs', and shows that the
+Phi's best configuration is yet another point in configuration space that
+neither the i7's nor the K40's optimum predicts.
+
+Run:  python examples/novel_architecture.py
+"""
+
+import numpy as np
+
+from repro import Context, Measurer, MLAutoTuner, PerformanceModel, TunerSettings
+from repro.experiments.oracle import TrueTimeOracle
+from repro.kernels import ConvolutionKernel
+from repro.simulator import INTEL_I7_3770, NVIDIA_K40
+from repro.simulator.extra_devices import XEON_PHI_5110P
+
+
+def main() -> None:
+    spec = ConvolutionKernel()
+    seed = 17
+
+    # Model accuracy on the new architecture.
+    ctx = Context(XEON_PHI_5110P, seed=seed)
+    measurer = Measurer(ctx, spec)
+    rng = np.random.default_rng(seed)
+    pool = measurer.sample_and_measure(2600, rng)
+    idx, t = pool.indices, pool.times_s
+    assert pool.n_valid > 1400, "unexpectedly high invalid fraction"
+    model = PerformanceModel(spec.space, seed=seed).fit(idx[:1200], t[:1200])
+    err = model.relative_error(idx[1200:], t[1200:])
+    print(f"{XEON_PHI_5110P.name}: model error {err:.1%} "
+          f"(paper's CPU: 6-8%, GPUs: 12-21%)")
+
+    # Tune it.
+    tuner = MLAutoTuner(ctx, spec, TunerSettings(n_train=800, m_candidates=80))
+    result = tuner.tune(np.random.default_rng(seed))
+    assert not result.failed
+    phi_best = spec.space[result.best_index]
+    print(f"tuned configuration: {dict(phi_best)}")
+    print(f"time: {result.best_time_s * 1e3:.3f} ms")
+
+    # How do the other devices' optima fare here?
+    phi_oracle = TrueTimeOracle(spec, XEON_PHI_5110P)
+    print("\ntransplanting other devices' optima onto the Phi:")
+    for dev in (INTEL_I7_3770, NVIDIA_K40):
+        foreign_best, _ = TrueTimeOracle(spec, dev).global_optimum()
+        t_here = phi_oracle.time_of(foreign_best)
+        own = phi_oracle.time_of(result.best_index)
+        if t_here != t_here:
+            print(f"  best {dev.name} config: INVALID on the Phi")
+        else:
+            print(f"  best {dev.name} config: {t_here / own:.2f}x slower than "
+                  "the Phi-tuned one")
+
+
+if __name__ == "__main__":
+    main()

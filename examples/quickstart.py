@@ -1,0 +1,54 @@
+"""Quickstart: auto-tune the convolution benchmark for an Nvidia K40.
+
+Runs the paper's full pipeline (Fig. 3) with a small budget:
+
+1. measure 600 random configurations on the (simulated) device;
+2. train the bagged-ANN performance model on log(time);
+3. predict all 131,072 configurations, measure the best-predicted 60;
+4. report the winner, and compare it against the known global optimum
+   (which only the simulator's oracle can see — a real device can't).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Context, MLAutoTuner, TunerSettings
+from repro.experiments.oracle import TrueTimeOracle
+from repro.kernels import ConvolutionKernel
+from repro.simulator import NVIDIA_K40
+
+
+def main() -> None:
+    seed = 42
+    spec = ConvolutionKernel()
+    ctx = Context(NVIDIA_K40, seed=seed)
+
+    settings = TunerSettings(n_train=600, m_candidates=60)
+    tuner = MLAutoTuner(ctx, spec, settings)
+    print(f"tuning {spec.name} on {ctx.device.name} "
+          f"(space: {spec.space.size} configurations)")
+
+    result = tuner.tune(np.random.default_rng(seed))
+
+    if result.failed:
+        print("tuner failed: every stage-two candidate was invalid "
+              "(increase n_train / m_candidates)")
+        return
+
+    best = spec.space[result.best_index]
+    print(f"\nbest configuration found : {dict(best)}")
+    print(f"measured time            : {result.best_time_s * 1e3:.3f} ms")
+    print(f"configurations evaluated : {result.evaluated_fraction:.2%} of the space")
+    print(f"simulated tuning cost    : {result.total_cost_s / 60:.1f} min "
+          f"(compiles + runs + failures)")
+
+    # Evaluation-only peek at the ground truth.
+    oracle = TrueTimeOracle(spec, NVIDIA_K40)
+    _, opt = oracle.global_optimum()
+    print(f"\nglobal optimum (oracle)  : {opt * 1e3:.3f} ms")
+    print(f"slowdown vs optimum      : {oracle.time_of(result.best_index) / opt:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

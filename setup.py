@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package, so PEP 660 editable installs
+(``pip install -e .``) cannot build; with this shim present,
+``pip install -e . --no-build-isolation --no-use-pep517`` falls back to
+``setup.py develop``, which works offline.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

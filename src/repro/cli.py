@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+::
+
+    python -m repro devices                      # list device models
+    python -m repro benchmarks                   # list benchmarks + spaces
+    python -m repro tune -k convolution -d nvidia -n 1000 -m 100
+    python -m repro tune -k raycasting -d amd --iterative --budget 900
+    python -m repro predict -k convolution -d nvidia -n 500 \
+        --config "wg_x=32,wg_y=4,ppt_x=2,ppt_y=2,use_image=1,use_local=0,pad=1,interleaved=1,unroll=1"
+    python -m repro experiments --only fig01      # reproduction harness
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import Context, MLAutoTuner, PerformanceModel, TunerSettings
+from repro.core.iterative import IterativeSettings, IterativeTuner
+from repro.core.measure import Measurer
+from repro.kernels import BENCHMARKS, get_benchmark
+from repro.simulator.devices import DEVICES, get_device
+
+
+def _parse_config(text: str, space) -> dict:
+    """Parse ``name=value,name=value`` against a parameter space."""
+    values = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise SystemExit(f"bad config item {item!r}; expected name=value")
+        name, _, raw = item.partition("=")
+        name = name.strip()
+        if name not in space:
+            raise SystemExit(
+                f"unknown parameter {name!r}; expected one of {list(space.names)}"
+            )
+        try:
+            values[name] = int(raw)
+        except ValueError:
+            raise SystemExit(f"parameter {name!r}: non-integer value {raw!r}")
+    missing = set(space.names) - set(values)
+    if missing:
+        raise SystemExit(f"missing parameters: {sorted(missing)}")
+    return values
+
+
+def cmd_devices(_args) -> int:
+    print(f"{'key':8s} {'name':22s} {'type':4s} {'CUs':>4s} {'SIMD':>4s} "
+          f"{'GB/s':>6s} {'maxWG':>6s} {'local/CU':>9s}")
+    for key, d in DEVICES.items():
+        print(
+            f"{key:8s} {d.name:22s} {d.device_type:4s} {d.compute_units:4d} "
+            f"{d.simd_width:4d} {d.global_bandwidth_gbs:6.0f} "
+            f"{d.max_workgroup_size:6d} {d.local_mem_per_cu_kb:7.0f}KB"
+        )
+    return 0
+
+
+def cmd_benchmarks(_args) -> int:
+    for name in BENCHMARKS:
+        spec = get_benchmark(name)
+        print(f"{name}: {spec.space.size} configurations, "
+              f"{len(spec.space.parameters)} parameters, problem={spec.problem}")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    spec = get_benchmark(args.kernel)
+    device = get_device(args.device)
+    ctx = Context(device, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+
+    if args.iterative:
+        tuner = IterativeTuner(
+            ctx, spec, IterativeSettings(total_budget=args.budget, rounds=args.rounds)
+        )
+        result = tuner.tune(rng, model_seed=args.seed)
+    else:
+        tuner = MLAutoTuner(
+            ctx,
+            spec,
+            TunerSettings(n_train=args.n_train, m_candidates=args.m_candidates),
+        )
+        result = tuner.tune(rng, model_seed=args.seed)
+
+    if result.failed:
+        print("tuning FAILED: every stage-two candidate was invalid "
+              "(the paper's §7 failure mode); raise -n / -m or use --iterative")
+        return 1
+    best = spec.space[result.best_index]
+    print(f"kernel            : {result.kernel}")
+    print(f"device            : {result.device}")
+    print(f"best configuration: {dict(best)}")
+    print(f"measured time     : {result.best_time_s * 1e3:.3f} ms")
+    print(f"evaluated         : {result.evaluated_fraction:.2%} of the space")
+    print(f"simulated cost    : {result.total_cost_s / 60:.1f} min")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    spec = get_benchmark(args.kernel)
+    device = get_device(args.device)
+    ctx = Context(device, seed=args.seed)
+    measurer = Measurer(ctx, spec)
+    rng = np.random.default_rng(args.seed)
+
+    print(f"measuring {args.n_train} random configurations to train the model ...")
+    ms = measurer.sample_and_measure(args.n_train, rng)
+    model = PerformanceModel(spec.space, seed=args.seed).fit_measurements(ms)
+
+    cfg = spec.space.config(**_parse_config(args.config, spec.space))
+    pred = model.predict_indices([cfg.index])[0]
+    print(f"configuration     : {dict(cfg)}")
+    print(f"predicted time    : {pred * 1e3:.3f} ms")
+    actual = measurer.measure(cfg.index)
+    if actual is None:
+        print("actual            : INVALID on this device")
+    else:
+        print(f"actual (measured) : {actual * 1e3:.3f} ms "
+              f"(relative error {abs(pred - actual) / actual:.1%})")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.run_all import main as run_all_main
+
+    forwarded = []
+    if args.preset:
+        forwarded += ["--preset", args.preset]
+    if args.only:
+        forwarded += ["--only", args.only]
+    if args.out:
+        forwarded += ["--out", args.out]
+    run_all_main(forwarded)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="ML-based auto-tuning for OpenCL performance portability "
+        "(IPDPSW 2015 reproduction)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the simulated devices").set_defaults(
+        fn=cmd_devices
+    )
+    sub.add_parser("benchmarks", help="list the benchmarks").set_defaults(
+        fn=cmd_benchmarks
+    )
+
+    tune = sub.add_parser("tune", help="run the auto-tuner")
+    tune.add_argument("-k", "--kernel", required=True, choices=sorted(BENCHMARKS))
+    tune.add_argument("-d", "--device", required=True)
+    tune.add_argument("-n", "--n-train", type=int, default=1000)
+    tune.add_argument("-m", "--m-candidates", type=int, default=100)
+    tune.add_argument("--iterative", action="store_true",
+                      help="round-based refinement instead of one-shot")
+    tune.add_argument("--budget", type=int, default=1200,
+                      help="total measurements for --iterative")
+    tune.add_argument("--rounds", type=int, default=3)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.set_defaults(fn=cmd_tune)
+
+    pred = sub.add_parser("predict", help="train a model and predict one config")
+    pred.add_argument("-k", "--kernel", required=True, choices=sorted(BENCHMARKS))
+    pred.add_argument("-d", "--device", required=True)
+    pred.add_argument("-n", "--n-train", type=int, default=800)
+    pred.add_argument("--config", required=True,
+                      help="comma-separated name=value pairs")
+    pred.add_argument("--seed", type=int, default=0)
+    pred.set_defaults(fn=cmd_predict)
+
+    exp = sub.add_parser("experiments", help="reproduction harness")
+    exp.add_argument("--preset", default=None)
+    exp.add_argument("--only", default=None)
+    exp.add_argument("--out", default=None)
+    exp.set_defaults(fn=cmd_experiments)
+    return ap
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Multi-device tuning campaigns: the performance-portability workflow.
+
+The paper's pitch is that re-tuning per device is cheap once it is
+automatic.  A :class:`PortabilityCampaign` packages that workflow: tune one
+kernel on a set of devices, persist every measurement in a
+:class:`~repro.core.results.MeasurementDB`, and report the cross-device
+matrix a deployment engineer actually wants — tuned time per device, plus
+how badly each device's configuration would behave everywhere else
+(the Fig. 1 story, computed for *your* kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.measure import Measurer
+from repro.core.results import MeasurementDB, TuningResult
+from repro.core.tuner import MLAutoTuner, TunerSettings
+from repro.kernels.base import KernelSpec
+from repro.runtime import Context
+from repro.simulator.devices import get_device
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of one campaign.
+
+    Attributes
+    ----------
+    results:
+        Per-device :class:`TuningResult`.
+    transplant_matrix:
+        ``matrix[target][source]`` = measured time of source-device's tuned
+        configuration on the target device (None where it cannot run, NaN
+        where tuning failed on the source).
+    """
+
+    kernel: str
+    results: Dict[str, TuningResult]
+    transplant_matrix: Dict[str, Dict[str, Optional[float]]]
+
+    def slowdown(self, target: str, source: str) -> float:
+        """Transplant penalty: source's config on target vs target's own."""
+        own = self.transplant_matrix[target][target]
+        foreign = self.transplant_matrix[target][source]
+        if own is None or foreign is None:
+            return float("nan")
+        return foreign / own
+
+    def report(self) -> str:
+        """Human-readable campaign summary."""
+        lines = [f"portability campaign: {self.kernel}"]
+        for device, r in self.results.items():
+            if r.failed:
+                lines.append(f"  {device}: tuning FAILED (all stage-2 invalid)")
+            else:
+                lines.append(
+                    f"  {device}: {r.best_time_s * 1e3:.3f} ms "
+                    f"({r.evaluated_fraction:.2%} of space measured, "
+                    f"{r.total_cost_s / 60:.0f} min simulated cost)"
+                )
+        lines.append("")
+        devices = list(self.results)
+        head = "transplant slowdowns (row: running on, column: tuned for)"
+        lines.append(head)
+        width = max(len(d) for d in devices) + 2
+        lines.append(" " * width + "".join(d.ljust(width) for d in devices))
+        for target in devices:
+            row = [target.ljust(width)]
+            for source in devices:
+                s = self.slowdown(target, source)
+                row.append(("n/a" if s != s else f"{s:.2f}x").ljust(width))
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+
+class PortabilityCampaign:
+    """Tune one kernel everywhere; measure every transplant.
+
+    Parameters
+    ----------
+    spec:
+        The kernel to tune.
+    devices:
+        Device keys or names (``repro.simulator.devices.get_device``).
+    settings:
+        Tuner budget, shared across devices.
+    db:
+        Optional measurement store; every measurement of the campaign is
+        recorded under (kernel, device).
+    """
+
+    def __init__(
+        self,
+        spec: KernelSpec,
+        devices: Sequence[str],
+        settings: TunerSettings = TunerSettings(n_train=800, m_candidates=80),
+        db: Optional[MeasurementDB] = None,
+    ):
+        if not devices:
+            raise ValueError("need at least one device")
+        self.spec = spec
+        self.devices = list(devices)
+        self.settings = settings
+        self.db = db
+
+    def _record(self, device_name: str, measurer: Measurer) -> None:
+        if self.db is None:
+            return
+        for index, true_time in measurer._cache.items():
+            self.db.put(self.spec.name, device_name, index, true_time)
+
+    def run(self, seed: int = 0) -> CampaignResult:
+        results: Dict[str, TuningResult] = {}
+        measurers: Dict[str, Measurer] = {}
+        for key in self.devices:
+            device = get_device(key)
+            ctx = Context(device, seed=seed)
+            measurer = Measurer(ctx, self.spec, repeats=self.settings.repeats)
+            tuner = MLAutoTuner(ctx, self.spec, self.settings, measurer=measurer)
+            results[key] = tuner.tune(np.random.default_rng(seed), model_seed=seed)
+            measurers[key] = measurer
+
+        matrix: Dict[str, Dict[str, Optional[float]]] = {}
+        for target in self.devices:
+            matrix[target] = {}
+            for source in self.devices:
+                r = results[source]
+                if r.failed:
+                    matrix[target][source] = float("nan")
+                    continue
+                t = measurers[target].measure(r.best_index)
+                matrix[target][source] = t  # None when invalid on target
+
+        for key in self.devices:
+            self._record(get_device(key).name, measurers[key])
+        if self.db is not None and self.db.path is not None:
+            self.db.save()
+
+        return CampaignResult(
+            kernel=self.spec.name, results=results, transplant_matrix=matrix
+        )

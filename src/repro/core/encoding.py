@@ -1,0 +1,82 @@
+"""Configuration -> feature-vector encoding for the performance model.
+
+The paper feeds "values of tuning parameters" directly to the network
+(§3).  Getting the representation right matters for a 30-neuron model:
+
+* power-of-two parameters (work-group sizes, pixels per thread, unroll
+  factors) span two orders of magnitude; encoded as ``log2(value)`` the
+  network sees the axis the hardware actually responds to (doubling);
+* boolean switches are 0/1;
+* any other categorical parameter is one-hot encoded.
+
+Choice parameters whose values are all powers of two (the paper's unroll
+factors ``1,2,4,8,16``) get the log2 treatment rather than one-hot.
+
+Encoding is vectorized over flat indices (via the space's mixed-radix
+``digits_matrix``) because stage two of the tuner encodes *entire* spaces
+of up to 2.36M configurations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+import numpy as np
+
+from repro.params import ParameterSpace
+from repro.params.parameter import KIND_BOOL, KIND_CHOICE, KIND_POW2
+
+
+def _is_pow2_values(values: tuple) -> bool:
+    return all(
+        isinstance(v, (int, np.integer)) and v >= 1 and (v & (v - 1)) == 0
+        for v in values
+    )
+
+
+class ConfigEncoder:
+    """Feature encoder bound to one parameter space.
+
+    Attributes
+    ----------
+    n_features:
+        Width of the encoded vectors.
+    feature_names:
+        One name per output column (for introspection/tests).
+    """
+
+    def __init__(self, space: ParameterSpace):
+        self.space = space
+        self._columns: List[np.ndarray] = []  # per-parameter value LUTs
+        self.feature_names: List[str] = []
+        for p in space.parameters:
+            if p.kind == KIND_POW2 or (
+                p.kind == KIND_CHOICE and _is_pow2_values(p.values)
+            ):
+                lut = np.log2(np.asarray(p.values, dtype=np.float64))[:, None]
+                names = [f"log2({p.name})"]
+            elif p.kind == KIND_BOOL:
+                lut = np.asarray(p.values, dtype=np.float64)[:, None]
+                names = [p.name]
+            else:
+                lut = np.eye(p.cardinality, dtype=np.float64)
+                names = [f"{p.name}=={v!r}" for v in p.values]
+            self._columns.append(lut)
+            self.feature_names.extend(names)
+        self.n_features = sum(lut.shape[1] for lut in self._columns)
+
+    def encode_indices(self, indices: Sequence[int]) -> np.ndarray:
+        """Encode flat indices into an ``(n, n_features)`` matrix."""
+        digits = self.space.digits_matrix(np.asarray(indices, dtype=np.int64))
+        parts = [
+            lut[digits[:, j]] for j, lut in enumerate(self._columns)
+        ]
+        return np.concatenate(parts, axis=1)
+
+    def encode_config(self, config: Mapping) -> np.ndarray:
+        """Encode one configuration (mapping or Configuration) to a vector."""
+        index = self.space.index_of(config)
+        return self.encode_indices([index])[0]
+
+    def __repr__(self) -> str:
+        return f"ConfigEncoder({self.n_features} features over {self.space!r})"

@@ -1,0 +1,139 @@
+"""Input-aware performance modelling (§8 future work, implemented).
+
+The paper's model is trained per problem size; its future work proposes
+"integrating problem parameters into the performance model".  Here the
+feature vector is extended with the numeric fields of the kernel's problem
+dataclass (log2-scaled — image edges, volume edges, disparity ranges are
+all scale parameters), and training samples may come from *several*
+problem sizes.  The resulting model transfers: it can rank configurations
+for a problem size it never measured, so re-tuning for a new input needs
+only the cheap stage-two measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.encoding import ConfigEncoder
+from repro.kernels.base import KernelSpec
+from repro.ml.ensemble import EnsembleMLPRegressor
+
+
+def problem_features(problem) -> np.ndarray:
+    """log2 of every numeric field of a problem dataclass."""
+    if not dataclasses.is_dataclass(problem):
+        raise TypeError(f"expected a problem dataclass, got {type(problem)!r}")
+    values = []
+    for f in dataclasses.fields(problem):
+        v = getattr(problem, f.name)
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            continue
+        if v <= 0:
+            raise ValueError(f"problem field {f.name} must be positive, got {v}")
+        values.append(math.log2(v))
+    if not values:
+        raise ValueError("problem has no numeric fields to featurize")
+    return np.asarray(values, dtype=np.float64)
+
+
+class InputAwareModel:
+    """Performance model over (problem, configuration) pairs.
+
+    Parameters
+    ----------
+    spec_factory:
+        ``problem -> KernelSpec``; every produced spec must share the same
+        parameter space structure (true for all the paper's benchmarks —
+        the space depends on the kernel, not the input).
+    k, seed:
+        Ensemble size / reproducibility, as in
+        :class:`~repro.core.model.PerformanceModel`.
+    """
+
+    def __init__(
+        self,
+        spec_factory: Callable[[object], KernelSpec],
+        k: int = 11,
+        seed: Optional[int] = None,
+    ):
+        self.spec_factory = spec_factory
+        self.k = k
+        self.seed = seed
+        self._specs: Dict[tuple, KernelSpec] = {}
+        self._encoder: Optional[ConfigEncoder] = None
+        self._model: Optional[EnsembleMLPRegressor] = None
+
+    def spec_for(self, problem) -> KernelSpec:
+        key = dataclasses.astuple(problem)
+        if key not in self._specs:
+            spec = self.spec_factory(problem)
+            if self._encoder is None:
+                self._encoder = ConfigEncoder(spec.space)
+            elif spec.space.names != self._encoder.space.names:
+                raise ValueError("problem variants must share a parameter space")
+            self._specs[key] = spec
+        return self._specs[key]
+
+    def _features(self, problem, indices: Sequence[int]) -> np.ndarray:
+        spec = self.spec_for(problem)
+        Xc = self._encoder.encode_indices(indices)
+        Xp = np.tile(problem_features(problem), (Xc.shape[0], 1))
+        return np.concatenate([Xc, Xp], axis=1)
+
+    def fit(
+        self, samples: Sequence[Tuple[object, int, float]]
+    ) -> "InputAwareModel":
+        """Train on (problem, configuration index, measured seconds) triples."""
+        if len(samples) < max(2, self.k):
+            raise ValueError(f"need at least {max(2, self.k)} samples")
+        by_problem: Dict[tuple, List[Tuple[int, float]]] = {}
+        problems: Dict[tuple, object] = {}
+        for problem, index, t in samples:
+            if t <= 0:
+                raise ValueError("times must be positive")
+            key = dataclasses.astuple(problem)
+            by_problem.setdefault(key, []).append((int(index), float(t)))
+            problems[key] = problem
+        blocks = []
+        targets = []
+        for key, pairs in by_problem.items():
+            idx = np.array([p[0] for p in pairs], dtype=np.int64)
+            t = np.array([p[1] for p in pairs], dtype=np.float64)
+            blocks.append(self._features(problems[key], idx))
+            targets.append(np.log(t))
+        X = np.concatenate(blocks, axis=0)
+        y = np.concatenate(targets)
+        self._model = EnsembleMLPRegressor(k=self.k, seed=self.seed)
+        self._model.fit(X, y)
+        return self
+
+    def predict(self, problem, indices: Sequence[int]) -> np.ndarray:
+        """Predicted seconds for configurations of a (possibly unseen)
+        problem size."""
+        if self._model is None:
+            raise RuntimeError("predict() before fit()")
+        return np.exp(self._model.predict(self._features(problem, indices)))
+
+    def top_m(self, problem, m: int) -> np.ndarray:
+        """The m lowest-predicted configuration indices for ``problem``."""
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        spec = self.spec_for(problem)
+        indices = np.arange(spec.space.size, dtype=np.int64)
+        chunk = 1 << 17
+        best_idx: List[np.ndarray] = []
+        best_pred: List[np.ndarray] = []
+        for start in range(0, indices.shape[0], chunk):
+            part = indices[start : start + chunk]
+            pred = self.predict(problem, part)
+            take = np.argpartition(pred, min(m, part.shape[0]) - 1)[:m]
+            best_idx.append(part[take])
+            best_pred.append(pred[take])
+        idx = np.concatenate(best_idx)
+        pred = np.concatenate(best_pred)
+        order = np.argsort(pred, kind="stable")[:m]
+        return idx[order]

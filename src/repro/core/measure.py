@@ -1,0 +1,144 @@
+"""Measurement loop: configurations in, (time | invalid) out.
+
+The :class:`Measurer` drives the runtime facade exactly the way a
+pyopencl-based harness drives real OpenCL — build, enqueue, wait, read the
+profiled duration, catch build/launch failures — and memoizes per-
+configuration state so re-measuring a configuration only redraws
+measurement noise (a real harness would likewise cache compiled binaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.kernels.base import KernelSpec
+from repro.runtime import BuildError, Context, LaunchError, Program
+
+
+@dataclass
+class MeasurementSet:
+    """Outcome of measuring a batch of configurations.
+
+    ``indices``/``times_s`` hold the *valid* measurements (aligned);
+    ``invalid_indices`` the configurations that failed to build or launch.
+    """
+
+    indices: np.ndarray
+    times_s: np.ndarray
+    invalid_indices: np.ndarray
+
+    @property
+    def n_valid(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def n_invalid(self) -> int:
+        return int(self.invalid_indices.shape[0])
+
+    @property
+    def invalid_fraction(self) -> float:
+        total = self.n_valid + self.n_invalid
+        return self.n_invalid / total if total else 0.0
+
+    def best(self) -> tuple:
+        """(index, time) of the fastest valid measurement."""
+        if self.n_valid == 0:
+            raise ValueError("no valid measurements")
+        j = int(np.argmin(self.times_s))
+        return int(self.indices[j]), float(self.times_s[j])
+
+    def merged_with(self, other: "MeasurementSet") -> "MeasurementSet":
+        return MeasurementSet(
+            indices=np.concatenate([self.indices, other.indices]),
+            times_s=np.concatenate([self.times_s, other.times_s]),
+            invalid_indices=np.concatenate(
+                [self.invalid_indices, other.invalid_indices]
+            ),
+        )
+
+
+class Measurer:
+    """Measures configurations of one kernel on one context.
+
+    Parameters
+    ----------
+    context:
+        Runtime context (device + seeded noise + cost ledger).
+    spec:
+        The benchmark to measure.
+    repeats:
+        Launches per measurement; the reported time is the minimum (usual
+        kernel-benchmarking practice — interference only slows you down).
+    """
+
+    def __init__(self, context: Context, spec: KernelSpec, repeats: int = 3):
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        self.context = context
+        self.spec = spec
+        self.repeats = repeats
+        # index -> true time (seconds), or None for invalid.
+        self._cache: Dict[int, Optional[float]] = {}
+
+    # -- single configuration ------------------------------------------------
+
+    def true_time(self, index: int) -> Optional[float]:
+        """Noise-free time of a configuration, or None if invalid.
+
+        First call per configuration pays build cost in the ledger (and
+        failure cost for invalid ones), as a compile-cache-equipped real
+        harness would.
+        """
+        index = int(index)
+        if index in self._cache:
+            return self._cache[index]
+        config = self.spec.space[index]
+        try:
+            kernel = Program(self.context, self.spec, config).build()
+            event = kernel.enqueue()
+        except (BuildError, LaunchError):
+            self._cache[index] = None
+            return None
+        self._cache[index] = event.true_duration_s
+        return event.true_duration_s
+
+    def measure(self, index: int) -> Optional[float]:
+        """Best-of-``repeats`` noisy measurement, or None if invalid."""
+        true = self.true_time(index)
+        if true is None:
+            return None
+        self.context.ledger.run_s += true * (self.repeats - 1)
+        return self.context.measurement.best_of(true, self.repeats)
+
+    def is_valid(self, index: int) -> bool:
+        return self.true_time(index) is not None
+
+    # -- batches ---------------------------------------------------------------
+
+    def measure_batch(self, indices: Sequence[int]) -> MeasurementSet:
+        """Measure many configurations, splitting valid from invalid."""
+        ok: List[int] = []
+        times: List[float] = []
+        bad: List[int] = []
+        for i in indices:
+            t = self.measure(int(i))
+            if t is None:
+                bad.append(int(i))
+            else:
+                ok.append(int(i))
+                times.append(t)
+        return MeasurementSet(
+            indices=np.asarray(ok, dtype=np.int64),
+            times_s=np.asarray(times, dtype=np.float64),
+            invalid_indices=np.asarray(bad, dtype=np.int64),
+        )
+
+    def sample_and_measure(
+        self, n: int, rng: np.random.Generator
+    ) -> MeasurementSet:
+        """Stage one of the tuner: measure ``n`` uniform random configs."""
+        indices = self.spec.space.sample_indices(n, rng)
+        return self.measure_batch(indices)

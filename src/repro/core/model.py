@@ -1,0 +1,211 @@
+"""The performance model: features -> predicted execution time.
+
+Wraps the paper's learning recipe (§5.2):
+
+* encode tuning-parameter values (:class:`~repro.core.encoding.ConfigEncoder`);
+* regress ``log(time)`` — minimizing squared error of the log equals
+  minimizing *relative* error of the time, which is what matters when
+  kernel times span orders of magnitude;
+* bagging: k = 11 networks on leave-one-fold-out splits, mean prediction;
+* invalid configurations are simply not in the training set ("we deal with
+  this issue by simply ignoring these configurations").
+
+``predict_indices`` is chunked so stage two can sweep spaces of millions
+of configurations without materializing giant feature matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.encoding import ConfigEncoder
+from repro.core.measure import MeasurementSet
+from repro.ml.bagging import BaggedRegressor
+from repro.ml.ensemble import EnsembleMLPRegressor
+from repro.ml.metrics import mean_relative_error
+from repro.ml.mlp import MLPRegressor
+from repro.params import ParameterSpace
+
+#: Chunk size for whole-space prediction sweeps.
+PREDICT_CHUNK = 1 << 17
+
+
+def default_ann_factory(seed: Optional[int] = None) -> Callable[[], MLPRegressor]:
+    """Factory producing the paper's network (30 sigmoid hidden units),
+    varying the weight-init seed per bagging member."""
+    counter = [0 if seed is None else seed]
+
+    def make() -> MLPRegressor:
+        counter[0] += 1
+        return MLPRegressor(hidden=(30,), activation="sigmoid", seed=counter[0])
+
+    return make
+
+
+class PerformanceModel:
+    """Bagged-ANN regressor from configuration indices to seconds.
+
+    Parameters
+    ----------
+    space:
+        The kernel's parameter space (defines the encoding).
+    k:
+        Bagging folds (11 in the paper).  ``k=1`` trains a single network
+        on all data (the bagging ablation's baseline).
+    base_factory:
+        Override the member-model factory (used by the model-family
+        ablation to swap in trees/kNN/linear models).
+    seed:
+        Controls fold assignment and member weight initialization.
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        k: int = 11,
+        base_factory: Optional[Callable[[], object]] = None,
+        seed: Optional[int] = None,
+        log_transform: bool = True,
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.space = space
+        self.encoder = ConfigEncoder(space)
+        self.k = k
+        self.seed = seed
+        self.log_transform = log_transform
+        self._custom_factory = base_factory is not None
+        self._factory = base_factory or default_ann_factory(seed)
+        self._model = None
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, indices: Sequence[int], times_s: Sequence[float]) -> "PerformanceModel":
+        """Train on measured (configuration index, seconds) pairs."""
+        indices = np.asarray(indices, dtype=np.int64)
+        times = np.asarray(times_s, dtype=np.float64)
+        if indices.shape[0] != times.shape[0]:
+            raise ValueError("indices and times must align")
+        if indices.shape[0] < max(2, self.k):
+            raise ValueError(
+                f"need at least {max(2, self.k)} samples, got {indices.shape[0]}"
+            )
+        if np.any(times <= 0):
+            raise ValueError("times must be positive")
+        X = self.encoder.encode_indices(indices)
+        y = np.log(times) if self.log_transform else times
+        if self._custom_factory:
+            if self.k == 1:
+                self._model = self._factory()
+            else:
+                self._model = BaggedRegressor(self._factory, k=self.k, seed=self.seed)
+        else:
+            # Default path: the vectorized ensemble trainer (identical
+            # leave-one-fold-out semantics, one batched fit).
+            self._model = EnsembleMLPRegressor(k=self.k, seed=self.seed)
+        self._model.fit(X, y)
+        return self
+
+    def fit_measurements(
+        self, ms: MeasurementSet, invalid_penalty: Optional[float] = None
+    ) -> "PerformanceModel":
+        """Train from a measurement batch.
+
+        ``invalid_penalty=None`` is the paper's policy: invalid
+        configurations are simply absent from the training set (§5.2) —
+        with the §7 consequence that the model may extrapolate low times
+        into invalid regions.  A float trains the alternative policy: each
+        invalid configuration becomes a sample with target
+        ``invalid_penalty x (slowest valid time)``, teaching the model that
+        those regions are to be avoided.
+        """
+        if invalid_penalty is None or ms.n_invalid == 0:
+            return self.fit(ms.indices, ms.times_s)
+        if invalid_penalty <= 1.0:
+            raise ValueError("invalid_penalty must exceed 1 (x slowest valid)")
+        if ms.n_valid == 0:
+            raise ValueError("cannot penalize invalids with no valid samples")
+        penalty_time = float(ms.times_s.max()) * invalid_penalty
+        indices = np.concatenate([ms.indices, ms.invalid_indices])
+        times = np.concatenate(
+            [ms.times_s, np.full(ms.n_invalid, penalty_time)]
+        )
+        return self.fit(indices, times)
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict_indices(self, indices: Sequence[int]) -> np.ndarray:
+        """Predicted seconds for configuration indices (chunked)."""
+        if self._model is None:
+            raise RuntimeError("predict before fit")
+        indices = np.asarray(indices, dtype=np.int64)
+        out = np.empty(indices.shape[0], dtype=np.float64)
+        for start in range(0, indices.shape[0], PREDICT_CHUNK):
+            chunk = indices[start : start + PREDICT_CHUNK]
+            X = self.encoder.encode_indices(chunk)
+            y = self._model.predict(X)
+            out[start : start + chunk.shape[0]] = np.exp(y) if self.log_transform else y
+        return out
+
+    def predict_all(self) -> np.ndarray:
+        """Predicted seconds for the *entire* space (index-aligned)."""
+        return self.predict_indices(np.arange(self.space.size, dtype=np.int64))
+
+    def top_m(self, m: int, candidate_indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Indices of the ``m`` lowest-predicted configurations.
+
+        Sweeps the whole space by default (feasible because evaluating the
+        model is orders of magnitude faster than running kernels, §5.3).
+        """
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        if candidate_indices is None:
+            candidate_indices = np.arange(self.space.size, dtype=np.int64)
+        else:
+            candidate_indices = np.asarray(candidate_indices, dtype=np.int64)
+        pred = self.predict_indices(candidate_indices)
+        m = min(m, candidate_indices.shape[0])
+        part = np.argpartition(pred, m - 1)[:m]
+        order = part[np.argsort(pred[part], kind="stable")]
+        return candidate_indices[order]
+
+    # -- evaluation -------------------------------------------------------------
+
+    def relative_error(self, indices: Sequence[int], actual_s: Sequence[float]) -> float:
+        """Mean relative error on held-out measurements (the Figs. 4-7 metric)."""
+        return mean_relative_error(self.predict_indices(indices), actual_s)
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist a fitted default-ensemble model to an ``.npz`` file.
+
+        Only the built-in bagged-ANN path is serializable (custom factory
+        models bring their own persistence).
+        """
+        if self._model is None:
+            raise RuntimeError("save() before fit()")
+        if self._custom_factory or not isinstance(self._model, EnsembleMLPRegressor):
+            raise TypeError("only the default bagged-ANN model is serializable")
+        self._model.save(path)
+
+    @classmethod
+    def load(cls, space: ParameterSpace, path, log_transform: bool = True) -> "PerformanceModel":
+        """Restore a model saved with :meth:`save`, bound to ``space``.
+
+        The caller must supply the same parameter space the model was
+        trained against (the weights encode its feature layout)."""
+        model = cls(space, log_transform=log_transform)
+        inner = EnsembleMLPRegressor.load(path)
+        expected = model.encoder.n_features
+        got = inner._params[0].shape[1]
+        if got != expected:
+            raise ValueError(
+                f"saved model expects {got} features but this space encodes "
+                f"{expected}; wrong kernel?"
+            )
+        model._model = inner
+        model.k = inner.k
+        return model

@@ -1,0 +1,109 @@
+"""Result records and a persistent measurement store."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """What the auto-tuner hands back.
+
+    Attributes
+    ----------
+    best_index / best_time_s:
+        The winning configuration and its measured time; ``best_index`` is
+        ``-1`` (and the time NaN) when *every* stage-two candidate was
+        invalid — the paper's "the auto-tuner gives no prediction at all"
+        failure mode (§7).
+    n_trained / n_stage2:
+        Valid training measurements (stage one) and stage-two candidates.
+    stage2_invalid:
+        Invalid configurations among the stage-two candidates.
+    evaluated_fraction:
+        Measured configurations / space size (the paper quotes 1.7%,
+        0.5%, 0.1%).
+    total_cost_s:
+        Simulated wall-clock spent measuring (compiles + runs + failures).
+    """
+
+    kernel: str
+    device: str
+    best_index: int
+    best_time_s: float
+    n_trained: int
+    n_stage2: int
+    stage2_invalid: int
+    evaluated_fraction: float
+    total_cost_s: float
+
+    @property
+    def failed(self) -> bool:
+        """True when stage two produced no valid candidate."""
+        return self.best_index < 0
+
+    def slowdown_vs(self, optimum_time_s: float) -> float:
+        """Slowdown relative to a known optimum (Figs. 11-14 metric)."""
+        if self.failed:
+            return float("nan")
+        if optimum_time_s <= 0:
+            raise ValueError("optimum time must be positive")
+        return self.best_time_s / optimum_time_s
+
+
+class MeasurementDB:
+    """JSON-backed store of per-(kernel, device) measurements.
+
+    Maps configuration index -> measured seconds (or ``None`` for invalid),
+    so expensive campaigns (exhaustive sweeps for ground truth) can be
+    written once and reloaded by experiments and tests.
+    """
+
+    def __init__(self, path: Optional[Path] = None):
+        self.path = Path(path) if path is not None else None
+        self._data: Dict[str, Dict[int, Optional[float]]] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    @staticmethod
+    def _key(kernel: str, device: str) -> str:
+        return f"{kernel}@{device}"
+
+    def _load(self) -> None:
+        raw = json.loads(self.path.read_text())
+        self._data = {
+            key: {int(i): t for i, t in entries.items()}
+            for key, entries in raw.items()
+        }
+
+    def save(self) -> None:
+        if self.path is None:
+            raise RuntimeError("no path bound to this MeasurementDB")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(self._data))
+
+    # -- access ----------------------------------------------------------------
+
+    def put(self, kernel: str, device: str, index: int, time_s: Optional[float]) -> None:
+        self._data.setdefault(self._key(kernel, device), {})[int(index)] = time_s
+
+    def get(self, kernel: str, device: str, index: int):
+        return self._data.get(self._key(kernel, device), {}).get(int(index))
+
+    def table(self, kernel: str, device: str) -> Dict[int, Optional[float]]:
+        return dict(self._data.get(self._key(kernel, device), {}))
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._data.values())
+
+    def best(self, kernel: str, device: str) -> tuple:
+        """(index, time) of the fastest stored valid measurement."""
+        entries = self._data.get(self._key(kernel, device), {})
+        valid = {i: t for i, t in entries.items() if t is not None}
+        if not valid:
+            raise ValueError(f"no valid entries for {kernel}@{device}")
+        i = min(valid, key=valid.get)
+        return i, valid[i]

@@ -1,0 +1,119 @@
+"""Search baselines: exhaustive, random, and one-at-a-time.
+
+Exhaustive search provides the ground-truth optimum for Figs. 1 and 11-13
+(feasible only for convolution's 131K space); random search is the
+equal-budget control for the two-stage ablation; coordinate descent is the
+strategy the paper argues *cannot* work ("since the parameters are not
+independent, the best values cannot be found by varying the values of one
+parameter at a time", §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.measure import MeasurementSet, Measurer
+from repro.core.results import MeasurementDB
+
+
+def exhaustive_search(
+    measurer: Measurer,
+    db: Optional[MeasurementDB] = None,
+    indices: Optional[Sequence[int]] = None,
+) -> MeasurementSet:
+    """Measure every configuration (or a given subset) once.
+
+    Optionally records each measurement in a :class:`MeasurementDB` so the
+    (expensive) ground truth is computed once per (kernel, device).
+    """
+    space = measurer.spec.space
+    if indices is None:
+        indices = range(space.size)
+    ok, times, bad = [], [], []
+    kernel = measurer.spec.name
+    device = measurer.context.device.name
+    for i in indices:
+        t = measurer.measure(int(i))
+        if db is not None:
+            db.put(kernel, device, int(i), t)
+        if t is None:
+            bad.append(int(i))
+        else:
+            ok.append(int(i))
+            times.append(t)
+    return MeasurementSet(
+        indices=np.asarray(ok, dtype=np.int64),
+        times_s=np.asarray(times, dtype=np.float64),
+        invalid_indices=np.asarray(bad, dtype=np.int64),
+    )
+
+
+def random_search(
+    measurer: Measurer, budget: int, rng: np.random.Generator
+) -> MeasurementSet:
+    """Measure ``budget`` uniform random configurations (the Fig. 14
+    comparison point: best of 50K random samples)."""
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    indices = measurer.spec.space.sample_indices(
+        min(budget, measurer.spec.space.size), rng
+    )
+    return measurer.measure_batch(indices)
+
+
+def coordinate_descent(
+    measurer: Measurer,
+    rng: np.random.Generator,
+    max_sweeps: int = 4,
+    start_index: Optional[int] = None,
+) -> tuple:
+    """One-parameter-at-a-time greedy search.
+
+    From a random valid starting configuration, repeatedly sweep the
+    parameters; for each, try every value with the others held fixed and
+    keep the best.  Converges to a point no single-parameter change can
+    improve — a local optimum that parameter interactions routinely trap
+    far from the global one.
+
+    Returns ``(best_index, best_time_s, n_measured)``; ``best_index`` is
+    ``-1`` if no valid starting point was found.
+    """
+    space = measurer.spec.space
+    n_measured = 0
+
+    if start_index is None:
+        start_index = -1
+        for i in space.sample_indices(min(200, space.size), rng):
+            n_measured += 1
+            if measurer.is_valid(int(i)):
+                start_index = int(i)
+                break
+        if start_index < 0:
+            return -1, float("nan"), n_measured
+
+    digits = list(space.digits_of(start_index))
+    best_time = measurer.measure(start_index)
+    n_measured += 1
+    assert best_time is not None
+
+    for _ in range(max_sweeps):
+        improved = False
+        for j, p in enumerate(space.parameters):
+            best_d = digits[j]
+            for d in range(p.cardinality):
+                if d == digits[j]:
+                    continue
+                trial = digits.copy()
+                trial[j] = d
+                t = measurer.measure(space.index_of_digits(trial))
+                n_measured += 1
+                if t is not None and t < best_time:
+                    best_time = t
+                    best_d = d
+                    improved = True
+            digits[j] = best_d
+        if not improved:
+            break
+    return space.index_of_digits(digits), float(best_time), n_measured

@@ -1,0 +1,131 @@
+"""Parameter-sensitivity analysis: opening the black box.
+
+The paper concedes that its ANN is opaque: "the opaqueness of the
+resulting model ... makes it difficult to interpret, and hard to gain
+deeper insights into how the different parameters interact" (§5.2).  This
+module extracts those insights anyway, from either the fitted model or
+measured data:
+
+* :func:`parameter_sensitivity` — for each tuning parameter, the average
+  spread of log-time across its values with everything else held fixed
+  (a one-at-a-time main effect, averaged over random base points);
+* :func:`interaction_strength` — for a parameter pair, how far the joint
+  effect deviates from the sum of the individual effects (the paper's
+  §5.1 claim that "the parameters are not independent" made quantitative).
+
+Both accept any ``predict(indices) -> seconds`` source, so they work on
+the learned model (cheap) or the evaluation oracle (exact).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.params import ParameterSpace
+
+
+def _predict_log(predict_fn, indices) -> np.ndarray:
+    times = np.asarray(predict_fn(np.asarray(indices, dtype=np.int64)), dtype=np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.log(times)
+
+
+def parameter_sensitivity(
+    predict_fn: Callable[[Sequence[int]], np.ndarray],
+    space: ParameterSpace,
+    rng: np.random.Generator,
+    n_base: int = 200,
+) -> Dict[str, float]:
+    """Main effect of each parameter, in log-time units.
+
+    For each of ``n_base`` random configurations, sweep one parameter
+    across all its values (others fixed), and record the spread
+    (max - min of finite log-times).  The returned value per parameter is
+    the mean spread — roughly "how many e-folds of runtime this knob
+    controls on its own".  NaN predictions (invalid configurations, when
+    the source is an oracle) are skipped within a sweep.
+    """
+    if n_base < 1:
+        raise ValueError("n_base must be >= 1")
+    base = space.sample_indices(min(n_base, space.size), rng, replace=False)
+    out: Dict[str, float] = {}
+    for j, p in enumerate(space.parameters):
+        spreads = []
+        for b in base:
+            digits = list(space.digits_of(int(b)))
+            sweep = []
+            for d in range(p.cardinality):
+                digits[j] = d
+                sweep.append(space.index_of_digits(digits))
+            logs = _predict_log(predict_fn, sweep)
+            finite = logs[np.isfinite(logs)]
+            if finite.size >= 2:
+                spreads.append(float(finite.max() - finite.min()))
+        out[p.name] = float(np.mean(spreads)) if spreads else float("nan")
+    return out
+
+
+def interaction_strength(
+    predict_fn: Callable[[Sequence[int]], np.ndarray],
+    space: ParameterSpace,
+    name_a: str,
+    name_b: str,
+    rng: np.random.Generator,
+    n_base: int = 100,
+) -> float:
+    """Mean absolute non-additivity of a parameter pair, in log-time units.
+
+    For random base points and random value changes ``a -> a'``,
+    ``b -> b'``: if effects were additive in log-time,
+    ``f(a',b') - f(a,b) == [f(a',b) - f(a,b)] + [f(a,b') - f(a,b)]``.
+    The returned value is the mean |deviation| — zero for independent
+    parameters, large where the paper's "cannot vary one at a time"
+    warning bites (e.g. ``use_local`` x ``ppt_y``: tile sizes).
+    """
+    ja = list(space.names).index(name_a)
+    jb = list(space.names).index(name_b)
+    pa, pb = space.parameters[ja], space.parameters[jb]
+    if pa.cardinality < 2 or pb.cardinality < 2:
+        raise ValueError("both parameters need at least two values")
+    base = space.sample_indices(min(n_base, space.size), rng, replace=False)
+    devs = []
+    for b in base:
+        digits = list(space.digits_of(int(b)))
+        da = int(rng.integers(0, pa.cardinality - 1))
+        db = int(rng.integers(0, pb.cardinality - 1))
+        a0, a1 = digits[ja], (digits[ja] + 1 + da) % pa.cardinality
+        b0, b1 = digits[jb], (digits[jb] + 1 + db) % pb.cardinality
+
+        def at(av, bv):
+            d = digits.copy()
+            d[ja], d[jb] = av, bv
+            return space.index_of_digits(d)
+
+        logs = _predict_log(predict_fn, [at(a0, b0), at(a1, b0), at(a0, b1), at(a1, b1)])
+        if not np.all(np.isfinite(logs)):
+            continue
+        f00, f10, f01, f11 = logs
+        devs.append(abs((f11 - f00) - ((f10 - f00) + (f01 - f00))))
+    return float(np.mean(devs)) if devs else float("nan")
+
+
+def sensitivity_report(
+    sensitivities: Dict[str, float], top: Optional[int] = None
+) -> str:
+    """Render a sensitivity dict as a sorted text bar list."""
+    items = sorted(sensitivities.items(), key=lambda kv: -(kv[1] if kv[1] == kv[1] else -1))
+    if top is not None:
+        items = items[:top]
+    finite = [v for _, v in items if v == v]
+    vmax = max(finite) if finite else 1.0
+    width = max(len(k) for k, _ in items)
+    lines = []
+    for name, v in items:
+        if v != v:
+            lines.append(f"{name.ljust(width)} | n/a")
+        else:
+            bars = "#" * int(round(24 * v / vmax)) if vmax > 0 else ""
+            lines.append(f"{name.ljust(width)} | {bars} {v:.2f}")
+    return "\n".join(lines)

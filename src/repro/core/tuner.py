@@ -1,0 +1,170 @@
+"""The two-stage ML auto-tuner (§5 / Fig. 3 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.measure import MeasurementSet, Measurer
+from repro.core.model import PerformanceModel
+from repro.core.results import TuningResult
+from repro.kernels.base import KernelSpec
+from repro.runtime import Context
+
+
+@dataclass(frozen=True)
+class TunerSettings:
+    """Knobs of the auto-tuner.
+
+    Attributes
+    ----------
+    n_train:
+        Stage-one random configurations to measure (the paper sweeps
+        100..4000).
+    m_candidates:
+        Stage-two candidates: the M lowest-predicted configurations are
+        measured for real (the paper uses 10..300).
+    k_bag:
+        Bagging folds of the ANN ensemble (11 in the paper).
+    repeats:
+        Launches per measurement (best-of).
+    candidate_pool:
+        When set, stage two predicts over a uniform random pool of this
+        size instead of the whole space — an option for spaces too large
+        even for cheap model sweeps.  ``None`` sweeps everything, as the
+        paper does.
+    filter_known_invalid:
+        When True, stage two asks the device's *static* validity rules
+        before proposing a candidate (the §7 "better scheme" extension;
+        the paper's baseline behaviour is False: invalid candidates waste
+        stage-two slots).
+    """
+
+    n_train: int = 2000
+    m_candidates: int = 200
+    k_bag: int = 11
+    repeats: int = 3
+    candidate_pool: Optional[int] = None
+    filter_known_invalid: bool = False
+
+    def __post_init__(self):
+        if self.n_train < self.k_bag:
+            raise ValueError("n_train must be >= k_bag")
+        if self.m_candidates < 1:
+            raise ValueError("m_candidates must be >= 1")
+
+
+class MLAutoTuner:
+    """Ties the pipeline together for one (kernel, device) pair.
+
+    Usage::
+
+        ctx = Context(NVIDIA_K40, seed=7)
+        tuner = MLAutoTuner(ctx, ConvolutionKernel(), TunerSettings())
+        result = tuner.tune(rng=np.random.default_rng(7))
+    """
+
+    def __init__(
+        self,
+        context: Context,
+        spec: KernelSpec,
+        settings: TunerSettings = TunerSettings(),
+        measurer: Optional[Measurer] = None,
+    ):
+        self.context = context
+        self.spec = spec
+        self.settings = settings
+        self.measurer = measurer or Measurer(context, spec, repeats=settings.repeats)
+        self.model: Optional[PerformanceModel] = None
+        self.training_set: Optional[MeasurementSet] = None
+        self.stage2_set: Optional[MeasurementSet] = None
+
+    # -- stages ------------------------------------------------------------
+
+    def collect_training_data(self, rng: np.random.Generator) -> MeasurementSet:
+        """Stage one: measure ``n_train`` uniform random configurations."""
+        self.training_set = self.measurer.sample_and_measure(
+            self.settings.n_train, rng
+        )
+        return self.training_set
+
+    def train_model(self, seed: Optional[int] = None) -> PerformanceModel:
+        """Fit the bagged-ANN performance model on the stage-one data."""
+        if self.training_set is None:
+            raise RuntimeError("collect_training_data() first")
+        if self.training_set.n_valid < max(2, self.settings.k_bag):
+            raise RuntimeError(
+                f"only {self.training_set.n_valid} valid training samples; "
+                "increase n_train"
+            )
+        self.model = PerformanceModel(
+            self.spec.space, k=self.settings.k_bag, seed=seed
+        )
+        self.model.fit_measurements(self.training_set)
+        return self.model
+
+    def propose_candidates(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Stage two, part one: the M lowest-predicted configurations."""
+        if self.model is None:
+            raise RuntimeError("train_model() first")
+        pool = None
+        if self.settings.candidate_pool is not None:
+            if rng is None:
+                raise ValueError("candidate_pool sampling needs an rng")
+            pool = self.spec.space.sample_indices(
+                min(self.settings.candidate_pool, self.spec.space.size), rng
+            )
+        if not self.settings.filter_known_invalid:
+            return self.model.top_m(self.settings.m_candidates, pool)
+        # Extension (§7 future work): over-propose, keep the best M that
+        # pass the device's validity check, escalating the window until M
+        # valid candidates are found (a model that ranks a large invalid
+        # region first would otherwise still starve stage two).
+        m = self.settings.m_candidates
+        limit = self.spec.space.size if pool is None else len(pool)
+        factor = 4
+        while True:
+            raw = self.model.top_m(min(m * factor, limit), pool)
+            keep = [i for i in raw if self.measurer.is_valid(int(i))]
+            if len(keep) >= m or m * factor >= limit:
+                return np.asarray(keep[:m], dtype=np.int64)
+            factor *= 4
+
+    def evaluate_candidates(self, candidates: np.ndarray) -> MeasurementSet:
+        """Stage two, part two: measure the proposed configurations."""
+        self.stage2_set = self.measurer.measure_batch(candidates)
+        return self.stage2_set
+
+    # -- the whole pipeline -----------------------------------------------------
+
+    def tune(self, rng: np.random.Generator, model_seed: Optional[int] = None) -> TuningResult:
+        """Run stages one and two; return the tuner's pick.
+
+        When every stage-two candidate is invalid the result carries
+        ``best_index = -1`` (the paper's no-prediction failure mode) rather
+        than raising — callers aggregate these as missing data points.
+        """
+        train = self.collect_training_data(rng)
+        self.train_model(model_seed)
+        candidates = self.propose_candidates(rng)
+        stage2 = self.evaluate_candidates(candidates)
+
+        if stage2.n_valid == 0:
+            best_index, best_time = -1, float("nan")
+        else:
+            best_index, best_time = stage2.best()
+
+        measured = train.n_valid + train.n_invalid + stage2.n_valid + stage2.n_invalid
+        return TuningResult(
+            kernel=self.spec.name,
+            device=self.context.device.name,
+            best_index=best_index,
+            best_time_s=best_time,
+            n_trained=train.n_valid,
+            n_stage2=len(candidates),
+            stage2_invalid=stage2.n_invalid,
+            evaluated_fraction=measured / self.spec.space.size,
+            total_cost_s=self.context.ledger.total_s,
+        )

@@ -1,0 +1,18 @@
+"""Per-figure reproduction harness.
+
+One module per table/figure of the paper's evaluation (see DESIGN.md §4 for
+the index).  Every module exposes
+
+* ``run(preset=..., seed=...) -> dict`` — compute the experiment's data;
+* ``format_text(results) -> str`` — render the same rows/series the paper
+  reports, as text;
+* a ``main()`` CLI entry point.
+
+``python -m repro.experiments.run_all`` regenerates every experiment and
+writes EXPERIMENTS.md.
+"""
+
+from repro.experiments.oracle import TrueTimeOracle
+from repro.experiments.presets import FAST, FULL, get_preset
+
+__all__ = ["TrueTimeOracle", "FAST", "FULL", "get_preset"]

@@ -1,0 +1,149 @@
+"""Terminal rendering of the paper's figures (no plotting dependencies).
+
+Two primitives cover everything the paper draws:
+
+* :func:`line_plot` — multi-series curves (Figs. 4-7, 11-13 as N-vs-error
+  or N-vs-slowdown series);
+* :func:`scatter_plot` — log-log predicted-vs-actual clouds with the
+  diagonal marked (Figs. 8-10);
+* :func:`bar_chart` — horizontal bars (Figs. 1 and 14).
+
+Each returns a plain string; NaNs are skipped (the paper's "missing
+results").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+#: Glyphs assigned to successive series of a line/scatter plot.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def _finite(values) -> list:
+    return [v for v in values if v == v and not math.isinf(v)]
+
+
+def _scale(value, lo, hi, cells):
+    if hi <= lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(pos * (cells - 1)))))
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+    title: str = "",
+) -> str:
+    """Curves on a shared x axis; one glyph per named series."""
+    if not series:
+        raise ValueError("need at least one series")
+    xs = [math.log10(v) for v in x] if logx else list(x)
+    all_y = _finite([v for ys in series.values() for v in ys])
+    if not all_y:
+        raise ValueError("no finite data to plot")
+    ylo, yhi = min(all_y), max(all_y)
+    if yhi == ylo:
+        yhi = ylo + 1.0
+    xlo, xhi = min(xs), max(xs)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), glyph in zip(series.items(), SERIES_GLYPHS):
+        for xv, yv in zip(xs, ys):
+            if yv != yv or math.isinf(yv):
+                continue
+            col = _scale(xv, xlo, xhi, width)
+            row = height - 1 - _scale(yv, ylo, yhi, height)
+            grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{yhi:12.4g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row))
+    lines.append(f"{ylo:12.4g} +" + "-" * width)
+    lines.append(
+        " " * 14 + f"{x[0]:<10g}" + " " * max(0, width - 20) + f"{x[-1]:>10g}"
+    )
+    legend = "  ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), SERIES_GLYPHS)
+    )
+    lines.append(" " * 14 + legend)
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    actual: Sequence[float],
+    predicted: Sequence[float],
+    width: int = 56,
+    height: int = 22,
+    title: str = "",
+) -> str:
+    """Log-log scatter with the y=x diagonal drawn as ``.``."""
+    pairs = [
+        (a, p)
+        for a, p in zip(actual, predicted)
+        if a == a and p == p and a > 0 and p > 0
+    ]
+    if not pairs:
+        raise ValueError("no positive finite pairs to plot")
+    la = [math.log10(a) for a, _ in pairs]
+    lp = [math.log10(p) for _, p in pairs]
+    lo = min(min(la), min(lp))
+    hi = max(max(la), max(lp))
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    # Diagonal first so points overwrite it.
+    for col in range(width):
+        v = lo + (hi - lo) * col / (width - 1)
+        row = height - 1 - _scale(v, lo, hi, height)
+        grid[row][col] = "."
+    for a, p in zip(la, lp):
+        col = _scale(a, lo, hi, width)
+        row = height - 1 - _scale(p, lo, hi, height)
+        grid[row][col] = "o"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{10 ** hi:10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{10 ** lo:10.3g} +" + "-" * width)
+    lines.append(" " * 12 + f"{10 ** lo:<10.3g}" + " " * max(0, width - 20) + f"{10 ** hi:>10.3g}")
+    lines.append(" " * 12 + "x: actual, y: predicted, .: y=x (log-log)")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:.2f}",
+    missing: str = "missing",
+) -> str:
+    """Horizontal bars; NaN renders as the ``missing`` marker."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    finite = _finite(values)
+    if not finite:
+        raise ValueError("no finite values")
+    vmax = max(finite)
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        if v != v or math.isinf(v):
+            lines.append(f"{str(label).ljust(label_w)} | {missing}")
+            continue
+        n = int(round(width * v / vmax)) if vmax > 0 else 0
+        lines.append(
+            f"{str(label).ljust(label_w)} | {'#' * n} {fmt.format(v)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Figure 7: model accuracy for convolution across Nvidia GPU generations.
+
+The paper trains the convolution model on a C2070 (Fermi), a K40 (Kepler)
+and a GTX980 (Maxwell), and finds the K40 and C2070 similar with the
+GTX980 slightly worse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.fig04_06_model_error import error_curve
+from repro.experiments.presets import get_preset
+from repro.experiments.reporting import header, pct, table
+
+NVIDIA_GENERATIONS = ("c2070", "nvidia", "gtx980")  # Fermi, Kepler, Maxwell
+LABELS = {"c2070": "C2070", "nvidia": "K40", "gtx980": "GTX980"}
+
+
+def run(preset=None, seed: int = 0) -> Dict:
+    p = get_preset(preset)
+    curves = {
+        dev: error_curve(
+            "convolution", dev, p.training_sizes, p.holdout, repeats=p.repeats,
+            seed=seed,
+        )
+        for dev in NVIDIA_GENERATIONS
+    }
+    return {"preset": p.name, "sizes": p.training_sizes, "curves": curves}
+
+
+def format_text(results: Dict) -> str:
+    lines = [
+        header("Figure 7 - convolution prediction error across Nvidia generations")
+    ]
+    rows = []
+    for n in results["sizes"]:
+        rows.append(
+            [n]
+            + [pct(results["curves"][d]["errors"][n]) for d in NVIDIA_GENERATIONS]
+        )
+    lines.append(
+        table(rows, headers=("N", *(LABELS[d] for d in NVIDIA_GENERATIONS)))
+    )
+    last = max(results["sizes"])
+    k40 = results["curves"]["nvidia"]["errors"][last]
+    c2070 = results["curves"]["c2070"]["errors"][last]
+    gtx = results["curves"]["gtx980"]["errors"][last]
+    lines.append(
+        "paper: K40 ~ C2070, GTX980 slightly worse; measured at "
+        f"N={last}: K40 {pct(k40)}, C2070 {pct(c2070)}, GTX980 {pct(gtx)}"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(format_text(run()))
+
+
+if __name__ == "__main__":
+    main()

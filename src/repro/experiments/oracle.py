@@ -1,0 +1,105 @@
+"""Ground-truth access to the simulator, bypassing the runtime facade.
+
+Experiments repeatedly need *true* (noise-free) times — for global optima
+(Figs. 1, 11-13) and for scoring tuner picks — and sometimes for tens of
+thousands of configurations.  Going through Program/Kernel objects would
+only add object churn, so the oracle calls the pure simulator functions
+directly and memoizes.  This is evaluation machinery: the auto-tuner itself
+never sees true times, only noisy measurements through the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.base import KernelSpec
+from repro.simulator.device import DeviceSpec
+from repro.simulator.executor import simulate_kernel_time
+from repro.simulator.validity import validate
+
+
+class TrueTimeOracle:
+    """Noise-free times of one (kernel, device) pair, lazily memoized.
+
+    ``times_for`` computes on demand; ``full_table`` materializes the whole
+    space (only sensible for convolution-sized spaces).  Invalid
+    configurations are NaN.
+    """
+
+    def __init__(self, spec: KernelSpec, device: DeviceSpec):
+        self.spec = spec
+        self.device = device
+        self._cache: Dict[int, float] = {}
+        self._full: Optional[np.ndarray] = None
+
+    def _compute(self, index: int) -> float:
+        config = self.spec.space[index]
+        profile = self.spec.workload(config, self.device)
+        if not validate(profile, self.device):
+            return float("nan")
+        return simulate_kernel_time(
+            profile,
+            self.device,
+            jitter_key=(self.spec.name, config.as_tuple()),
+        )
+
+    def time_of(self, index: int) -> float:
+        """True time of one configuration (NaN if invalid)."""
+        index = int(index)
+        if self._full is not None:
+            return float(self._full[index])
+        if index not in self._cache:
+            self._cache[index] = self._compute(index)
+        return self._cache[index]
+
+    def times_for(self, indices: Sequence[int]) -> np.ndarray:
+        """True times for many configurations (NaN where invalid)."""
+        return np.array([self.time_of(i) for i in indices], dtype=np.float64)
+
+    def full_table(self) -> np.ndarray:
+        """True times of the *entire* space.
+
+        Feasible for convolution (131K) in seconds; refuses spaces past a
+        million points — use ``times_for`` / ``global_optimum_sampled``
+        there, as the paper itself resorts to sampling for those.
+        """
+        if self._full is None:
+            size = self.spec.space.size
+            if size > 1_000_000:
+                raise ValueError(
+                    f"space of {size} too large to exhaust; the paper also "
+                    "could not ('time constraints prevented us', §6)"
+                )
+            self._full = np.array(
+                [self._compute(i) for i in range(size)], dtype=np.float64
+            )
+        return self._full
+
+    def global_optimum(self) -> Tuple[int, float]:
+        """(index, true time) of the global optimum via full enumeration."""
+        table = self.full_table()
+        idx = int(np.nanargmin(table))
+        return idx, float(table[idx])
+
+    def best_among(self, indices: Sequence[int]) -> Tuple[int, float]:
+        """(index, true time) of the best valid configuration in a subset."""
+        times = self.times_for(indices)
+        if np.all(np.isnan(times)):
+            raise ValueError("no valid configuration in subset")
+        j = int(np.nanargmin(times))
+        return int(np.asarray(indices)[j]), float(times[j])
+
+    # -- noisy views (for fair comparisons against the tuner) -----------------
+
+    def measure(
+        self, indices: Sequence[int], rng: np.random.Generator, repeats: int = 3
+    ) -> np.ndarray:
+        """Vectorized best-of-``repeats`` noisy measurements (NaN invalid)."""
+        true = self.times_for(indices)
+        sigma = self.device.timing_noise_sigma
+        noise = np.exp(
+            sigma * rng.standard_normal((repeats, true.shape[0]))
+        ).min(axis=0)
+        return true * noise

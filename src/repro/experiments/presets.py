@@ -1,0 +1,81 @@
+"""Experiment presets: the paper's full grids, and fast subsets.
+
+The paper averages several retrained networks per point over up to 4000
+training samples; a faithful full run takes tens of minutes on one core.
+``FAST`` keeps the same axes with coarser grids and fewer repetitions so
+the whole reproduction finishes in minutes; ``FULL`` is the paper's grid.
+Selected via the ``REPRO_PRESET`` environment variable or per call.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: The paper's Figs. 4-6 x-axis.
+PAPER_TRAINING_SIZES = (
+    100, 200, 300, 400, 500, 600, 700, 800, 900, 1000,
+    1500, 2000, 2500, 3000, 3500, 4000,
+)
+
+#: The paper's Figs. 11-13 axes.
+PAPER_TUNER_SIZES = (100, 200, 300, 400, 500, 1000, 2000)
+PAPER_TUNER_M = (10, 50, 100, 150, 200)
+
+
+@dataclass(frozen=True)
+class Preset:
+    """Grid sizes and repetition counts for the harness."""
+
+    name: str
+    #: Figs. 4-7 training-size axis.
+    training_sizes: tuple
+    #: Held-out configurations for error evaluation.
+    holdout: int
+    #: Model retrainings averaged per point.
+    repeats: int
+    #: Figs. 11-13 axes.
+    tuner_sizes: tuple
+    tuner_m: tuple
+    #: Fig. 14 budgets.
+    fig14_train: int
+    fig14_m: int
+    fig14_random_budget: int
+
+
+FAST = Preset(
+    name="fast",
+    training_sizes=(100, 300, 500, 1000, 2000, 4000),
+    holdout=400,
+    repeats=1,
+    tuner_sizes=(200, 500, 1000, 2000),
+    tuner_m=(10, 50, 100, 200),
+    fig14_train=1500,
+    fig14_m=150,
+    fig14_random_budget=20000,
+)
+
+FULL = Preset(
+    name="full",
+    training_sizes=PAPER_TRAINING_SIZES,
+    holdout=500,
+    repeats=3,
+    tuner_sizes=PAPER_TUNER_SIZES,
+    tuner_m=PAPER_TUNER_M,
+    fig14_train=3000,
+    fig14_m=300,
+    fig14_random_budget=50000,
+)
+
+_PRESETS = {"fast": FAST, "full": FULL}
+
+
+def get_preset(name: str | Preset | None = None) -> Preset:
+    """Resolve a preset by name, REPRO_PRESET, or default (fast)."""
+    if isinstance(name, Preset):
+        return name
+    key = name or os.environ.get("REPRO_PRESET", "fast")
+    try:
+        return _PRESETS[key.lower()]
+    except KeyError:
+        raise KeyError(f"unknown preset {key!r}; known: {sorted(_PRESETS)}") from None

@@ -1,0 +1,51 @@
+"""Text rendering of experiment results (the paper's rows and series)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def rule(char: str = "-", width: int = 72) -> str:
+    return char * width
+
+
+def header(title: str) -> str:
+    return f"{rule('=')}\n{title}\n{rule('=')}"
+
+
+def table(rows: Sequence[Sequence], headers: Sequence[str]) -> str:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[j]) for r in cells) for j in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def series(xs: Sequence, ys: Sequence, fmt: str = "{:.3f}") -> str:
+    """One 'figure series' as aligned x/y rows."""
+    return table(
+        [(x, fmt.format(y) if y == y else "missing") for x, y in zip(xs, ys)],
+        headers=("x", "y"),
+    )
+
+
+def pct(value: float) -> str:
+    """Percentage with the paper's one-decimal style; NaN -> 'missing'."""
+    if value != value:  # NaN
+        return "missing"
+    return f"{100.0 * value:.1f}%"
+
+
+def ms(value_s: float) -> str:
+    if value_s != value_s:
+        return "missing"
+    return f"{value_s * 1e3:.3f} ms"
+
+
+def kv_block(pairs: Mapping) -> str:
+    width = max(len(str(k)) for k in pairs)
+    return "\n".join(f"{str(k).ljust(width)} : {v}" for k, v in pairs.items())

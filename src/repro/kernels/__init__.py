@@ -1,0 +1,47 @@
+"""The paper's three parameterized OpenCL benchmarks (Table 1 / Table 2).
+
+Each benchmark is a :class:`~repro.kernels.base.KernelSpec` bundling:
+
+* its tuning-parameter space (Table 2) — sizes 131,072 (convolution),
+  655,360 (raycasting) and 2,359,296 (stereo), matching the paper's
+  "131K, 655K and 2359K";
+* a *workload model*: configuration + device → :class:`WorkloadProfile`
+  for the performance simulator (how the tuning parameters change traffic,
+  registers, locality, unrolling...);
+* a *functional* NumPy implementation whose execution path honours the
+  configuration (blocking, padding, loop chunking) so that the paper's
+  "functionally equivalent candidates" claim is testable: every valid
+  configuration must produce the same output as the reference.
+"""
+
+from repro.kernels.base import KernelSpec, resolve_unroll
+from repro.kernels.convolution import ConvolutionKernel
+from repro.kernels.raycasting import RaycastingKernel
+from repro.kernels.stereo import StereoKernel
+
+#: Benchmark registry keyed by paper name.
+BENCHMARKS = {
+    "convolution": ConvolutionKernel,
+    "raycasting": RaycastingKernel,
+    "stereo": StereoKernel,
+}
+
+
+def get_benchmark(name: str, **kwargs) -> KernelSpec:
+    """Instantiate a benchmark by its paper name."""
+    try:
+        cls = BENCHMARKS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "KernelSpec",
+    "resolve_unroll",
+    "ConvolutionKernel",
+    "RaycastingKernel",
+    "StereoKernel",
+    "BENCHMARKS",
+    "get_benchmark",
+]

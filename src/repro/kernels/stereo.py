@@ -1,0 +1,301 @@
+"""``stereo``: disparity between two 1024x1024 stereo images (Table 1).
+
+Block-matching stereo: for every pixel of the left image, search a range of
+candidate disparities; for each candidate, compute the sum of absolute
+differences (SAD) over a support window against the shifted right image;
+output the disparity minimizing the SAD.  Eleven tuning parameters
+(Table 2): work-group shape, pixels per thread, image/local switches for
+*each* input image, and three driver-pragma unroll factors — the disparity
+loop {1,2,4,8} and the two inner difference loops {1,2,4}.  Space size
+8^4 * 2^4 * 4 * 3 * 3 = 2,359,296 ("2359K") — too large to exhaust, which
+is why the paper evaluates it against the best of 50K random samples
+(Fig. 14).
+
+Local-memory tiles are big here: the right-image tile needs the window halo
+*plus* the whole disparity range of extra columns.  On the GPUs this
+invalidates a large slice of the space (and is why the paper's stereo
+auto-tuner often predicted only invalid configurations on the GPUs, §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.kernels.base import KernelSpec, padded_threads, resolve_unroll
+from repro.params import ParameterSpace, boolean, choice, pow2
+from repro.simulator.device import DeviceSpec
+from repro.simulator.workload import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class StereoProblem:
+    """Problem size: square image edge, disparity range, SAD window edge."""
+
+    image: int = 1024
+    disparities: int = 32
+    window: int = 8
+
+    def __post_init__(self) -> None:
+        if self.image < self.window or self.disparities < 1 or self.window < 1:
+            raise ValueError("degenerate stereo problem")
+
+
+class StereoKernel(KernelSpec):
+    """The paper's stereo-vision benchmark."""
+
+    name = "stereo"
+
+    def __init__(self, problem: StereoProblem | None = None):
+        super().__init__(problem)
+
+    @classmethod
+    def paper_problem(cls) -> StereoProblem:
+        return StereoProblem(1024, 32, 8)
+
+    def _build_space(self) -> ParameterSpace:
+        return ParameterSpace(
+            [
+                pow2("wg_x", 1, 128, "Work-group size in x dimension"),
+                pow2("wg_y", 1, 128, "Work-group size in y dimension"),
+                pow2("ppt_x", 1, 128, "Output pixels per thread in x dimension"),
+                pow2("ppt_y", 1, 128, "Output pixels per thread in y dimension"),
+                boolean("img_left", "Use image memory for left image"),
+                boolean("img_right", "Use image memory for right image"),
+                boolean("local_left", "Use local memory for left image"),
+                boolean("local_right", "Use local memory for right image"),
+                choice("unroll_disp", (1, 2, 4, 8), "Unroll factor for disparity loop"),
+                choice(
+                    "unroll_diff_x",
+                    (1, 2, 4),
+                    "Unroll factor for difference loop in x direction",
+                ),
+                choice(
+                    "unroll_diff_y",
+                    (1, 2, 4),
+                    "Unroll factor for difference loop in y direction",
+                ),
+            ]
+        )
+
+    def unroll_of(self, config: Mapping) -> int:
+        # Combined code-growth proxy for the compile-time model.
+        return int(
+            config["unroll_disp"] * config["unroll_diff_x"] * config["unroll_diff_y"]
+        )
+
+    # -- timing model ---------------------------------------------------------
+
+    def workload(self, config: Mapping, device: DeviceSpec) -> WorkloadProfile:
+        p = self.problem
+        wx, wy = config["wg_x"], config["wg_y"]
+        px, py = config["ppt_x"], config["ppt_y"]
+        img_left = bool(config["img_left"])
+        img_right = bool(config["img_right"])
+        local_left = bool(config["local_left"])
+        local_right = bool(config["local_right"])
+
+        gx = padded_threads(p.image, px, wx)
+        gy = padded_threads(p.image, py, wy)
+        threads = gx * gy
+        useful = min(1.0, (p.image * p.image) / (threads * px * py))
+        pixels = px * py * useful
+
+        D, w = p.disparities, p.window
+        taps = w * w
+        key = (self.name, self.config_tuple(config))
+        fd = resolve_unroll(
+            int(config["unroll_disp"]), device, uses_driver_pragma=True, key=(*key, "d")
+        )
+        fx = resolve_unroll(
+            int(config["unroll_diff_x"]), device, uses_driver_pragma=True, key=(*key, "x")
+        )
+        fy = resolve_unroll(
+            int(config["unroll_diff_y"]), device, uses_driver_pragma=True, key=(*key, "y")
+        )
+        # Loop-control iterations per pixel: nested disparity / row / column.
+        iters_per_pixel = (D / fd) * (1.0 + (w / fy) * (1.0 + w / fx))
+        loop_iters = pixels * iters_per_pixel + 2.0
+
+        # Per tap per disparity: two loads' address math, abs-diff, add; plus
+        # the per-disparity min/argmin update.
+        flops = pixels * D * (taps * 3.0 + 4.0) + 6.0
+
+        regs = (
+            16
+            + 2 * fd
+            + fx * fy
+            + min(px * py, 32) * 2
+        )
+
+        comparisons = pixels * D * taps  # left/right read pairs
+        global_reads = image_reads = local_reads = local_writes = 0.0
+        local_bytes = 0
+
+        tile_w = wx * px + (w - 1)
+        tile_h = wy * py + (w - 1)
+
+        def tile_cost(width):
+            """Bytes of scratchpad and per-thread load share of one tile."""
+            elems = width * tile_h
+            return elems * 4, elems / (wx * wy)
+
+        # Left image: one read per comparison.
+        if local_left:
+            add_bytes, share = tile_cost(tile_w)
+            local_bytes += add_bytes
+            if img_left:
+                image_reads += share
+            else:
+                global_reads += share
+            local_writes += share
+            local_reads += comparisons
+        elif img_left:
+            image_reads += comparisons
+        else:
+            global_reads += comparisons
+
+        # Right image: the tile additionally spans the disparity range.
+        if local_right:
+            add_bytes, share = tile_cost(tile_w + D)
+            local_bytes += add_bytes
+            if img_right:
+                image_reads += share
+            else:
+                global_reads += share
+            local_writes += share
+            local_reads += comparisons
+        elif img_right:
+            image_reads += comparisons
+        else:
+            global_reads += comparisons
+
+        # -- access-pattern quality ------------------------------------------
+        any_local = local_left or local_right
+        if any_local:
+            coal = 0.9 if device.is_gpu else 0.82
+        elif device.is_gpu:
+            # The window sweep is row-major and adjacent threads overlap
+            # heavily; blocking by ppt_x strides it.
+            coal = max(0.15, 0.9 / px)
+        else:
+            coal = 0.85 if px >= 2 else 0.6
+
+        footprint = 3.0 * p.image * p.image * 4  # left + right + disparity map
+
+        return WorkloadProfile(
+            global_size=(gx, gy),
+            workgroup=(wx, wy),
+            flops_per_thread=flops,
+            global_reads=global_reads,
+            global_writes=pixels,
+            image_reads=image_reads,
+            local_reads=local_reads,
+            local_writes=local_writes,
+            constant_reads=0.0,
+            local_mem_per_wg_bytes=local_bytes,
+            registers_per_thread=int(regs),
+            coalesced_fraction=coal,
+            spatial_locality=0.8,
+            footprint_bytes=footprint,
+            loop_iterations_per_thread=loop_iters,
+            uses_driver_unroll=True,
+            unroll_factor=self.unroll_of(config),
+            barriers_per_workgroup=2.0 * (int(local_left) + int(local_right)),
+            wg_footprint_bytes=(2 * tile_w + D) * tile_h * 4.0,
+        )
+
+    # -- functional implementation -------------------------------------------
+
+    def make_inputs(self, rng: np.random.Generator) -> dict:
+        p = self.problem
+        right = rng.integers(0, 256, size=(p.image, p.image), dtype=np.int64)
+        # Build the left image as the right image shifted by a spatially
+        # varying true disparity, so the benchmark output is meaningful.
+        shift = rng.integers(0, p.disparities, size=(p.image,))
+        left = np.empty_like(right)
+        for row in range(p.image):
+            d = int(shift[row])
+            left[row] = np.roll(right[row], d)
+        return {"left": left, "right": right}
+
+    @staticmethod
+    def _sad_map(left: np.ndarray, right: np.ndarray, d: int, w: int) -> np.ndarray:
+        """SAD of the w x w window at every pixel for one disparity ``d``.
+
+        Window anchored at the pixel (extending down-right); out-of-range
+        columns of the shifted right image clamp to the edge, mirroring
+        CLK_ADDRESS_CLAMP_TO_EDGE.  Integer arithmetic -> every evaluation
+        order gives identical results.
+        """
+        n = left.shape[0]
+        cols = np.clip(np.arange(n) - d, 0, n - 1)
+        shifted = right[:, cols]
+        diff = np.abs(left - shifted)
+        # Box sum via padded cumsum (exact in int64).
+        c = np.cumsum(np.cumsum(diff, axis=0), axis=1)
+        c = np.pad(c, ((1, 0), (1, 0)))
+        y = np.arange(n - w + 1)
+        x = np.arange(n - w + 1)
+        total = (
+            c[np.ix_(y + w, x + w)]
+            - c[np.ix_(y, x + w)]
+            - c[np.ix_(y + w, x)]
+            + c[np.ix_(y, x)]
+        )
+        # Pixels whose window would leave the image keep the border SAD.
+        out = np.empty_like(diff)
+        out[: n - w + 1, : n - w + 1] = total
+        out[n - w + 1 :, :] = out[n - w, :][None, :]
+        out[:, n - w + 1 :] = out[:, n - w][:, None]
+        return out
+
+    def reference(self, inputs: dict) -> np.ndarray:
+        """Winner-takes-all disparity map (lowest disparity wins ties)."""
+        p = self.problem
+        best_sad = None
+        best_d = None
+        for d in range(p.disparities):
+            sad = self._sad_map(inputs["left"], inputs["right"], d, p.window)
+            if best_sad is None:
+                best_sad = sad.copy()
+                best_d = np.zeros_like(sad, dtype=np.int64)
+            else:
+                better = sad < best_sad
+                best_sad[better] = sad[better]
+                best_d[better] = d
+        return best_d
+
+    def run(self, config: Mapping, inputs: dict) -> np.ndarray:
+        """Config path: block the image by work-group tiles and chunk the
+        disparity loop by ``unroll_disp``.  Integer SADs make every loop
+        structure exact, so the argmin (ties to the lowest d, as in the
+        reference's strict ``<`` update) is identical."""
+        p = self.problem
+        out = np.empty((p.image, p.image), dtype=np.int64)
+        block_w = config["wg_x"] * config["ppt_x"]
+        block_h = config["wg_y"] * config["ppt_y"]
+        fd = int(config["unroll_disp"])
+
+        best_sad = np.full((p.image, p.image), np.iinfo(np.int64).max, dtype=np.int64)
+        best_d = np.zeros((p.image, p.image), dtype=np.int64)
+        d = 0
+        while d < p.disparities:
+            chunk = min(fd, p.disparities - d)
+            for k in range(chunk):
+                sad = self._sad_map(inputs["left"], inputs["right"], d + k, p.window)
+                better = sad < best_sad
+                best_sad[better] = sad[better]
+                best_d[better] = d + k
+            d += chunk
+
+        # The blocking only partitions which thread owns which pixel; copy
+        # out tile by tile to exercise the same traversal the kernel uses.
+        for y0 in range(0, p.image, block_h):
+            y1 = min(y0 + block_h, p.image)
+            for x0 in range(0, p.image, block_w):
+                x1 = min(x0 + block_w, p.image)
+                out[y0:y1, x0:x1] = best_d[y0:y1, x0:x1]
+        return out

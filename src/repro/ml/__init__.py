@@ -1,0 +1,62 @@
+"""From-scratch machine-learning stack (NumPy only).
+
+The paper's model is a bagged ensemble (k = 11) of single-hidden-layer
+artificial neural networks (30 sigmoid neurons) regressing the *logarithm*
+of execution time — :class:`~repro.ml.mlp.MLPRegressor` wrapped in
+:class:`~repro.ml.bagging.BaggedRegressor`.  Everything is implemented on
+plain NumPy (the environment has no scikit-learn; the original authors also
+rolled their own) with gradient-checked backpropagation.
+
+Baseline regressors reproduce the related-work comparison angle:
+boosted regression trees (Bergstra et al. [29]), a single regression tree
+(Starchart [30]), random forests, k-nearest-neighbours and ridge
+regression — all sharing the same ``fit(X, y)`` / ``predict(X)`` protocol.
+"""
+
+from repro.ml.activations import ACTIVATIONS, Identity, ReLU, Sigmoid, Tanh
+from repro.ml.bagging import BaggedRegressor
+from repro.ml.boosting import GradientBoostedTrees
+from repro.ml.ensemble import EnsembleMLPRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.knn import KNNRegressor
+from repro.ml.linear import RidgeRegression
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_relative_error,
+    mean_squared_error,
+    r2_score,
+)
+from repro.ml.mlp import MLPRegressor
+from repro.ml.model_selection import (
+    cross_val_score,
+    k_fold_indices,
+    learning_curve,
+    train_test_split,
+)
+from repro.ml.scaling import StandardScaler
+from repro.ml.tree import RegressionTree
+
+__all__ = [
+    "ACTIVATIONS",
+    "Sigmoid",
+    "Tanh",
+    "ReLU",
+    "Identity",
+    "MLPRegressor",
+    "EnsembleMLPRegressor",
+    "BaggedRegressor",
+    "train_test_split",
+    "k_fold_indices",
+    "cross_val_score",
+    "learning_curve",
+    "StandardScaler",
+    "RegressionTree",
+    "RandomForestRegressor",
+    "GradientBoostedTrees",
+    "KNNRegressor",
+    "RidgeRegression",
+    "mean_relative_error",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+]

@@ -1,0 +1,83 @@
+"""Activation functions with derivatives (in terms of the activation value).
+
+The paper uses sigmoid hidden units (§5.2); the others are provided for the
+hidden-width/activation ablations.  Each activation exposes
+
+* ``value(z)`` — elementwise activation of pre-activations ``z``;
+* ``derivative(a)`` — elementwise derivative expressed as a function of the
+  *activation output* ``a`` (cheaper during backprop: no need to keep ``z``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Sigmoid:
+    """Logistic sigmoid, the paper's hidden activation."""
+
+    name = "sigmoid"
+
+    @staticmethod
+    def value(z: np.ndarray) -> np.ndarray:
+        # Clipping to +-40 keeps exp() in range without changing the value
+        # (sigmoid is fully saturated there) and stays branch-free — this
+        # runs on (k, n, h) tensors every training epoch.
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -40.0, 40.0)))
+
+    @staticmethod
+    def derivative(a: np.ndarray) -> np.ndarray:
+        return a * (1.0 - a)
+
+
+class Tanh:
+    name = "tanh"
+
+    @staticmethod
+    def value(z: np.ndarray) -> np.ndarray:
+        return np.tanh(z)
+
+    @staticmethod
+    def derivative(a: np.ndarray) -> np.ndarray:
+        return 1.0 - a * a
+
+
+class ReLU:
+    name = "relu"
+
+    @staticmethod
+    def value(z: np.ndarray) -> np.ndarray:
+        return np.maximum(z, 0.0)
+
+    @staticmethod
+    def derivative(a: np.ndarray) -> np.ndarray:
+        return (a > 0.0).astype(a.dtype)
+
+
+class Identity:
+    """Linear output units (regression head)."""
+
+    name = "identity"
+
+    @staticmethod
+    def value(z: np.ndarray) -> np.ndarray:
+        return z
+
+    @staticmethod
+    def derivative(a: np.ndarray) -> np.ndarray:
+        return np.ones_like(a)
+
+
+ACTIVATIONS = {cls.name: cls for cls in (Sigmoid, Tanh, ReLU, Identity)}
+
+
+def get_activation(name_or_cls):
+    """Resolve an activation by name or pass a class through."""
+    if isinstance(name_or_cls, str):
+        try:
+            return ACTIVATIONS[name_or_cls]
+        except KeyError:
+            raise KeyError(
+                f"unknown activation {name_or_cls!r}; known: {sorted(ACTIVATIONS)}"
+            ) from None
+    return name_or_cls

@@ -1,0 +1,58 @@
+"""Random-forest regressor: bootstrap-sampled trees with feature
+subsampling (the model family of the paper's ref. [27])."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.tree import RegressionTree
+
+
+class RandomForestRegressor:
+    """Mean of ``n_trees`` CART trees, each on a bootstrap resample with
+    sqrt-feature splits."""
+
+    def __init__(
+        self,
+        n_trees: int = 50,
+        max_depth: int = 14,
+        min_samples_leaf: int = 2,
+        max_features="sqrt",
+        seed: Optional[int] = None,
+    ):
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: list[RegressionTree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"bad shapes X{X.shape} y{y.shape}")
+        rng = np.random.default_rng(self.seed)
+        n = X.shape[0]
+        self.trees_ = []
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=rng,
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("predict() before fit()")
+        preds = np.stack([t.predict(X) for t in self.trees_], axis=0)
+        return preds.mean(axis=0)

@@ -1,0 +1,60 @@
+"""k-nearest-neighbours regression baseline.
+
+Magni et al. (the paper's ref. [26]) use nearest-neighbour prediction for
+a related tuning problem; it serves here as the local/non-parametric point
+in the model-family ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KNNRegressor:
+    """Mean (optionally inverse-distance-weighted) of the k nearest
+    training points under the Euclidean metric.
+
+    Brute-force distances — training sets in this problem are a few
+    thousand points with ~10 features, where vectorized brute force beats
+    tree indices.
+    """
+
+    def __init__(self, k: int = 5, weighted: bool = False):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.weighted = weighted
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNNRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError(f"bad shapes X{X.shape} y{y.shape}")
+        if X.shape[0] < self.k:
+            raise ValueError(f"need at least k={self.k} samples")
+        self._X = X
+        self._y = y
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None:
+            raise RuntimeError("predict() before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0])
+        # Chunked to bound the distance-matrix working set.
+        chunk = max(1, int(2**22 // max(1, self._X.shape[0])))
+        for start in range(0, X.shape[0], chunk):
+            q = X[start : start + chunk]
+            d2 = ((q[:, None, :] - self._X[None, :, :]) ** 2).sum(axis=2)
+            nn = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
+            rows = np.arange(q.shape[0])[:, None]
+            if self.weighted:
+                w = 1.0 / (np.sqrt(d2[rows, nn]) + 1e-12)
+                out[start : start + chunk] = (w * self._y[nn]).sum(axis=1) / w.sum(
+                    axis=1
+                )
+            else:
+                out[start : start + chunk] = self._y[nn].mean(axis=1)
+        return out

@@ -1,0 +1,52 @@
+"""Dense (fully connected) layer with explicit forward/backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.activations import get_activation
+
+
+class Dense:
+    """``a = act(x @ W + b)`` with cached forward state for backprop.
+
+    Weights use scaled-uniform (Glorot-style) initialization, appropriate
+    for the sigmoid units the paper's network is built from.
+    """
+
+    def __init__(self, n_in: int, n_out: int, activation, rng: np.random.Generator):
+        if n_in < 1 or n_out < 1:
+            raise ValueError("layer dimensions must be >= 1")
+        self.activation = get_activation(activation)
+        limit = np.sqrt(6.0 / (n_in + n_out))
+        self.W = rng.uniform(-limit, limit, size=(n_in, n_out))
+        self.b = np.zeros(n_out)
+        self._x: np.ndarray | None = None
+        self._a: np.ndarray | None = None
+        self.grad_W = np.zeros_like(self.W)
+        self.grad_b = np.zeros_like(self.b)
+
+    @property
+    def params(self):
+        return [self.W, self.b]
+
+    @property
+    def grads(self):
+        return [self.grad_W, self.grad_b]
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        a = self.activation.value(x @ self.W + self.b)
+        if train:
+            self._x = x
+            self._a = a
+        return a
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Given d loss / d a, accumulate weight grads and return
+        d loss / d x.  Must follow a ``forward(..., train=True)``."""
+        if self._x is None:
+            raise RuntimeError("backward() without a training forward pass")
+        delta = grad_out * self.activation.derivative(self._a)
+        self.grad_W[...] = self._x.T @ delta
+        self.grad_b[...] = delta.sum(axis=0)
+        return delta @ self.W.T

@@ -1,0 +1,44 @@
+"""Ridge regression baseline (closed form)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RidgeRegression:
+    """L2-regularized linear least squares, solved by normal equations.
+
+    The weakest sensible baseline for the model-family ablation: the
+    tuning-parameter -> log-time surface is strongly non-additive, so a
+    linear model documents how much of the paper's accuracy comes from the
+    network's ability to model interactions.
+    """
+
+    def __init__(self, alpha: float = 1e-3):
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = alpha
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError(f"bad shapes X{X.shape} y{y.shape}")
+        # Centre so the intercept is not penalized.
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        Xc = X - x_mean
+        yc = y - y_mean
+        n_features = X.shape[1]
+        A = Xc.T @ Xc + self.alpha * np.eye(n_features)
+        b = Xc.T @ yc
+        self.coef_ = np.linalg.solve(A, b)
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("predict() before fit()")
+        return np.asarray(X, dtype=np.float64) @ self.coef_ + self.intercept_

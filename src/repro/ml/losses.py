@@ -1,0 +1,53 @@
+"""Training losses.
+
+The paper minimizes mean squared error on the *log* of execution time so
+that absolute error in log space equals relative error in time space
+(§5.2).  The log transform itself lives in the auto-tuner's model wrapper
+(:mod:`repro.core.model`); here the loss is a plain MSE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MSELoss:
+    """Mean squared error, averaged over samples and outputs."""
+
+    name = "mse"
+
+    @staticmethod
+    def value(pred: np.ndarray, target: np.ndarray) -> float:
+        d = pred - target
+        return float(np.mean(d * d))
+
+    @staticmethod
+    def gradient(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """d loss / d pred (same shape as ``pred``)."""
+        return 2.0 * (pred - target) / pred.size
+
+
+class HuberLoss:
+    """Huber loss: quadratic near zero, linear in the tails.
+
+    Robust alternative used by the invalid-handling ablation, where a few
+    penalized targets would otherwise dominate an MSE fit.
+    """
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = delta
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        d = pred - target
+        a = np.abs(d)
+        quad = 0.5 * d * d
+        lin = self.delta * (a - 0.5 * self.delta)
+        return float(np.mean(np.where(a <= self.delta, quad, lin)))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        d = pred - target
+        return np.clip(d, -self.delta, self.delta) / pred.size

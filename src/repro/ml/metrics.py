@@ -1,0 +1,50 @@
+"""Regression metrics.
+
+``mean_relative_error`` is the paper's headline accuracy number ("mean
+relative error as low as 6.1%"): the mean of |pred - actual| / actual over
+held-out configurations, computed in *time* space (after undoing the log
+transform).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check(pred, actual):
+    pred = np.asarray(pred, dtype=np.float64).ravel()
+    actual = np.asarray(actual, dtype=np.float64).ravel()
+    if pred.shape != actual.shape:
+        raise ValueError(f"shape mismatch {pred.shape} vs {actual.shape}")
+    if pred.size == 0:
+        raise ValueError("empty inputs")
+    return pred, actual
+
+
+def mean_relative_error(pred, actual) -> float:
+    """Mean of |pred - actual| / actual.  Requires positive actuals."""
+    pred, actual = _check(pred, actual)
+    if np.any(actual <= 0):
+        raise ValueError("mean_relative_error requires positive actual values")
+    return float(np.mean(np.abs(pred - actual) / actual))
+
+
+def mean_squared_error(pred, actual) -> float:
+    pred, actual = _check(pred, actual)
+    d = pred - actual
+    return float(np.mean(d * d))
+
+
+def mean_absolute_error(pred, actual) -> float:
+    pred, actual = _check(pred, actual)
+    return float(np.mean(np.abs(pred - actual)))
+
+
+def r2_score(pred, actual) -> float:
+    """Coefficient of determination (1 = perfect, 0 = predict-the-mean)."""
+    pred, actual = _check(pred, actual)
+    ss_res = np.sum((actual - pred) ** 2)
+    ss_tot = np.sum((actual - actual.mean()) ** 2)
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return float(1.0 - ss_res / ss_tot)

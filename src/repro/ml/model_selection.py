@@ -1,0 +1,111 @@
+"""Data-splitting and evaluation utilities.
+
+Small, dependency-free equivalents of the scikit-learn helpers the
+experiments and ablations need: deterministic train/test splits, k-fold
+index generation (the same fold semantics the bagging ensemble uses), and
+learning curves (the machinery behind Figs. 4-7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split into (X_train, y_train, X_test, y_test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y must align")
+    n = X.shape[0]
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError("not enough samples to split")
+    rng = rng if rng is not None else np.random.default_rng()
+    order = rng.permutation(n)
+    test, train = order[:n_test], order[n_test:]
+    return X[train], y[train], X[test], y[test]
+
+
+def k_fold_indices(
+    n: int, k: int, rng: Optional[np.random.Generator] = None
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, val_idx) pairs for k random folds.
+
+    Fold assignment matches the bagging ensemble's (`permutation % k`), so
+    cross-validation results relate directly to the ensemble's members.
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if n < k:
+        raise ValueError(f"need at least k={k} samples, got {n}")
+    rng = rng if rng is not None else np.random.default_rng()
+    fold = rng.permutation(n) % k
+    for i in range(k):
+        val = np.nonzero(fold == i)[0]
+        train = np.nonzero(fold != i)[0]
+        yield train, val
+
+
+def cross_val_score(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    k: int = 5,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """k-fold cross-validated metric values (one per fold)."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train, val in k_fold_indices(X.shape[0], k, rng):
+        model = model_factory()
+        model.fit(X[train], y[train])
+        scores.append(metric(model.predict(X[val]), y[val]))
+    return np.asarray(scores)
+
+
+def learning_curve(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    sizes: Sequence[int],
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    holdout: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[int, float]:
+    """Metric on a fixed holdout vs training-prefix size (Figs. 4-7 shape).
+
+    The last ``holdout`` samples (after one shuffle) form the evaluation
+    set; each size trains a fresh model on a prefix of the rest.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    n = X.shape[0]
+    if holdout < 1 or holdout >= n:
+        raise ValueError("holdout must be in [1, n)")
+    if max(sizes) > n - holdout:
+        raise ValueError(
+            f"largest size {max(sizes)} exceeds available {n - holdout}"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    order = rng.permutation(n)
+    hold = order[-holdout:]
+    pool = order[:-holdout]
+    out: Dict[int, float] = {}
+    for size in sizes:
+        model = model_factory()
+        take = pool[:size]
+        model.fit(X[take], y[take])
+        out[int(size)] = float(metric(model.predict(X[hold]), y[hold]))
+    return out

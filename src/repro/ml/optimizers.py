@@ -1,0 +1,127 @@
+"""Gradient-descent optimizers for the MLP trainer.
+
+All optimizers share one interface: ``step(params, grads)`` updates each
+parameter array *in place* given the gradient list (same order every call).
+Adam is the default — on these small, full-batch problems it converges an
+order of magnitude faster than plain SGD and needs no learning-rate tuning
+per benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class SGD:
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, lr: float = 0.05, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: List[np.ndarray] | None = None
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class Adam:
+    """Adam (Kingma & Ba): bias-corrected adaptive moments."""
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: List[np.ndarray] | None = None
+        self._v: List[np.ndarray] | None = None
+        self._t = 0
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        c1 = 1.0 - b1**self._t
+        c2 = 1.0 - b2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * g * g
+            p -= self.lr * (m / c1) / (np.sqrt(v / c2) + self.eps)
+
+
+class RProp:
+    """Resilient backpropagation (Riedmiller & Braun).
+
+    The classic full-batch trainer for small networks: per-weight step
+    sizes grown/shrunk on gradient sign agreement.  Only meaningful with
+    full-batch gradients.
+    """
+
+    def __init__(
+        self,
+        eta_plus: float = 1.2,
+        eta_minus: float = 0.5,
+        step_init: float = 0.01,
+        step_min: float = 1e-7,
+        step_max: float = 1.0,
+    ):
+        self.eta_plus = eta_plus
+        self.eta_minus = eta_minus
+        self.step_init = step_init
+        self.step_min = step_min
+        self.step_max = step_max
+        self._steps: List[np.ndarray] | None = None
+        self._prev: List[np.ndarray] | None = None
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        if self._steps is None:
+            self._steps = [np.full_like(p, self.step_init) for p in params]
+            self._prev = [np.zeros_like(p) for p in params]
+        for p, g, s, pg in zip(params, grads, self._steps, self._prev):
+            sign = np.sign(g * pg)
+            s[sign > 0] = np.minimum(s[sign > 0] * self.eta_plus, self.step_max)
+            s[sign < 0] = np.maximum(s[sign < 0] * self.eta_minus, self.step_min)
+            g_eff = np.where(sign < 0, 0.0, g)  # skip update after sign flip
+            p -= np.sign(g_eff) * s
+            pg[...] = g_eff
+
+
+OPTIMIZERS = {"sgd": SGD, "adam": Adam, "rprop": RProp}
+
+
+def make_optimizer(spec) -> object:
+    """Build an optimizer from a name, a (name, kwargs) pair, or pass an
+    instance through."""
+    if isinstance(spec, str):
+        try:
+            return OPTIMIZERS[spec]()
+        except KeyError:
+            raise KeyError(
+                f"unknown optimizer {spec!r}; known: {sorted(OPTIMIZERS)}"
+            ) from None
+    if isinstance(spec, tuple):
+        name, kwargs = spec
+        return OPTIMIZERS[name](**kwargs)
+    return spec

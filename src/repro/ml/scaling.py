@@ -1,0 +1,36 @@
+"""Feature/target standardization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling, constant columns left at zero."""
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # A constant column carries no information; dividing by ~0 would
+        # explode it instead of silencing it.
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("transform() before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Xs: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("inverse_transform() before fit()")
+        return np.asarray(Xs, dtype=np.float64) * self.scale_ + self.mean_

@@ -1,0 +1,178 @@
+"""CART regression tree (variance-reduction splits).
+
+Starchart (the paper's ref. [30]) builds auto-tuners from recursive
+partitioning regression trees; this is that model for the model-family
+ablation, and the weak learner inside the forest and boosting ensembles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """Internal (feature/threshold set) or leaf (value set) node."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """Binary regression tree, greedy variance-reduction splitting.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (root = depth 0).
+    min_samples_leaf:
+        A split is rejected if either side would fall below this.
+    max_features:
+        Features considered per split: ``None`` = all, an int, or
+        ``"sqrt"`` (what random forests pass in).
+    rng:
+        Only used when ``max_features`` restricts the candidate set.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features=None,
+        rng: np.random.Generator | None = None,
+    ):
+        if max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._root: _Node | None = None
+
+    # -- fitting ------------------------------------------------------------
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(n_features)
+        if self.max_features == "sqrt":
+            m = max(1, int(np.sqrt(n_features)))
+        else:
+            m = min(int(self.max_features), n_features)
+        return self.rng.choice(n_features, size=m, replace=False)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray):
+        """Exhaustive scan: O(features * n log n) via sorted prefix sums."""
+        n = y.shape[0]
+        best_gain, best_feat, best_thr = 0.0, -1, 0.0
+        total_sum = y.sum()
+        total_sq = (y * y).sum()
+        parent_sse = total_sq - total_sum * total_sum / n
+        for f in self._candidate_features(X.shape[1]):
+            order = np.argsort(X[:, f], kind="stable")
+            xs = X[order, f]
+            ysorted = y[order]
+            csum = np.cumsum(ysorted)
+            csq = np.cumsum(ysorted * ysorted)
+            # Split after position i (left = [0..i]); only where x changes.
+            i = np.arange(self.min_samples_leaf - 1, n - self.min_samples_leaf)
+            valid = xs[i] < xs[i + 1]
+            if not np.any(valid):
+                continue
+            i = i[valid]
+            nl = i + 1.0
+            nr = n - nl
+            left_sse = csq[i] - csum[i] ** 2 / nl
+            right_sum = total_sum - csum[i]
+            right_sse = (total_sq - csq[i]) - right_sum**2 / nr
+            gain = parent_sse - (left_sse + right_sse)
+            j = int(np.argmax(gain))
+            if gain[j] > best_gain + 1e-12:
+                best_gain = float(gain[j])
+                best_feat = int(f)
+                best_thr = float(0.5 * (xs[i[j]] + xs[i[j] + 1]))
+        return best_feat, best_thr, best_gain
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if (
+            depth >= self.max_depth
+            or y.shape[0] < 2 * self.min_samples_leaf
+            or np.all(y == y[0])
+        ):
+            return node
+        feat, thr, gain = self._best_split(X, y)
+        if feat < 0 or gain <= 0.0:
+            return node
+        mask = X[:, feat] <= thr
+        node.feature = feat
+        node.threshold = thr
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ValueError(f"bad shapes X{X.shape} y{y.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("empty training set")
+        self._root = self._grow(X, y, 0)
+        return self
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("predict() before fit()")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0])
+        # Iterative vectorized descent: route index groups down the tree.
+        stack = [(self._root, np.arange(X.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.value
+                continue
+            mask = X[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def d(node):
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(d(node.left), d(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree not fitted")
+        return d(self._root)
+
+    @property
+    def n_leaves(self) -> int:
+        def count(node):
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+
+        if self._root is None:
+            raise RuntimeError("tree not fitted")
+        return count(self._root)

@@ -1,0 +1,30 @@
+"""Tuning-parameter abstractions.
+
+A benchmark exposes a set of named tuning parameters (work-group shape,
+memory-space switches, unroll factors, ...).  The cartesian product of their
+value lists forms the *parameter space*; every point in that space is a
+*configuration*, i.e. one candidate implementation of the kernel.
+
+The paper's auto-tuner treats the space purely combinatorially: it needs to
+enumerate it, index into it, sample random subsets of it, and know its size.
+:class:`ParameterSpace` provides exactly that, with a mixed-radix bijection
+between flat indices and configurations so that even the 2.36M-point stereo
+space can be addressed without materializing it.
+"""
+
+from repro.params.parameter import (
+    Parameter,
+    boolean,
+    choice,
+    pow2,
+)
+from repro.params.space import Configuration, ParameterSpace
+
+__all__ = [
+    "Parameter",
+    "boolean",
+    "choice",
+    "pow2",
+    "Configuration",
+    "ParameterSpace",
+]

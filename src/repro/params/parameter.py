@@ -1,0 +1,125 @@
+"""A single tuning parameter: a name plus an ordered list of legal values.
+
+The paper's parameters (Table 2) come in three flavours, and the flavour
+matters to the ML feature encoding (see :mod:`repro.core.encoding`):
+
+* power-of-two ranges such as work-group sizes ``1..128`` and unroll factors
+  ``1..16`` — encoded as ``log2(value)`` so the network sees a linear axis;
+* booleans such as "use local memory" — encoded as 0/1;
+* general categorical choices — one-hot encoded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+#: Encoding kinds understood by :mod:`repro.core.encoding`.
+KIND_POW2 = "pow2"
+KIND_BOOL = "bool"
+KIND_CHOICE = "choice"
+
+_VALID_KINDS = (KIND_POW2, KIND_BOOL, KIND_CHOICE)
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """An ordered, finite set of values for one tuning knob.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in configurations, e.g. ``"wg_x"``.
+    values:
+        The legal values, in a stable order.  Order defines the digit
+        meaning in the space's mixed-radix index.
+    kind:
+        One of ``"pow2"``, ``"bool"`` or ``"choice"``; drives feature
+        encoding and pretty-printing.
+    description:
+        Human-readable description (Table 2 wording).
+    """
+
+    name: str
+    values: tuple
+    kind: str = KIND_CHOICE
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("parameter name must be non-empty")
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+        if len(self.values) == 0:
+            raise ValueError(f"parameter {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"parameter {self.name!r} has duplicate values")
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(
+                f"parameter {self.name!r}: unknown kind {self.kind!r}, "
+                f"expected one of {_VALID_KINDS}"
+            )
+        if self.kind == KIND_POW2:
+            for v in self.values:
+                if not isinstance(v, int) or v < 1 or (v & (v - 1)) != 0:
+                    raise ValueError(
+                        f"parameter {self.name!r}: pow2 values must be "
+                        f"positive powers of two, got {v!r}"
+                    )
+        if self.kind == KIND_BOOL:
+            if tuple(self.values) not in ((0, 1), (1, 0), (False, True), (True, False)):
+                raise ValueError(
+                    f"parameter {self.name!r}: bool values must be 0/1, "
+                    f"got {self.values!r}"
+                )
+
+    @property
+    def cardinality(self) -> int:
+        """Number of legal values."""
+        return len(self.values)
+
+    def index_of(self, value) -> int:
+        """Digit (position in :attr:`values`) of ``value``.
+
+        Raises
+        ------
+        ValueError
+            If ``value`` is not a legal value of this parameter.
+        """
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"{value!r} is not a legal value of parameter {self.name!r} "
+                f"(legal: {self.values})"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def pow2(name: str, lo: int, hi: int, description: str = "") -> Parameter:
+    """Power-of-two parameter covering ``lo, 2*lo, ..., hi`` inclusive.
+
+    >>> pow2("wg_x", 1, 128).values
+    (1, 2, 4, 8, 16, 32, 64, 128)
+    """
+    if lo < 1 or (lo & (lo - 1)) != 0 or (hi & (hi - 1)) != 0 or hi < lo:
+        raise ValueError(f"bad pow2 range [{lo}, {hi}]")
+    values = []
+    v = lo
+    while v <= hi:
+        values.append(v)
+        v *= 2
+    return Parameter(name, tuple(values), kind=KIND_POW2, description=description)
+
+
+def boolean(name: str, description: str = "") -> Parameter:
+    """On/off optimization switch, values ``(0, 1)``."""
+    return Parameter(name, (0, 1), kind=KIND_BOOL, description=description)
+
+
+def choice(name: str, values: Sequence, description: str = "") -> Parameter:
+    """General categorical parameter with explicit values."""
+    return Parameter(name, tuple(values), kind=KIND_CHOICE, description=description)

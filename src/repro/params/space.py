@@ -1,0 +1,293 @@
+"""Parameter spaces: the cartesian product of a benchmark's parameters.
+
+The space is addressed through a mixed-radix bijection: the flat index of a
+configuration is its digit vector (one digit per parameter, most significant
+first) interpreted in the mixed radix given by the parameter cardinalities.
+This keeps the 131K/655K/2.36M-point spaces of the paper addressable in O(1)
+memory — crucial because stage one of the auto-tuner samples the space at
+random and the prediction stage sweeps all of it in batches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.params.parameter import Parameter
+
+
+class Configuration(Mapping):
+    """One point of a :class:`ParameterSpace`: an immutable name→value map.
+
+    Behaves as a read-only mapping and hashes on its items, so configurations
+    can key measurement caches.  ``config.index`` is its flat index in the
+    owning space.
+    """
+
+    __slots__ = ("_space", "_index", "_values")
+
+    def __init__(self, space: "ParameterSpace", index: int, values: Dict[str, object]):
+        self._space = space
+        self._index = int(index)
+        self._values = values
+
+    @property
+    def space(self) -> "ParameterSpace":
+        return self._space
+
+    @property
+    def index(self) -> int:
+        """Flat index of this configuration in its space."""
+        return self._index
+
+    def as_tuple(self) -> tuple:
+        """Values in parameter order (the paper's ``(0,1,2,0)`` notation)."""
+        return tuple(self._values[p.name] for p in self._space.parameters)
+
+    def __getitem__(self, name: str):
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __hash__(self) -> int:
+        return hash((id(self._space), self._index))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Configuration):
+            return self._space is other._space and self._index == other._index
+        if isinstance(other, Mapping):
+            return dict(self._values) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self._values.items())
+        return f"Configuration(#{self._index}: {inner})"
+
+
+class ParameterSpace:
+    """Cartesian product of :class:`Parameter` objects with O(1) indexing.
+
+    Parameters are significant left-to-right: the first parameter is the most
+    significant digit of the flat index.
+    """
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        parameters = tuple(parameters)
+        if not parameters:
+            raise ValueError("parameter space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names: {names}")
+        self._parameters = parameters
+        self._by_name = {p.name: p for p in parameters}
+        # Mixed-radix place values, most significant first.
+        radices = [p.cardinality for p in parameters]
+        place = 1
+        places: List[int] = [0] * len(radices)
+        for i in range(len(radices) - 1, -1, -1):
+            places[i] = place
+            place *= radices[i]
+        self._places = tuple(places)
+        self._size = place
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def parameters(self) -> tuple:
+        return self._parameters
+
+    @property
+    def names(self) -> tuple:
+        return tuple(p.name for p in self._parameters)
+
+    def parameter(self, name: str) -> Parameter:
+        """Look a parameter up by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no parameter {name!r}; have {list(self._by_name)}"
+            ) from None
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def size(self) -> int:
+        """Number of configurations (product of cardinalities)."""
+        return self._size
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:
+        dims = " x ".join(str(p.cardinality) for p in self._parameters)
+        return f"ParameterSpace({len(self._parameters)} params, {dims} = {self._size})"
+
+    # -- index <-> configuration bijection ---------------------------------
+
+    def digits_of(self, index: int) -> tuple:
+        """Mixed-radix digit vector of a flat index."""
+        index = int(index)
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range [0, {self._size})")
+        digits = []
+        for p, place in zip(self._parameters, self._places):
+            d, index = divmod(index, place)
+            digits.append(d)
+        return tuple(digits)
+
+    def index_of_digits(self, digits: Sequence[int]) -> int:
+        """Flat index of a mixed-radix digit vector."""
+        if len(digits) != len(self._parameters):
+            raise ValueError(
+                f"expected {len(self._parameters)} digits, got {len(digits)}"
+            )
+        index = 0
+        for d, p, place in zip(digits, self._parameters, self._places):
+            d = int(d)
+            if not 0 <= d < p.cardinality:
+                raise ValueError(
+                    f"digit {d} out of range for parameter {p.name!r} "
+                    f"(cardinality {p.cardinality})"
+                )
+            index += d * place
+        return index
+
+    def __getitem__(self, index: int) -> Configuration:
+        digits = self.digits_of(index)
+        values = {
+            p.name: p.values[d] for p, d in zip(self._parameters, digits)
+        }
+        return Configuration(self, index, values)
+
+    def config(self, **values) -> Configuration:
+        """Build a configuration from explicit parameter values.
+
+        All parameters must be given; values must be legal.
+        """
+        missing = set(self.names) - set(values)
+        extra = set(values) - set(self.names)
+        if missing or extra:
+            raise ValueError(
+                f"bad parameter names: missing={sorted(missing)}, "
+                f"unknown={sorted(extra)}"
+            )
+        digits = [self._by_name[n].index_of(values[n]) for n in self.names]
+        index = self.index_of_digits(digits)
+        ordered = {n: values[n] for n in self.names}
+        return Configuration(self, index, ordered)
+
+    def index_of(self, values: Mapping) -> int:
+        """Flat index of a name→value mapping."""
+        if isinstance(values, Configuration) and values.space is self:
+            return values.index
+        return self.config(**dict(values)).index
+
+    # -- iteration & sampling ----------------------------------------------
+
+    def __iter__(self) -> Iterator[Configuration]:
+        for i in range(self._size):
+            yield self[i]
+
+    def iter_indices(self) -> Iterator[int]:
+        return iter(range(self._size))
+
+    def sample_indices(
+        self, n: int, rng: np.random.Generator, replace: bool = False
+    ) -> np.ndarray:
+        """Sample ``n`` flat indices uniformly at random.
+
+        Sampling is without replacement by default (the paper trains on a
+        random *subset* of the space).  For spaces much larger than ``n`` a
+        rejection loop avoids materializing ``arange(size)``.
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        if not replace and n > self._size:
+            raise ValueError(
+                f"cannot sample {n} without replacement from {self._size}"
+            )
+        if replace:
+            return rng.integers(0, self._size, size=n)
+        if self._size <= 4 * n or self._size <= 1 << 16:
+            return rng.permutation(self._size)[:n]
+        seen: set = set()
+        out = np.empty(n, dtype=np.int64)
+        filled = 0
+        while filled < n:
+            batch = rng.integers(0, self._size, size=n - filled)
+            for idx in batch:
+                idx = int(idx)
+                if idx not in seen:
+                    seen.add(idx)
+                    out[filled] = idx
+                    filled += 1
+                    if filled == n:
+                        break
+        return out
+
+    def sample(
+        self, n: int, rng: np.random.Generator, replace: bool = False
+    ) -> List[Configuration]:
+        """Sample ``n`` random configurations."""
+        return [self[int(i)] for i in self.sample_indices(n, rng, replace=replace)]
+
+    def indices_with(self, **fixed) -> np.ndarray:
+        """Flat indices of every configuration matching the pinned values.
+
+        The free parameters sweep their full ranges; pinned ones are held
+        at the given values.  Computed arithmetically (no enumeration of
+        the full space), so slicing the 2.36M-point stereo space by one
+        switch is instant.
+
+        >>> space.indices_with(use_local=1).size == space.size // 2
+        """
+        if not fixed:
+            return np.arange(self._size, dtype=np.int64)
+        unknown = set(fixed) - set(self.names)
+        if unknown:
+            raise ValueError(f"unknown parameters: {sorted(unknown)}")
+        out = np.zeros(1, dtype=np.int64)
+        for p, place in zip(self._parameters, self._places):
+            if p.name in fixed:
+                digits = np.array([p.index_of(fixed[p.name])], dtype=np.int64)
+            else:
+                digits = np.arange(p.cardinality, dtype=np.int64)
+            out = (out[:, None] + digits[None, :] * place).ravel()
+        return out
+
+    # -- vectorized views ---------------------------------------------------
+
+    def digits_matrix(self, indices: Sequence[int]) -> np.ndarray:
+        """Digit vectors of many indices as an ``(n, n_params)`` int array.
+
+        Vectorized mixed-radix decomposition; used by the bulk feature
+        encoder when predicting the whole space.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self._size):
+            raise IndexError("index out of range")
+        out = np.empty((idx.shape[0], len(self._parameters)), dtype=np.int64)
+        rem = idx.copy()
+        for j, place in enumerate(self._places):
+            out[:, j], rem = np.divmod(rem, place)
+        return out
+
+    def values_matrix(self, indices: Sequence[int]) -> np.ndarray:
+        """Parameter *values* of many indices as an ``(n, n_params)`` array.
+
+        Only valid when every parameter has numeric values (true for all
+        benchmarks in the paper).
+        """
+        digits = self.digits_matrix(indices)
+        out = np.empty(digits.shape, dtype=np.float64)
+        for j, p in enumerate(self._parameters):
+            lut = np.asarray(p.values, dtype=np.float64)
+            out[:, j] = lut[digits[:, j]]
+        return out

@@ -1,0 +1,21 @@
+"""OpenCL-flavoured runtime facade over the performance simulator.
+
+Stands in for pyopencl: same object life-cycle (platform → device → context
+→ program → kernel → event), same failure surfaces (build vs. launch), and
+wall-clock cost accounting for the tuning-budget analysis of §6.
+"""
+
+from repro.runtime.api import Context, Device, Event, Kernel, Platform, Program
+from repro.runtime.errors import BuildError, LaunchError, RuntimeAPIError
+
+__all__ = [
+    "Platform",
+    "Device",
+    "Context",
+    "Program",
+    "Kernel",
+    "Event",
+    "BuildError",
+    "LaunchError",
+    "RuntimeAPIError",
+]

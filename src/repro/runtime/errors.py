@@ -1,0 +1,31 @@
+"""Runtime error types, mirroring the two OpenCL failure surfaces.
+
+``clBuildProgram`` failing (resource limits knowable from source + device
+caps) maps to :class:`BuildError`; ``clEnqueueNDRangeKernel`` failing
+(register allocation discovered by the compiler/driver) maps to
+:class:`LaunchError`.  The auto-tuner treats both as "invalid configuration"
+(§5.2: *"we deal with this issue by simply ignoring these configurations"*)
+but they cost different amounts of wall-clock time in the tuning budget.
+"""
+
+from __future__ import annotations
+
+
+class RuntimeAPIError(Exception):
+    """Base class for simulated OpenCL runtime errors."""
+
+
+class BuildError(RuntimeAPIError):
+    """Kernel compilation failed (static resource violation)."""
+
+    def __init__(self, reason: str):
+        super().__init__(f"CL_BUILD_PROGRAM_FAILURE: {reason}")
+        self.reason = reason
+
+
+class LaunchError(RuntimeAPIError):
+    """Kernel enqueue failed (dynamic resource violation)."""
+
+    def __init__(self, reason: str):
+        super().__init__(f"CL_OUT_OF_RESOURCES: {reason}")
+        self.reason = reason

@@ -1,0 +1,170 @@
+"""Architecture model of one OpenCL device.
+
+The fields are the knobs the executor's cost model reads.  They are filled
+with published numbers for the paper's devices where available (clock rates,
+compute-unit counts, bandwidths, local-memory sizes) and with calibrated
+behavioural factors where the real quantity is not a single number (texture
+path throughput, driver unroll reliability, timing noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+CPU = "cpu"
+GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a device, consumed by the performance model.
+
+    Attributes
+    ----------
+    name, vendor, device_type:
+        Identity; ``device_type`` is ``"cpu"`` or ``"gpu"``.
+    compute_units:
+        OpenCL compute units (SMs on Nvidia, CUs on AMD, logical cores on
+        the CPU).
+    simd_width:
+        Lock-step execution width in work-items (warp 32, wavefront 64;
+        AVX float lanes on the CPU).
+    clock_ghz:
+        Core clock.
+    flops_per_lane_per_cycle:
+        Sustained scalar operations per SIMD lane per cycle for the mix of
+        arithmetic in the benchmarks (≈1 for simple FMA-light code).
+    global_bandwidth_gbs:
+        Peak global-memory (DRAM) bandwidth.
+    global_latency_us:
+        Latency of an uncovered global access burst, per wave.
+    cache_kb:
+        Last-level cache serving global reads (L2 on GPUs, L3 on the CPU).
+    cache_bandwidth_factor:
+        Multiplier over DRAM bandwidth when hitting in cache.
+    local_mem_per_cu_kb:
+        On-chip scratchpad per compute unit (shared/LDS).  On CPUs OpenCL
+        reports plain (cached) global memory; ``local_is_emulated`` is then
+        True and "local" traffic costs like cached global traffic.
+    local_bandwidth_factor:
+        Aggregate local-memory bandwidth as a multiple of DRAM bandwidth.
+    texture_rate_gtexels:
+        Texture (image) fetch rate in billions of texels/s.  On devices
+        where images are emulated (CPU), this is the *effective* rate of the
+        emulation path, which is far below the load path.
+    texture_cache_factor:
+        Service-rate multiplier for texture fetches that hit the texture
+        cache (2D-local access re-touching cached texels).  This is what
+        makes image memory competitive with manual local-memory tiling for
+        stencils on Nvidia hardware, and less so on GCN, whose design
+        centres on the LDS.
+    image_is_emulated:
+        True when image memory has no dedicated hardware (CPU).
+    constant_bandwidth_factor:
+        Effective bandwidth multiple for constant-memory broadcasts.
+    max_workgroup_size:
+        Hard limit on work-items per work-group (build/launch fails above).
+    max_threads_per_cu:
+        Resident work-items per compute unit (occupancy ceiling).
+    max_workgroups_per_cu:
+        Resident work-groups per compute unit.
+    registers_per_cu:
+        32-bit registers per compute unit; exceeded demand first costs
+        occupancy, then spills.
+    max_registers_per_thread:
+        Per-thread register ceiling before the compiler spills to memory.
+    wg_launch_overhead_us:
+        Scheduling cost per work-group (amortized across compute units).
+    kernel_launch_overhead_us:
+        Fixed cost per kernel launch (driver + queue).
+    driver_unroll_reliability:
+        Probability-like factor in [0, 1] that a ``#pragma unroll`` request
+        is honoured effectively by the driver's compiler (the paper blames
+        the AMD driver's unrolling for the raycasting/others accuracy gap,
+        §7 — raycasting unrolls manually with macros and is unaffected).
+    compile_time_base_s / compile_time_per_unroll_s:
+        Kernel build time model: base plus growth with unrolled code size.
+    timing_noise_sigma:
+        Log-space standard deviation of run-to-run measurement noise.  The
+        paper notes CPU timings are more reliable (longer kernels), §7.
+    jitter_sigma:
+        Magnitude of the *structured* deterministic jitter: interaction
+        quirks keyed on parameter subgroups (bank-conflict patterns per
+        work-group shape, scheduler behaviour per blocking, ...).  A model
+        can learn these from enough data — they dominate early-training
+        error (Figs. 4-6 learning curves).
+    jitter_idio_sigma:
+        Magnitude of the *idiosyncratic* deterministic jitter keyed on the
+        full configuration (alignment, partition camping).  No feature set
+        explains it: the irreducible error floor, and why tuned results sit
+        a few percent above the global optimum (Figs. 11-13).
+    """
+
+    name: str
+    vendor: str
+    device_type: str
+    compute_units: int
+    simd_width: int
+    clock_ghz: float
+    flops_per_lane_per_cycle: float
+    global_bandwidth_gbs: float
+    global_latency_us: float
+    cache_kb: float
+    cache_bandwidth_factor: float
+    local_mem_per_cu_kb: float
+    local_bandwidth_factor: float
+    local_is_emulated: bool
+    texture_rate_gtexels: float
+    texture_cache_factor: float
+    image_is_emulated: bool
+    constant_bandwidth_factor: float
+    max_workgroup_size: int
+    max_threads_per_cu: int
+    max_workgroups_per_cu: int
+    registers_per_cu: int
+    max_registers_per_thread: int
+    wg_launch_overhead_us: float
+    kernel_launch_overhead_us: float
+    driver_unroll_reliability: float
+    compile_time_base_s: float
+    compile_time_per_unroll_s: float
+    timing_noise_sigma: float
+    jitter_sigma: float
+    jitter_idio_sigma: float
+
+    def __post_init__(self) -> None:
+        if self.device_type not in (CPU, GPU):
+            raise ValueError(f"device_type must be 'cpu' or 'gpu', got {self.device_type!r}")
+        if self.compute_units < 1 or self.simd_width < 1:
+            raise ValueError("compute_units and simd_width must be >= 1")
+        if not 0.0 <= self.driver_unroll_reliability <= 1.0:
+            raise ValueError("driver_unroll_reliability must be in [0, 1]")
+        for f in ("clock_ghz", "global_bandwidth_gbs", "texture_rate_gtexels"):
+            if getattr(self, f) <= 0:
+                raise ValueError(f"{f} must be positive")
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.device_type == CPU
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.device_type == GPU
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak scalar-op throughput in Gops/s."""
+        return (
+            self.compute_units
+            * self.simd_width
+            * self.clock_ghz
+            * self.flops_per_lane_per_cycle
+        )
+
+    @property
+    def local_mem_per_cu_bytes(self) -> int:
+        return int(self.local_mem_per_cu_kb * 1024)
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.vendor} {self.device_type.upper()})"

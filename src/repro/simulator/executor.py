@@ -1,0 +1,261 @@
+"""The execution-time model: roofline with occupancy-driven overlap.
+
+The *true* time of one kernel launch is assembled from:
+
+1. **compute time** — scalar ops (plus per-iteration loop overhead) issued
+   over all SIMD lanes, degraded by intra-work-group lane waste and, on the
+   CPU, by how vectorizable the access pattern is;
+2. **memory time** — :mod:`repro.simulator.memory`;
+3. **overlap** — GPUs hide the smaller of the two behind the larger in
+   proportion to achieved occupancy; CPUs hide a fixed fraction via
+   out-of-order execution and prefetching;
+4. **wave quantization** — work-groups execute in waves of
+   ``compute_units x workgroups_per_cu``; a partial tail wave costs a full
+   wave, and launches with fewer work-groups than compute units leave the
+   device underutilized;
+5. **overheads** — a fixed launch cost plus a per-work-group scheduling
+   cost (the term that punishes millions of tiny work-groups, especially on
+   the CPU's thread pool);
+6. **deterministic jitter** — :mod:`repro.simulator.hashing`, the
+   configuration-specific quirk the model cannot explain from features.
+
+The result is a pure function: same (kernel, config, device) in, same true
+time out.  Measurement noise lives in :mod:`repro.simulator.noise`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.simulator.device import DeviceSpec
+from repro.simulator.hashing import structured_jitter
+from repro.simulator.memory import MemoryCost, memory_time
+from repro.simulator.occupancy import OccupancyResult, compute_occupancy
+from repro.simulator.validity import validate
+from repro.simulator.workload import WorkloadProfile
+
+#: Scalar ops charged per remaining loop iteration (compare+branch+index).
+LOOP_OVERHEAD_OPS = 4.0
+
+#: GPU occupancy at which latency hiding saturates.
+OCCUPANCY_KNEE = 0.45
+
+#: Fixed overlap fraction for CPUs (out-of-order cores + HW prefetch).
+CPU_OVERLAP = 0.80
+
+#: Barrier cost: per warp/wavefront per barrier on GPUs (re-convergence),
+#: per *work-item* per barrier on CPUs (the runtime must suspend and resume
+#: every work-item's state — why local-memory tiling rarely wins on CPUs).
+GPU_BARRIER_NS_PER_WARP = 60.0
+CPU_BARRIER_NS_PER_ITEM = 22.0
+
+#: CPU work-item dispatch overhead: each work-item is a loop iteration of
+#: the runtime's work-group function.  GPU-style launches with millions of
+#: tiny-work threads drown in this.
+CPU_ITEM_OVERHEAD_NS = 28.0
+
+#: GPU scheduling-granularity penalty coefficient, quadratic in
+#: log2(warps per work-group): bigger blocks allocate coarser, balance worse
+#: across SMs, and stall longer at block boundaries — the cost compounds.
+GPU_WG_GRANULARITY_PENALTY = 0.01
+
+#: Extra deterministic variance for kernels whose unrolling relies on the
+#: driver pragma, scaled by how unreliable that driver is: even when the
+#: pragma is honoured, *how* the unrolled code is scheduled varies with
+#: opaque compiler heuristics.  This is the paper's §7 mechanism for the
+#: AMD convolution/stereo vs raycasting accuracy gap.
+DRIVER_UNROLL_QUIRK_SIGMA = 0.22
+
+
+@dataclass(frozen=True)
+class ExecutionBreakdown:
+    """Where the time of one simulated launch went (all seconds)."""
+
+    compute_time: float
+    memory: MemoryCost
+    occupancy: OccupancyResult
+    overlap: float
+    wave_quantization: float
+    overhead_time: float
+    jitter: float
+    total_time: float
+
+
+def simd_utilization(profile: WorkloadProfile, device: DeviceSpec) -> float:
+    """Fraction of SIMD issue slots doing useful work.
+
+    Work-items are packed into lock-step groups of ``simd_width`` within a
+    work-group; a work-group whose size is not a multiple of the width burns
+    the ragged lanes.
+    """
+    wg = profile.workgroup_threads
+    groups = math.ceil(wg / device.simd_width)
+    return wg / (groups * device.simd_width)
+
+
+def compute_time(profile: WorkloadProfile, device: DeviceSpec) -> float:
+    """Seconds of pure arithmetic for the launch at full device throughput."""
+    util = simd_utilization(profile, device)
+    ops_per_thread = profile.flops_per_thread + (
+        LOOP_OVERHEAD_OPS * profile.loop_iterations_per_thread
+    )
+    total_ops = profile.threads * ops_per_thread / max(util, 1e-9)
+    throughput = device.peak_gflops * 1e9
+    if device.is_cpu:
+        # The compiler only vectorizes across work-items when their accesses
+        # are contiguous; otherwise execution falls back towards scalar.
+        vec = 0.30 + 0.70 * profile.coalesced_fraction
+        throughput *= vec
+    return total_ops / throughput
+
+
+def wave_quantization_factor(
+    profile: WorkloadProfile, device: DeviceSpec, occ: OccupancyResult
+) -> float:
+    """Slowdown from partial waves and compute-unit under-subscription.
+
+    With ``W`` work-groups, ``C`` compute units and ``g`` resident groups
+    per unit, execution takes ``ceil(W / (C*g))`` waves but only
+    ``W / (C*g)`` waves' worth of work exists — the ratio is the tail
+    penalty (>= 1, and large when W < C, i.e. parts of the device idle).
+    """
+    per_wave = device.compute_units * max(occ.workgroups_per_cu, 1)
+    n_wg = profile.num_workgroups
+    waves = math.ceil(n_wg / per_wave)
+    return waves * per_wave / n_wg
+
+
+def overlap_fraction(device: DeviceSpec, occ: OccupancyResult) -> float:
+    """How much of min(compute, memory) hides behind the other."""
+    if device.is_cpu:
+        return CPU_OVERLAP
+    return min(1.0, occ.occupancy / OCCUPANCY_KNEE)
+
+
+def overhead_time(profile: WorkloadProfile, device: DeviceSpec) -> float:
+    """Launch, scheduling, barrier and (CPU) work-item overheads, seconds."""
+    per_wg_us = device.wg_launch_overhead_us
+    spread = profile.num_workgroups * per_wg_us / device.compute_units
+    total = (device.kernel_launch_overhead_us + spread) * 1e-6
+
+    if device.is_cpu:
+        total += (
+            profile.threads * CPU_ITEM_OVERHEAD_NS * 1e-9 / device.compute_units
+        )
+
+    if profile.barriers_per_workgroup > 0:
+        if device.is_cpu:
+            per_wg_ns = (
+                profile.barriers_per_workgroup
+                * profile.workgroup_threads
+                * CPU_BARRIER_NS_PER_ITEM
+            )
+        else:
+            warps = math.ceil(profile.workgroup_threads / device.simd_width)
+            per_wg_ns = (
+                profile.barriers_per_workgroup * warps * GPU_BARRIER_NS_PER_WARP
+            )
+        total += profile.num_workgroups * per_wg_ns * 1e-9 / device.compute_units
+    return total
+
+
+def granularity_penalty(profile: WorkloadProfile, device: DeviceSpec) -> float:
+    """Multiplicative slowdown for very large GPU work-groups."""
+    if device.is_cpu:
+        return 1.0
+    warps = max(1, math.ceil(profile.workgroup_threads / device.simd_width))
+    return 1.0 + GPU_WG_GRANULARITY_PENALTY * math.log2(warps) ** 2
+
+
+def execute(
+    profile: WorkloadProfile,
+    device: DeviceSpec,
+    jitter_key: tuple = (),
+) -> ExecutionBreakdown:
+    """Simulate one launch; the profile must already be valid for ``device``.
+
+    ``jitter_key`` identifies the configuration (kernel name + config tuple)
+    for the deterministic micro-architectural jitter; an empty key disables
+    jitter (useful for model unit tests).
+    """
+    validate(profile, device).raise_if_invalid()
+
+    occ = compute_occupancy(profile, device)
+    comp = compute_time(profile, device)
+    mem = memory_time(profile, device)
+
+    ov = overlap_fraction(device, occ)
+    busy = max(comp, mem.total) + (1.0 - ov) * min(comp, mem.total)
+
+    # Uncovered latency: each wave pays the global round-trip it could not
+    # hide.  Only matters at very low occupancy.
+    per_wave = device.compute_units * max(occ.workgroups_per_cu, 1)
+    waves = math.ceil(profile.num_workgroups / per_wave)
+    latency = (1.0 - ov) * waves * device.global_latency_us * 1e-6
+
+    q = wave_quantization_factor(profile, device, occ) * granularity_penalty(
+        profile, device
+    )
+    ovh = overhead_time(profile, device)
+
+    jitter = 1.0
+    if jitter_key:
+        kernel_name, config_tuple = jitter_key
+        jitter = structured_jitter(
+            device.jitter_sigma,
+            device.jitter_idio_sigma,
+            device.name,
+            kernel_name,
+            tuple(config_tuple),
+        )
+        if profile.uses_driver_unroll and profile.unroll_factor > 1:
+            quirk_sigma = DRIVER_UNROLL_QUIRK_SIGMA * (
+                1.0 - device.driver_unroll_reliability
+            )
+            jitter *= structured_jitter(
+                0.0, quirk_sigma, device.name, f"{kernel_name}/unroll-quirk",
+                tuple(config_tuple),
+            )
+
+    total = (busy * q + latency + ovh) * jitter
+    return ExecutionBreakdown(
+        compute_time=comp,
+        memory=mem,
+        occupancy=occ,
+        overlap=ov,
+        wave_quantization=q,
+        overhead_time=ovh,
+        jitter=jitter,
+        total_time=total,
+    )
+
+
+def simulate_kernel_time(
+    profile: WorkloadProfile,
+    device: DeviceSpec,
+    jitter_key: tuple = (),
+) -> float:
+    """True (noise-free) execution time in seconds for one launch."""
+    return execute(profile, device, jitter_key=jitter_key).total_time
+
+
+class KernelExecutor:
+    """Bound (device, kernel-name) executor with a stable jitter namespace.
+
+    Thin convenience over :func:`execute` used by the runtime layer: the
+    jitter key is ``(kernel_name, config_tuple)`` so distinct kernels on the
+    same device draw independent quirks.
+    """
+
+    def __init__(self, device: DeviceSpec, kernel_name: str):
+        self.device = device
+        self.kernel_name = kernel_name
+
+    def run(self, profile: WorkloadProfile, config_tuple: tuple) -> ExecutionBreakdown:
+        return execute(
+            profile, self.device, jitter_key=(self.kernel_name, config_tuple)
+        )
+
+    def time(self, profile: WorkloadProfile, config_tuple: tuple) -> float:
+        return self.run(profile, config_tuple).total_time

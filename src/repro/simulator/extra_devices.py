@@ -1,0 +1,53 @@
+"""Beyond the paper's testbed: a novel-architecture device model (§8).
+
+The paper's future work includes "evaluating the model on novel hardware
+architectures, beyond just CPUs and GPUs".  The natural 2015 candidate is
+the Intel Xeon Phi (Knights Corner): a many-core with CPU-style cores and
+GPU-style width — 60 in-order cores x 4 hardware threads, 512-bit (16-lane)
+SIMD, high-bandwidth GDDR5, but CPU-style emulated image/local memory and
+a CPU-style OpenCL runtime.  The model slots straight into the existing
+executor: the device is "a CPU with GPU-scale parallelism", which is
+exactly what made it interesting to auto-tune.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.device import CPU, DeviceSpec
+
+#: Intel Xeon Phi 5110P (Knights Corner).  60 cores / 240 threads; the
+#: Intel OpenCL runtime exposed the threads as compute units.  In-order
+#: cores hide less latency than a Core i7; the 512-bit vector unit only
+#: pays off for contiguous access; images and local memory are emulated.
+XEON_PHI_5110P = DeviceSpec(
+    name="Intel Xeon Phi 5110P",
+    vendor="Intel",
+    device_type=CPU,
+    compute_units=236,          # 59 cores x 4 threads exposed (1 reserved)
+    simd_width=16,              # 512-bit float32
+    clock_ghz=1.053,
+    flops_per_lane_per_cycle=0.5,
+    global_bandwidth_gbs=160.0, # practical GDDR5 stream bandwidth
+    global_latency_us=0.15,
+    cache_kb=30720.0,           # 512 KB L2 per core, ring-shared
+    cache_bandwidth_factor=4.0,
+    local_mem_per_cu_kb=32.0,
+    local_bandwidth_factor=2.0,
+    local_is_emulated=True,
+    texture_rate_gtexels=1.6,   # software image path, like the host CPU
+    texture_cache_factor=1.5,
+    image_is_emulated=True,
+    constant_bandwidth_factor=4.0,
+    max_workgroup_size=8192,
+    max_threads_per_cu=8192,
+    max_workgroups_per_cu=64,
+    registers_per_cu=1 << 30,
+    max_registers_per_thread=1 << 30,
+    wg_launch_overhead_us=0.8,
+    kernel_launch_overhead_us=60.0,  # PCIe offload launch cost
+    driver_unroll_reliability=0.85,
+    compile_time_base_s=0.6,
+    compile_time_per_unroll_s=0.03,
+    timing_noise_sigma=0.02,
+    jitter_sigma=0.09,          # in-order cores: scheduling quirks between
+    jitter_idio_sigma=0.04,     # the CPU's and the GPUs' unpredictability
+)

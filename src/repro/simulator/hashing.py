@@ -1,0 +1,91 @@
+"""Deterministic pseudo-random factors from stable keys.
+
+Real devices show reproducible, configuration-specific performance quirks
+that no reasonable feature set explains: shared-memory bank conflict
+patterns, partition camping, instruction-scheduler luck, alignment.  The
+simulator models this as a multiplicative jitter drawn deterministically
+from a hash of ``(device, kernel, configuration)`` — the *same* config
+always gets the *same* quirk (it is part of the true time, not noise), but
+neighbouring configs get unrelated quirks.  This is what gives the learned
+model a realistic, device-dependent error floor.
+
+``blake2b`` is used (not ``hash()``) so results are stable across processes
+and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+
+
+def stable_hash64(*parts) -> int:
+    """64-bit stable hash of a tuple of primitives."""
+    h = hashlib.blake2b(digest_size=8)
+    for p in parts:
+        h.update(repr(p).encode("utf-8"))
+        h.update(b"\x1f")
+    return struct.unpack("<Q", h.digest())[0]
+
+
+def unit_uniform(*parts) -> float:
+    """Deterministic uniform in [0, 1) keyed on ``parts``."""
+    return stable_hash64(*parts) / float(1 << 64)
+
+
+def unit_normal(*parts) -> float:
+    """Deterministic standard-normal variate keyed on ``parts``.
+
+    Box-Muller on two independent sub-hashes; clipped to ±4 sigma so a
+    single unlucky key cannot produce an absurd outlier.
+    """
+    u1 = unit_uniform(*parts, "u1")
+    u2 = unit_uniform(*parts, "u2")
+    u1 = max(u1, 1e-12)
+    z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+    return max(-4.0, min(4.0, z))
+
+
+def lognormal_factor(sigma: float, *parts) -> float:
+    """Deterministic multiplicative jitter ``exp(sigma * N(0,1))``."""
+    if sigma < 0:
+        raise ValueError("sigma must be >= 0")
+    if sigma == 0.0:
+        return 1.0
+    return math.exp(sigma * unit_normal(*parts))
+
+
+def structured_jitter(
+    sigma_structured: float,
+    sigma_idiosyncratic: float,
+    device_name: str,
+    kernel_name: str,
+    config_tuple: tuple,
+) -> float:
+    """Two-component deterministic jitter for one configuration.
+
+    *Structured* component: interaction quirks keyed on small parameter
+    subgroups — work-group shape ``(cfg[0], cfg[1])``, per-thread blocking
+    ``(cfg[2], cfg[3])``, and the remaining switches (all three benchmarks
+    order their parameters this way).  These are deterministic functions of
+    a few features, so a learned model *can* absorb them given enough
+    training data — they are what makes the error curves of Figs. 4-6 keep
+    improving with sample count.
+
+    *Idiosyncratic* component: keyed on the full configuration; no feature
+    set explains it.  It is the irreducible error floor, and the reason
+    even a good tuner lands a few percent off the global optimum.
+
+    The three group draws are averaged with ``1/sqrt(3)`` so
+    ``sigma_structured`` is the total structured standard deviation.
+    """
+    if sigma_structured < 0 or sigma_idiosyncratic < 0:
+        raise ValueError("sigmas must be >= 0")
+    groups = (config_tuple[0:2], config_tuple[2:4], config_tuple[4:])
+    z_struct = sum(
+        unit_normal(device_name, kernel_name, f"group{i}", g)
+        for i, g in enumerate(groups)
+    ) / math.sqrt(len(groups))
+    z_idio = unit_normal(device_name, kernel_name, "idio", config_tuple)
+    return math.exp(sigma_structured * z_struct + sigma_idiosyncratic * z_idio)

@@ -1,0 +1,192 @@
+"""Memory-hierarchy cost model: seconds spent moving data, per launch.
+
+Each logical OpenCL memory space gets its own service model:
+
+* **global** — DRAM bandwidth degraded by uncoalesced access, improved by
+  last-level cache hits (hit rate from spatial locality and footprint);
+* **image** — dedicated texture samplers with a 2D-locality-friendly cache
+  on GPUs; a slow emulation path on CPUs (the source of the paper's Fig. 8
+  Intel cluster: image *without* local memory is disastrous on the CPU);
+* **local** — on-chip scratchpad on GPUs (fast, more so than cache);
+  plain cached memory on CPUs (no win, slight copy-in overhead);
+* **constant** — broadcast-optimized path.
+
+All functions return *seconds for the whole launch*, assuming perfect
+spreading over the device; serialization effects (waves, occupancy) are the
+executor's job.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+
+from repro.simulator.device import DeviceSpec
+from repro.simulator.workload import WorkloadProfile
+
+#: Bytes per access for the float32/uchar4 codes in the benchmarks.
+ACCESS_BYTES = 4.0
+
+#: DRAM bandwidth fraction achieved by fully uncoalesced (strided) access:
+#: each 4 B useful word drags a full 32 B transaction segment.
+UNCOALESCED_EFFICIENCY = 0.125
+
+#: Per-core L2 on the CPU (work-group = the runtime's cache-blocking unit).
+CPU_L2_BYTES = 128.0 * 1024
+
+#: CPU slowdown per doubling of work-group footprint beyond L2.
+CPU_L2_OVERFLOW_PENALTY = 0.55
+
+
+@dataclass(frozen=True)
+class MemoryCost:
+    """Breakdown of memory time for one launch (seconds)."""
+
+    global_time: float
+    image_time: float
+    local_time: float
+    constant_time: float
+    spill_time: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.global_time
+            + self.image_time
+            + self.local_time
+            + self.constant_time
+            + self.spill_time
+        )
+
+
+def cache_hit_fraction(profile: WorkloadProfile, device: DeviceSpec) -> float:
+    """Last-level-cache hit rate for global traffic.
+
+    A footprint that fits in cache is mostly hits regardless of pattern; a
+    larger footprint degrades towards a locality-driven floor: stencil-style
+    neighbourhoods (high ``spatial_locality``) keep re-touching cached lines.
+    """
+    if profile.footprint_bytes <= 0:
+        return min(0.97, profile.spatial_locality)
+    cache_bytes = device.cache_kb * 1024.0
+    fit = min(1.0, cache_bytes / profile.footprint_bytes)
+    # Between "all fits" (hit ~ 0.95) and "streaming" (hit ~ locality * 0.8).
+    resident = 0.95 * fit
+    streaming = 0.8 * profile.spatial_locality * (1.0 - fit)
+    return min(0.97, resident + streaming)
+
+
+def global_memory_time(profile: WorkloadProfile, device: DeviceSpec) -> float:
+    """Time to service all global reads+writes of the launch."""
+    accesses = profile.threads * (profile.global_reads + profile.global_writes)
+    if accesses <= 0:
+        return 0.0
+    bytes_moved = accesses * ACCESS_BYTES
+    coal = profile.coalesced_fraction
+    # CPUs do not coalesce per-lane, but contiguous access is what lets the
+    # compiler vectorize loads and the prefetcher stream; same lever, gentler
+    # penalty.
+    waste = UNCOALESCED_EFFICIENCY if device.is_gpu else 0.45
+    efficiency = coal + (1.0 - coal) * waste
+    hit = cache_hit_fraction(profile, device)
+    dram_bw = device.global_bandwidth_gbs * 1e9 * efficiency
+    cache_bw = dram_bw * device.cache_bandwidth_factor
+    # Misses at DRAM speed, hits at cache speed.
+    t = bytes_moved * ((1.0 - hit) / dram_bw + hit / cache_bw)
+    return t * cpu_l2_overflow_factor(profile, device)
+
+
+def cpu_l2_overflow_factor(profile: WorkloadProfile, device: DeviceSpec) -> float:
+    """Thrash factor for CPU work-group blocks overflowing per-core L2.
+
+    The work-group is the CPU runtime's cache-blocking unit; each doubling
+    of the block footprint past L2 costs another chunk of re-fetch traffic.
+    Applies to *all* CPU memory paths — emulated local memory is ordinary
+    cached memory, so an oversized "local" tile thrashes just the same.
+    """
+    if not device.is_cpu or profile.wg_footprint_bytes <= CPU_L2_BYTES:
+        return 1.0
+    overflow = math.log2(profile.wg_footprint_bytes / CPU_L2_BYTES)
+    return 1.0 + CPU_L2_OVERFLOW_PENALTY * overflow
+
+
+def image_memory_time(profile: WorkloadProfile, device: DeviceSpec) -> float:
+    """Time to service image (texture) fetches.
+
+    GPUs: dedicated samplers at ``texture_rate_gtexels``, sped up by the
+    texture cache for 2D-local access.  CPUs: every fetch runs address
+    arithmetic + filtering in software — a fixed, slow rate that does not
+    benefit from locality much.
+    """
+    fetches = profile.threads * profile.image_reads
+    if fetches <= 0:
+        return 0.0
+    rate = device.texture_rate_gtexels * 1e9
+    if device.image_is_emulated:
+        # Emulation cost dominates; locality only helps the underlying loads.
+        effective = rate * (1.0 + 0.3 * profile.spatial_locality)
+        return fetches / effective
+    # Texture cache: 2D-local access re-touches cached texels and is served
+    # at a multiple of the raw sampler rate — what makes image memory
+    # competitive with manual tiling for stencils.
+    hit = 0.5 + 0.45 * profile.spatial_locality
+    return fetches * (
+        (1.0 - hit) / rate + hit / (rate * device.texture_cache_factor)
+    )
+
+
+def local_memory_time(profile: WorkloadProfile, device: DeviceSpec) -> float:
+    """Time to service local (scratchpad) traffic."""
+    accesses = profile.threads * (profile.local_reads + profile.local_writes)
+    if accesses <= 0:
+        return 0.0
+    bytes_moved = accesses * ACCESS_BYTES
+    bw = device.global_bandwidth_gbs * 1e9 * device.local_bandwidth_factor
+    return bytes_moved / bw * cpu_l2_overflow_factor(profile, device)
+
+
+def constant_memory_time(profile: WorkloadProfile, device: DeviceSpec) -> float:
+    """Time to service constant-memory broadcasts."""
+    accesses = profile.threads * profile.constant_reads
+    if accesses <= 0:
+        return 0.0
+    bytes_moved = accesses * ACCESS_BYTES
+    bw = device.global_bandwidth_gbs * 1e9 * device.constant_bandwidth_factor
+    return bytes_moved / bw
+
+
+def spill_memory_time(profile: WorkloadProfile, device: DeviceSpec) -> float:
+    """Extra traffic when register demand exceeds the per-thread ceiling.
+
+    Every register beyond the ceiling costs roughly one cached read+write
+    per loop iteration — the classic cliff that makes very large unroll
+    factors backfire.
+    """
+    over = profile.registers_per_thread - device.max_registers_per_thread
+    if over <= 0:
+        return 0.0
+    # Only a few *live* values spill-and-reload; and they reload per unit
+    # of loop work (proxied by arithmetic volume), not per loop trip —
+    # unrolling changes the trip count but not how often a spilled value
+    # is touched.  Uncapped or trip-scaled, spills would absurdly dominate.
+    live_spilled = min(float(over), 6.0)
+    work_units = profile.flops_per_thread * 0.1
+    accesses = profile.threads * live_spilled * work_units * 2.0
+    bw = (
+        device.global_bandwidth_gbs
+        * 1e9
+        * device.cache_bandwidth_factor
+    )
+    return accesses * ACCESS_BYTES / bw
+
+
+def memory_time(profile: WorkloadProfile, device: DeviceSpec) -> MemoryCost:
+    """Full memory-time breakdown for one launch."""
+    return MemoryCost(
+        global_time=global_memory_time(profile, device),
+        image_time=image_memory_time(profile, device),
+        local_time=local_memory_time(profile, device),
+        constant_time=constant_memory_time(profile, device),
+        spill_time=spill_memory_time(profile, device),
+    )

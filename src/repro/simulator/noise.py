@@ -1,0 +1,98 @@
+"""Measurement model: noise around the true time, and tuning-cost accounting.
+
+The executor produces a deterministic *true* time; a real measurement sees
+that time through run-to-run noise (DVFS, other processes, timer
+granularity).  We use multiplicative log-normal noise with a per-device
+sigma — smaller on the CPU, whose longer-running kernels the paper notes
+time more reliably (§7).
+
+The same module models the *cost of measuring*: kernel compilation takes
+seconds (growing with unroll factor — more code), and failed builds/launches
+of invalid configurations still burn wall-clock time.  This reproduces the
+paper's §6 accounting, where gathering 2000 convolution samples on the K40
+took ~30 min while training took ~1 min.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.device import DeviceSpec
+
+#: Wall-clock cost of discovering a build-stage failure (driver error path).
+FAILED_BUILD_COST_S = 0.4
+
+#: Wall-clock cost of a failed launch (build succeeded, enqueue failed).
+FAILED_LAUNCH_COST_S = 0.15
+
+
+def compile_time(device: DeviceSpec, unroll_factor: int = 1) -> float:
+    """Seconds to build one kernel variant on ``device``."""
+    if unroll_factor < 1:
+        raise ValueError("unroll_factor must be >= 1")
+    return (
+        device.compile_time_base_s
+        + device.compile_time_per_unroll_s * (unroll_factor - 1)
+    )
+
+
+@dataclass
+class CostLedger:
+    """Accumulated wall-clock cost of a tuning campaign (seconds)."""
+
+    compile_s: float = 0.0
+    run_s: float = 0.0
+    failed_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.compile_s + self.run_s + self.failed_s
+
+    def merge(self, other: "CostLedger") -> "CostLedger":
+        return CostLedger(
+            compile_s=self.compile_s + other.compile_s,
+            run_s=self.run_s + other.run_s,
+            failed_s=self.failed_s + other.failed_s,
+        )
+
+
+class MeasurementModel:
+    """Draws noisy measurements of true times, with a seeded generator.
+
+    Parameters
+    ----------
+    device:
+        Supplies ``timing_noise_sigma``.
+    rng:
+        Source of randomness; pass a seeded ``numpy.random.Generator`` for
+        reproducible campaigns.
+    """
+
+    def __init__(self, device: DeviceSpec, rng: np.random.Generator | None = None):
+        self.device = device
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def observe(self, true_time_s: float) -> float:
+        """One noisy observation of a true time."""
+        if true_time_s <= 0:
+            raise ValueError(f"true time must be positive, got {true_time_s}")
+        sigma = self.device.timing_noise_sigma
+        if sigma == 0.0:
+            return true_time_s
+        return float(true_time_s * np.exp(sigma * self.rng.standard_normal()))
+
+    def observe_many(self, true_time_s: float, repeats: int) -> np.ndarray:
+        """``repeats`` independent observations of the same true time."""
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        sigma = self.device.timing_noise_sigma
+        noise = np.exp(sigma * self.rng.standard_normal(repeats))
+        return true_time_s * noise
+
+    def best_of(self, true_time_s: float, repeats: int = 3) -> float:
+        """Minimum of ``repeats`` observations — the usual benchmarking
+        practice for kernels (noise is one-sided-ish: interference only
+        slows you down)."""
+        return float(self.observe_many(true_time_s, repeats).min())

@@ -1,0 +1,84 @@
+"""Occupancy: how many work-groups a compute unit can keep resident.
+
+GPUs hide memory latency by switching between resident work-groups; how many
+fit is limited by the per-CU thread budget, work-group slots, local-memory
+capacity and the register file.  Low occupancy means memory time cannot be
+overlapped with compute — the single biggest reason work-group shape and
+per-thread work interact with everything else, and why a learned model beats
+one-at-a-time parameter search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.device import DeviceSpec
+from repro.simulator.workload import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Occupancy of one launch on one device.
+
+    Attributes
+    ----------
+    workgroups_per_cu:
+        Resident work-groups per compute unit (0 means the work-group does
+        not fit at all — a launch failure).
+    active_threads_per_cu:
+        Resident work-items per compute unit.
+    occupancy:
+        ``active_threads_per_cu / max_threads_per_cu`` in [0, 1].
+    limiter:
+        Which resource bound first: ``"threads"``, ``"slots"``,
+        ``"local_mem"`` or ``"registers"``.
+    """
+
+    workgroups_per_cu: int
+    active_threads_per_cu: int
+    occupancy: float
+    limiter: str
+
+
+def effective_registers_per_thread(profile: WorkloadProfile, device: DeviceSpec) -> int:
+    """Register demand after the compiler clamps to the per-thread ceiling.
+
+    Demand above the ceiling spills (handled as extra memory traffic by the
+    executor), it does not raise the per-thread allocation further.
+    """
+    return min(profile.registers_per_thread, device.max_registers_per_thread)
+
+
+def compute_occupancy(profile: WorkloadProfile, device: DeviceSpec) -> OccupancyResult:
+    """Resident work-groups per CU and the limiting resource."""
+    wg_threads = profile.workgroup_threads
+
+    limits = {}
+    limits["threads"] = device.max_threads_per_cu // wg_threads
+    limits["slots"] = device.max_workgroups_per_cu
+
+    if profile.local_mem_per_wg_bytes > 0:
+        limits["local_mem"] = (
+            device.local_mem_per_cu_bytes // profile.local_mem_per_wg_bytes
+        )
+
+    regs = effective_registers_per_thread(profile, device)
+    regs_per_wg = regs * wg_threads
+    if regs_per_wg > 0:
+        limits["registers"] = device.registers_per_cu // regs_per_wg
+
+    limiter = min(limits, key=lambda k: (limits[k], k))
+    wgs = max(0, limits[limiter])
+    # Never let more work-groups be "resident" than exist in the launch.
+    wgs_in_launch = profile.num_workgroups
+    cu_share = max(1, (wgs_in_launch + device.compute_units - 1) // device.compute_units)
+    wgs_effective = min(wgs, cu_share)
+
+    active = wgs_effective * wg_threads
+    occ = min(1.0, active / device.max_threads_per_cu)
+    return OccupancyResult(
+        workgroups_per_cu=wgs_effective,
+        active_threads_per_cu=active,
+        occupancy=occ,
+        limiter=limiter,
+    )

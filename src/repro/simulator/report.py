@@ -1,0 +1,75 @@
+"""Human-readable breakdowns of simulated launches.
+
+``explain`` answers the question a tuner user actually has about a
+configuration: *where does the time go, and what limits it* — compute or
+memory, which memory space, how much is overhead, what bounded occupancy.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.device import DeviceSpec
+from repro.simulator.executor import ExecutionBreakdown, execute
+from repro.simulator.workload import WorkloadProfile
+
+
+def _pct(part: float, whole: float) -> str:
+    if whole <= 0:
+        return "0%"
+    return f"{100.0 * part / whole:.0f}%"
+
+
+def describe_breakdown(b: ExecutionBreakdown) -> str:
+    """Render one :class:`ExecutionBreakdown` as an indented report."""
+    total = b.total_time
+    busy = max(b.compute_time, b.memory.total)
+    bound = "compute-bound" if b.compute_time >= b.memory.total else "memory-bound"
+    m = b.memory
+    lines = [
+        f"total            : {total * 1e3:.3f} ms ({bound})",
+        f"  compute        : {b.compute_time * 1e3:.3f} ms ({_pct(b.compute_time, busy)} of the busy path)",
+        f"  memory         : {m.total * 1e3:.3f} ms",
+    ]
+    for name, part in (
+        ("global", m.global_time),
+        ("image", m.image_time),
+        ("local", m.local_time),
+        ("constant", m.constant_time),
+        ("spill", m.spill_time),
+    ):
+        if part > 0:
+            lines.append(f"    {name:12s} : {part * 1e3:.3f} ms ({_pct(part, m.total)})")
+    lines.append(
+        f"  overlap        : {b.overlap:.2f} "
+        f"(occupancy {b.occupancy.occupancy:.2f}, limited by {b.occupancy.limiter})"
+    )
+    lines.append(f"  wave penalty   : {b.wave_quantization:.2f}x")
+    lines.append(f"  overheads      : {b.overhead_time * 1e3:.3f} ms")
+    if b.jitter != 1.0:
+        lines.append(f"  config quirk   : {b.jitter:.3f}x")
+    return "\n".join(lines)
+
+
+def explain(
+    spec, config, device: DeviceSpec, with_jitter: bool = True
+) -> str:
+    """Simulate one configuration of a kernel and explain its time.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.kernels.base.KernelSpec`.
+    config:
+        Configuration mapping (must be valid on ``device``).
+    with_jitter:
+        Include the configuration-specific quirk factor (True matches what
+        a measurement would see; False isolates the structural model).
+    """
+    profile: WorkloadProfile = spec.workload(config, device)
+    key = (spec.name, spec.config_tuple(config)) if with_jitter else ()
+    b = execute(profile, device, jitter_key=key)
+    head = (
+        f"{spec.name} on {device.name}\n"
+        f"launch           : {profile.global_size[0]}x{profile.global_size[1]} threads, "
+        f"work-groups of {profile.workgroup[0]}x{profile.workgroup[1]}"
+    )
+    return head + "\n" + describe_breakdown(b)

@@ -1,0 +1,91 @@
+"""Invalid-configuration rules.
+
+Some points of the tuning space cannot run at all (§5.2 of the paper):
+the work-group exceeds the device limit, the local-memory tile does not fit,
+or the register file cannot hold even one work-group.  The paper
+distinguishes failures detectable *statically* (before compiling, when the
+device is known) from those found only by *attempting to compile and run* —
+our runtime mirrors that split: ``build``-stage failures raise
+:class:`~repro.runtime.errors.BuildError`, ``launch``-stage failures raise
+:class:`~repro.runtime.errors.LaunchError`, and both cost wall-clock time in
+the tuner's budget accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.device import DeviceSpec
+from repro.simulator.occupancy import compute_occupancy
+from repro.simulator.workload import WorkloadProfile
+
+#: Stage at which a failure surfaces.
+STAGE_BUILD = "build"
+STAGE_LAUNCH = "launch"
+
+
+class InvalidConfig(Exception):
+    """A configuration that cannot execute on the target device."""
+
+    def __init__(self, stage: str, reason: str):
+        super().__init__(f"[{stage}] {reason}")
+        self.stage = stage
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of checking one profile against one device."""
+
+    valid: bool
+    stage: str = ""
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+    def raise_if_invalid(self) -> None:
+        if not self.valid:
+            raise InvalidConfig(self.stage, self.reason)
+
+
+VALID = ValidationResult(True)
+
+
+def validate(profile: WorkloadProfile, device: DeviceSpec) -> ValidationResult:
+    """Check whether a launch can execute on ``device``.
+
+    Build-stage failures (knowable from the kernel source + device caps):
+
+    * work-group larger than ``max_workgroup_size``;
+    * static local-memory allocation larger than the per-CU scratchpad.
+
+    Launch-stage failures (depend on compiler register allocation):
+
+    * not even one work-group's registers fit in the register file.
+    """
+    wg_threads = profile.workgroup_threads
+    if wg_threads > device.max_workgroup_size:
+        return ValidationResult(
+            False,
+            STAGE_BUILD,
+            f"work-group {profile.workgroup[0]}x{profile.workgroup[1]} = "
+            f"{wg_threads} exceeds device limit {device.max_workgroup_size}",
+        )
+    if profile.local_mem_per_wg_bytes > device.local_mem_per_cu_bytes:
+        return ValidationResult(
+            False,
+            STAGE_BUILD,
+            f"local memory {profile.local_mem_per_wg_bytes} B/work-group "
+            f"exceeds device limit {device.local_mem_per_cu_bytes} B",
+        )
+    occ = compute_occupancy(profile, device)
+    if occ.workgroups_per_cu < 1:
+        return ValidationResult(
+            False,
+            STAGE_LAUNCH,
+            f"register demand ({profile.registers_per_thread}/thread x "
+            f"{wg_threads} threads) exceeds register file "
+            f"({device.registers_per_cu}/CU); limiter={occ.limiter}",
+        )
+    return VALID

@@ -1,0 +1,48 @@
+"""Shared fixtures: small problem sizes for functional kernel tests.
+
+The *timing* model always reflects the problem a spec was built with, so
+timing tests use default (paper-sized) specs; *functional* tests use these
+scaled-down problems to keep NumPy execution fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.convolution import ConvolutionKernel, ConvolutionProblem
+from repro.kernels.raycasting import RaycastingKernel, RaycastingProblem
+from repro.kernels.stereo import StereoKernel, StereoProblem
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_convolution():
+    return ConvolutionKernel(ConvolutionProblem(width=64, height=48, ksize=5))
+
+
+@pytest.fixture
+def small_raycasting():
+    return RaycastingKernel(RaycastingProblem(volume=16, image=24, tf_size=32))
+
+
+@pytest.fixture
+def small_stereo():
+    return StereoKernel(StereoProblem(image=48, disparities=8, window=4))
+
+
+@pytest.fixture
+def paper_convolution():
+    return ConvolutionKernel()
+
+
+@pytest.fixture
+def paper_raycasting():
+    return RaycastingKernel()
+
+
+@pytest.fixture
+def paper_stereo():
+    return StereoKernel()

@@ -1,0 +1,86 @@
+"""Tests for the terminal figure renderer."""
+
+import math
+
+import pytest
+
+from repro.experiments.ascii_plot import bar_chart, line_plot, scatter_plot
+
+
+class TestLinePlot:
+    def test_renders_all_series_glyphs(self):
+        txt = line_plot(
+            [1, 2, 3], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]}, title="t"
+        )
+        assert "t" in txt
+        assert "o=a" in txt and "x=b" in txt
+        assert "o" in txt and "x" in txt
+
+    def test_skips_nan_points(self):
+        txt = line_plot([1, 2, 3], {"a": [1.0, float("nan"), 3.0]})
+        assert txt.count("o") >= 2  # legend glyph + >=2 points... at least renders
+
+    def test_log_x(self):
+        txt = line_plot([100, 1000, 4000], {"err": [0.3, 0.2, 0.1]}, logx=True)
+        assert "100" in txt
+
+    def test_constant_series_ok(self):
+        txt = line_plot([1, 2], {"a": [5.0, 5.0]})
+        assert "5" in txt
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot([1], {})
+        with pytest.raises(ValueError):
+            line_plot([1], {"a": [float("nan")]})
+
+    def test_extremes_land_on_border_rows(self):
+        txt = line_plot([0, 1], {"a": [0.0, 10.0]}, width=20, height=5)
+        rows = [l for l in txt.splitlines() if "|" in l]
+        assert "o" in rows[0]  # max on the top row
+        assert "o" in rows[-1]  # min on the bottom row
+
+
+class TestScatterPlot:
+    def test_diagonal_and_points(self):
+        txt = scatter_plot([1.0, 10.0, 100.0], [1.1, 9.0, 120.0])
+        assert "." in txt and "o" in txt
+        assert "y=x" in txt
+
+    def test_perfect_predictions_sit_on_diagonal(self):
+        # With pred == actual every 'o' replaces a diagonal cell.
+        txt = scatter_plot([1.0, 10.0, 100.0], [1.0, 10.0, 100.0], width=30, height=30)
+        body = [l for l in txt.splitlines() if "|" in l]
+        for line in body:
+            for i, ch in enumerate(line):
+                if ch == "o":
+                    break
+        assert sum(l.count("o") for l in body) >= 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scatter_plot([0.0], [1.0])
+        with pytest.raises(ValueError):
+            scatter_plot([float("nan")], [float("nan")])
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        txt = bar_chart(["a", "b"], [1.0, 2.0], width=20)
+        lines = txt.splitlines()
+        assert lines[1].count("#") == 2 * lines[0].count("#")
+
+    def test_missing_marker(self):
+        txt = bar_chart(["a", "b"], [1.0, float("nan")])
+        assert "missing" in txt
+
+    def test_alignment(self):
+        txt = bar_chart(["short", "a much longer label"], [1.0, 2.0])
+        lines = txt.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [float("nan")])

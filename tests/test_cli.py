@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_config, build_parser, main
+from repro.kernels import ConvolutionKernel
+
+
+class TestParseConfig:
+    def test_full_parse(self):
+        space = ConvolutionKernel().space
+        values = _parse_config(
+            "wg_x=32,wg_y=4,ppt_x=2,ppt_y=2,use_image=1,use_local=0,"
+            "pad=1,interleaved=1,unroll=1",
+            space,
+        )
+        assert values["wg_x"] == 32 and values["unroll"] == 1
+
+    def test_unknown_name(self):
+        space = ConvolutionKernel().space
+        with pytest.raises(SystemExit, match="unknown parameter"):
+            _parse_config("bogus=1", space)
+
+    def test_missing_names(self):
+        space = ConvolutionKernel().space
+        with pytest.raises(SystemExit, match="missing parameters"):
+            _parse_config("wg_x=32", space)
+
+    def test_non_integer(self):
+        space = ConvolutionKernel().space
+        with pytest.raises(SystemExit, match="non-integer"):
+            _parse_config("wg_x=abc", space)
+
+    def test_malformed_item(self):
+        space = ConvolutionKernel().space
+        with pytest.raises(SystemExit, match="name=value"):
+            _parse_config("wg_x", space)
+
+
+class TestCommands:
+    def test_devices_lists_catalog(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Nvidia K40" in out and "AMD HD 7970" in out
+
+    def test_benchmarks_lists_sizes(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "131072" in out and "2359296" in out
+
+    def test_tune_small_run(self, capsys):
+        rc = main(
+            ["tune", "-k", "convolution", "-d", "intel", "-n", "300",
+             "-m", "30", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc in (0, 1)
+        if rc == 0:
+            assert "best configuration" in out
+        else:
+            assert "FAILED" in out
+
+    def test_tune_iterative(self, capsys):
+        rc = main(
+            ["tune", "-k", "convolution", "-d", "nvidia", "--iterative",
+             "--budget", "200", "--rounds", "2", "--seed", "2"]
+        )
+        assert rc == 0
+        assert "best configuration" in capsys.readouterr().out
+
+    def test_predict_roundtrip(self, capsys):
+        rc = main(
+            ["predict", "-k", "convolution", "-d", "nvidia", "-n", "300",
+             "--config",
+             "wg_x=32,wg_y=4,ppt_x=2,ppt_y=2,use_image=1,use_local=0,"
+             "pad=1,interleaved=1,unroll=1",
+             "--seed", "0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted time" in out and "actual" in out
+
+    def test_predict_invalid_config_reported(self, capsys):
+        rc = main(
+            ["predict", "-k", "convolution", "-d", "amd", "-n", "300",
+             "--config",
+             "wg_x=128,wg_y=128,ppt_x=1,ppt_y=1,use_image=0,use_local=0,"
+             "pad=0,interleaved=0,unroll=0",
+             "--seed", "0"]
+        )
+        assert rc == 0
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "-k", "bogus", "-d", "intel"])
+
+
+class TestExperimentsSubcommand:
+    def test_experiments_only_tables(self, capsys):
+        rc = main(["experiments", "--only", "tables"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "131072" in out
+
+    def test_experiments_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        rc = main(["experiments", "--only", "tables", "--out", str(out_path)])
+        assert rc == 0
+        assert "Table 1" in out_path.read_text()

@@ -1,0 +1,69 @@
+"""Tests for multi-device portability campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import PortabilityCampaign
+from repro.core.results import MeasurementDB
+from repro.core.tuner import TunerSettings
+from repro.kernels import ConvolutionKernel
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    spec = ConvolutionKernel()
+    campaign = PortabilityCampaign(
+        spec,
+        devices=("intel", "nvidia"),
+        settings=TunerSettings(n_train=400, m_candidates=40),
+    )
+    return campaign.run(seed=3)
+
+
+class TestCampaign:
+    def test_tunes_every_device(self, campaign_result):
+        assert set(campaign_result.results) == {"intel", "nvidia"}
+        for r in campaign_result.results.values():
+            assert not r.failed
+
+    def test_matrix_diagonal_is_own_time(self, campaign_result):
+        for d in ("intel", "nvidia"):
+            own = campaign_result.transplant_matrix[d][d]
+            assert own is not None and own > 0
+            assert campaign_result.slowdown(d, d) == pytest.approx(1.0)
+
+    def test_cross_device_transplant_costs(self, campaign_result):
+        # CPU<->GPU transplants are expensive (or invalid) in each direction.
+        s = campaign_result.slowdown("intel", "nvidia")
+        assert s != s or s > 1.5
+
+    def test_report_renders(self, campaign_result):
+        text = campaign_result.report()
+        assert "portability campaign: convolution" in text
+        assert "transplant slowdowns" in text
+        assert "intel" in text and "nvidia" in text
+
+    def test_db_persistence(self, tmp_path):
+        spec = ConvolutionKernel()
+        db = MeasurementDB(tmp_path / "campaign.json")
+        campaign = PortabilityCampaign(
+            spec,
+            devices=("nvidia",),
+            settings=TunerSettings(n_train=150, m_candidates=15),
+            db=db,
+        )
+        result = campaign.run(seed=5)
+        assert len(db) > 100
+        # The winning configuration's measurement is in the store.
+        if not result.results["nvidia"].failed:
+            stored = db.get("convolution", "Nvidia K40",
+                            result.results["nvidia"].best_index)
+            assert stored is not None
+        # And it survived to disk.
+        assert MeasurementDB(tmp_path / "campaign.json").best(
+            "convolution", "Nvidia K40"
+        )[1] > 0
+
+    def test_empty_devices_rejected(self):
+        with pytest.raises(ValueError):
+            PortabilityCampaign(ConvolutionKernel(), devices=())

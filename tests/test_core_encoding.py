@@ -1,0 +1,79 @@
+"""Tests for the configuration feature encoder."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import ConfigEncoder
+from repro.kernels import ConvolutionKernel, RaycastingKernel
+from repro.params import ParameterSpace, boolean, choice, pow2
+
+
+class TestEncodingRules:
+    def test_pow2_encoded_as_log2(self):
+        space = ParameterSpace([pow2("wg", 1, 128)])
+        enc = ConfigEncoder(space)
+        X = enc.encode_indices(np.arange(space.size))
+        np.testing.assert_allclose(X[:, 0], np.arange(8))
+        assert enc.feature_names == ["log2(wg)"]
+
+    def test_bool_encoded_as_01(self):
+        space = ParameterSpace([boolean("flag")])
+        enc = ConfigEncoder(space)
+        X = enc.encode_indices([0, 1])
+        np.testing.assert_allclose(X.ravel(), [0.0, 1.0])
+
+    def test_pow2_valued_choice_gets_log2(self):
+        """The paper's unroll factors (1,2,4,8,16) are a choice parameter
+        but should be encoded on the log2 axis, not one-hot."""
+        space = ParameterSpace([choice("unroll", (1, 2, 4, 8, 16))])
+        enc = ConfigEncoder(space)
+        assert enc.n_features == 1
+        X = enc.encode_indices(np.arange(5))
+        np.testing.assert_allclose(X.ravel(), [0, 1, 2, 3, 4])
+
+    def test_general_choice_one_hot(self):
+        space = ParameterSpace([choice("mode", ("a", "b", "c"))])
+        enc = ConfigEncoder(space)
+        assert enc.n_features == 3
+        X = enc.encode_indices([0, 1, 2])
+        np.testing.assert_allclose(X, np.eye(3))
+        assert enc.feature_names == ["mode=='a'", "mode=='b'", "mode=='c'"]
+
+    def test_non_pow2_numeric_choice_one_hot(self):
+        space = ParameterSpace([choice("n", (1, 3, 5))])
+        assert ConfigEncoder(space).n_features == 3
+
+
+class TestBenchmarkEncodings:
+    def test_convolution_feature_width(self):
+        enc = ConfigEncoder(ConvolutionKernel().space)
+        # 4 pow2 + 5 bool, no one-hot.
+        assert enc.n_features == 9
+
+    def test_raycasting_feature_width(self):
+        enc = ConfigEncoder(RaycastingKernel().space)
+        # 4 pow2 + 5 bool + 1 log2 unroll.
+        assert enc.n_features == 10
+
+    def test_encode_config_matches_encode_indices(self):
+        spec = ConvolutionKernel()
+        enc = ConfigEncoder(spec.space)
+        cfg = spec.space[12345]
+        np.testing.assert_array_equal(
+            enc.encode_config(cfg), enc.encode_indices([12345])[0]
+        )
+        np.testing.assert_array_equal(
+            enc.encode_config(dict(cfg)), enc.encode_indices([12345])[0]
+        )
+
+    def test_bulk_encoding_consistent(self):
+        spec = ConvolutionKernel()
+        enc = ConfigEncoder(spec.space)
+        idx = np.array([0, 5, 99, 131071])
+        X = enc.encode_indices(idx)
+        for row, i in zip(X, idx):
+            np.testing.assert_array_equal(row, enc.encode_config(spec.space[int(i)]))
+
+    def test_repr(self):
+        enc = ConfigEncoder(ConvolutionKernel().space)
+        assert "9 features" in repr(enc)

@@ -1,0 +1,93 @@
+"""Tests for the iterative round-based tuner."""
+
+import numpy as np
+import pytest
+
+from repro.core.iterative import IterativeSettings, IterativeTuner
+from repro.core.tuner import MLAutoTuner, TunerSettings
+from repro.experiments.oracle import TrueTimeOracle
+from repro.kernels import ConvolutionKernel
+from repro.runtime import Context
+from repro.simulator import NVIDIA_K40
+
+
+class TestSettings:
+    def test_budget_split(self):
+        s = IterativeSettings(total_budget=1000, rounds=3, initial_fraction=0.4)
+        assert s.initial_batch == 400
+        assert s.round_batch == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IterativeSettings(total_budget=10)
+        with pytest.raises(ValueError):
+            IterativeSettings(rounds=0)
+        with pytest.raises(ValueError):
+            IterativeSettings(initial_fraction=1.0)
+        with pytest.raises(ValueError):
+            IterativeSettings(exploration=1.0)
+
+
+class TestIterativeTuner:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return ConvolutionKernel()
+
+    def test_finds_good_configuration(self, spec):
+        ctx = Context(NVIDIA_K40, seed=6)
+        tuner = IterativeTuner(
+            ctx, spec, IterativeSettings(total_budget=600, rounds=2)
+        )
+        result = tuner.tune(np.random.default_rng(6), model_seed=6)
+        assert not result.failed
+        oracle = TrueTimeOracle(spec, NVIDIA_K40)
+        _, opt = oracle.global_optimum()
+        assert oracle.time_of(result.best_index) / opt < 1.6
+
+    def test_history_spans_all_rounds(self, spec):
+        ctx = Context(NVIDIA_K40, seed=6)
+        settings = IterativeSettings(total_budget=300, rounds=3)
+        tuner = IterativeTuner(ctx, spec, settings)
+        tuner.tune(np.random.default_rng(6), model_seed=6)
+        assert len(tuner.history) == 4  # initial + 3 rounds
+        total = sum(ms.n_valid + ms.n_invalid for ms in tuner.history)
+        # Exploit proposals are deduplicated against history, so the total
+        # can fall slightly short of the nominal budget but never over it.
+        assert total <= settings.total_budget
+        assert total >= int(0.8 * settings.total_budget)
+
+    def test_never_remeasures_for_exploitation(self, spec):
+        ctx = Context(NVIDIA_K40, seed=8)
+        tuner = IterativeTuner(
+            ctx, spec, IterativeSettings(total_budget=300, rounds=2, exploration=0.0)
+        )
+        tuner.tune(np.random.default_rng(8), model_seed=8)
+        seen = set()
+        for ms in tuner.history:
+            batch = set(int(i) for i in ms.indices) | set(
+                int(i) for i in ms.invalid_indices
+            )
+            assert not (batch & seen)
+            seen |= batch
+
+    def test_matches_one_shot_quality_at_equal_budget(self, spec):
+        """At the same total measurement budget, iterative refinement
+        should at least match the one-shot pipeline on average."""
+        oracle = TrueTimeOracle(spec, NVIDIA_K40)
+        _, opt = oracle.global_optimum()
+        one_shot, iterative = [], []
+        for seed in (0, 1, 2):
+            ctx = Context(NVIDIA_K40, seed=seed)
+            r1 = MLAutoTuner(
+                ctx, spec, TunerSettings(n_train=500, m_candidates=100)
+            ).tune(np.random.default_rng(seed), model_seed=seed)
+            if not r1.failed:
+                one_shot.append(oracle.time_of(r1.best_index) / opt)
+            ctx2 = Context(NVIDIA_K40, seed=seed)
+            r2 = IterativeTuner(
+                ctx2, spec, IterativeSettings(total_budget=600, rounds=2)
+            ).tune(np.random.default_rng(seed), model_seed=seed)
+            if not r2.failed:
+                iterative.append(oracle.time_of(r2.best_index) / opt)
+        assert iterative, "iterative tuner failed on every seed"
+        assert np.mean(iterative) < np.mean(one_shot) * 1.15

@@ -1,0 +1,89 @@
+"""Tests for result records and the measurement store."""
+
+import math
+
+import pytest
+
+from repro.core.results import MeasurementDB, TuningResult
+
+
+def make_result(**overrides):
+    base = dict(
+        kernel="convolution",
+        device="Nvidia K40",
+        best_index=42,
+        best_time_s=0.002,
+        n_trained=950,
+        n_stage2=100,
+        stage2_invalid=5,
+        evaluated_fraction=0.008,
+        total_cost_s=1800.0,
+    )
+    base.update(overrides)
+    return TuningResult(**base)
+
+
+class TestTuningResult:
+    def test_success_flags(self):
+        r = make_result()
+        assert not r.failed
+        assert r.slowdown_vs(0.001) == pytest.approx(2.0)
+
+    def test_failure_mode(self):
+        r = make_result(best_index=-1, best_time_s=float("nan"))
+        assert r.failed
+        assert math.isnan(r.slowdown_vs(0.001))
+
+    def test_slowdown_rejects_bad_optimum(self):
+        with pytest.raises(ValueError):
+            make_result().slowdown_vs(-1.0)
+
+
+class TestMeasurementDB:
+    def test_put_get_roundtrip(self):
+        db = MeasurementDB()
+        db.put("convolution", "Nvidia K40", 7, 0.005)
+        db.put("convolution", "Nvidia K40", 8, None)
+        assert db.get("convolution", "Nvidia K40", 7) == 0.005
+        assert db.get("convolution", "Nvidia K40", 8) is None
+        assert db.get("convolution", "Nvidia K40", 9) is None
+        assert len(db) == 2
+
+    def test_keys_are_kernel_device_scoped(self):
+        db = MeasurementDB()
+        db.put("convolution", "Nvidia K40", 7, 0.005)
+        db.put("stereo", "Nvidia K40", 7, 0.009)
+        assert db.get("convolution", "Nvidia K40", 7) != db.get(
+            "stereo", "Nvidia K40", 7
+        )
+
+    def test_persistence(self, tmp_path):
+        path = tmp_path / "m.json"
+        db = MeasurementDB(path)
+        db.put("convolution", "AMD HD 7970", 3, 0.004)
+        db.put("convolution", "AMD HD 7970", 4, None)
+        db.save()
+        again = MeasurementDB(path)
+        assert again.get("convolution", "AMD HD 7970", 3) == 0.004
+        assert again.get("convolution", "AMD HD 7970", 4) is None
+        # Integer keys survive the JSON round trip.
+        assert 3 in again.table("convolution", "AMD HD 7970")
+
+    def test_save_requires_path(self):
+        with pytest.raises(RuntimeError):
+            MeasurementDB().save()
+
+    def test_best_skips_invalid(self):
+        db = MeasurementDB()
+        db.put("k", "d", 1, 0.5)
+        db.put("k", "d", 2, 0.3)
+        db.put("k", "d", 3, None)
+        assert db.best("k", "d") == (2, 0.3)
+
+    def test_best_empty_raises(self):
+        db = MeasurementDB()
+        db.put("k", "d", 3, None)
+        with pytest.raises(ValueError):
+            db.best("k", "d")
+        with pytest.raises(ValueError):
+            db.best("k", "other")

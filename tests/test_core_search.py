@@ -1,0 +1,100 @@
+"""Tests for the search baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.measure import Measurer
+from repro.core.results import MeasurementDB
+from repro.core.search import coordinate_descent, exhaustive_search, random_search
+from repro.kernels.convolution import ConvolutionKernel, ConvolutionProblem
+from repro.runtime import Context
+from repro.simulator import NVIDIA_K40
+
+
+@pytest.fixture(scope="module")
+def measurer():
+    # Paper-sized timing model; search over a subset keeps tests quick.
+    return Measurer(Context(NVIDIA_K40, seed=4), ConvolutionKernel())
+
+
+class TestExhaustive:
+    def test_subset_measured_completely(self, measurer):
+        subset = list(range(0, 4000, 40))
+        ms = exhaustive_search(measurer, indices=subset)
+        assert ms.n_valid + ms.n_invalid == len(subset)
+
+    def test_records_into_db(self, measurer, tmp_path):
+        db = MeasurementDB(tmp_path / "db.json")
+        subset = list(range(100))
+        ms = exhaustive_search(measurer, db=db, indices=subset)
+        assert len(db) == 100
+        # DB agrees with the returned set on validity.
+        for i in ms.invalid_indices:
+            assert db.get("convolution", "Nvidia K40", int(i)) is None
+        db.save()
+        reload = MeasurementDB(tmp_path / "db.json")
+        assert len(reload) == 100
+
+
+class TestRandomSearch:
+    def test_budget_respected(self, measurer):
+        ms = random_search(measurer, 200, np.random.default_rng(0))
+        assert ms.n_valid + ms.n_invalid == 200
+
+    def test_bad_budget(self, measurer):
+        with pytest.raises(ValueError):
+            random_search(measurer, 0, np.random.default_rng(0))
+
+    def test_budget_capped_at_space(self):
+        small = ConvolutionKernel(ConvolutionProblem(64, 64, 5))
+        m = Measurer(Context(NVIDIA_K40, seed=1), small)
+        ms = random_search(m, 10**9, np.random.default_rng(0))
+        assert ms.n_valid + ms.n_invalid == small.space.size
+
+
+class TestCoordinateDescent:
+    def test_reaches_single_axis_local_optimum(self, measurer):
+        rng = np.random.default_rng(7)
+        idx, t, budget = coordinate_descent(measurer, rng, max_sweeps=2)
+        assert idx >= 0
+        assert t > 0
+        assert budget > 0
+        # Verify local optimality along one axis: no single change of the
+        # first parameter improves the *true* time by more than noise.
+        space = measurer.spec.space
+        digits = list(space.digits_of(idx))
+        base = measurer.true_time(idx)
+        p = space.parameters[0]
+        for d in range(p.cardinality):
+            trial = digits.copy()
+            trial[0] = d
+            other = measurer.true_time(space.index_of_digits(trial))
+            if other is not None:
+                assert other > base * 0.85
+
+    def test_respects_given_start(self, measurer):
+        rng = np.random.default_rng(8)
+        # Find some valid start.
+        start = None
+        for i in range(1000):
+            if measurer.is_valid(i):
+                start = i
+                break
+        idx, t, _ = coordinate_descent(measurer, rng, max_sweeps=1, start_index=start)
+        assert measurer.true_time(idx) <= measurer.true_time(start) * 1.05
+
+    def test_interactions_trap_it_above_global_optimum(self, measurer):
+        """The §5.1 claim: one-at-a-time search cannot find the best
+        configuration because parameters interact."""
+        from repro.experiments.oracle import TrueTimeOracle
+        from repro.simulator import NVIDIA_K40 as DEV
+
+        oracle = TrueTimeOracle(measurer.spec, DEV)
+        _, opt = oracle.global_optimum()
+        worst_gap = 0.0
+        for seed in (0, 1, 2):
+            idx, _, _ = coordinate_descent(
+                measurer, np.random.default_rng(seed), max_sweeps=3
+            )
+            worst_gap = max(worst_gap, oracle.time_of(idx) / opt)
+        assert worst_gap > 1.05

@@ -1,0 +1,124 @@
+"""Tests for the sensitivity/interaction analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.core.sensitivity import (
+    interaction_strength,
+    parameter_sensitivity,
+    sensitivity_report,
+)
+from repro.params import ParameterSpace, boolean, pow2
+
+
+@pytest.fixture
+def toy_space():
+    return ParameterSpace(
+        [pow2("a", 1, 8), pow2("b", 1, 8), boolean("c")]
+    )
+
+
+def additive_fn(space):
+    """log t = log2(a) + 2*log2(b); c irrelevant."""
+
+    def predict(indices):
+        vals = space.values_matrix(np.asarray(indices))
+        return np.exp(np.log2(vals[:, 0]) + 2 * np.log2(vals[:, 1]))
+
+    return predict
+
+
+def interacting_fn(space):
+    """log t = log2(a) * log2(b): strongly non-additive."""
+
+    def predict(indices):
+        vals = space.values_matrix(np.asarray(indices))
+        return np.exp(np.log2(vals[:, 0]) * np.log2(vals[:, 1]))
+
+    return predict
+
+
+class TestParameterSensitivity:
+    def test_recovers_relative_magnitudes(self, toy_space):
+        sens = parameter_sensitivity(
+            additive_fn(toy_space), toy_space, np.random.default_rng(0), n_base=24
+        )
+        # b's coefficient is twice a's; c does nothing.
+        assert sens["b"] == pytest.approx(2 * sens["a"], rel=1e-6)
+        assert sens["c"] == pytest.approx(0.0, abs=1e-9)
+        assert sens["a"] == pytest.approx(3.0, rel=1e-6)  # log2 range over 1..8
+
+    def test_nan_predictions_skipped(self, toy_space):
+        def predict(indices):
+            out = additive_fn(toy_space)(indices)
+            out[::2] = np.nan
+            return out
+
+        sens = parameter_sensitivity(
+            predict, toy_space, np.random.default_rng(0), n_base=16
+        )
+        # Sweeps of the 4-valued parameters keep >= 2 finite points and
+        # stay measurable; the 2-valued switch may lose every pair.
+        assert sens["a"] == sens["a"]
+        assert sens["b"] == sens["b"]
+
+    def test_validation(self, toy_space):
+        with pytest.raises(ValueError):
+            parameter_sensitivity(
+                additive_fn(toy_space), toy_space, np.random.default_rng(0), n_base=0
+            )
+
+
+class TestInteractionStrength:
+    def test_zero_for_additive(self, toy_space):
+        v = interaction_strength(
+            additive_fn(toy_space), toy_space, "a", "b", np.random.default_rng(0)
+        )
+        assert v == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_multiplicative(self, toy_space):
+        v = interaction_strength(
+            interacting_fn(toy_space), toy_space, "a", "b", np.random.default_rng(0)
+        )
+        assert v > 0.5
+
+    def test_requires_two_values(self):
+        space = ParameterSpace([pow2("a", 1, 1), boolean("c")])
+        with pytest.raises(ValueError):
+            interaction_strength(
+                lambda idx: np.ones(len(idx)), space, "a", "c",
+                np.random.default_rng(0),
+            )
+
+
+class TestOnRealKernel:
+    def test_local_ppt_interaction_exceeds_pad_interleaved(self):
+        """The tile-size interaction (use_local x ppt_y) must dwarf a pair
+        with no mechanism linking them (pad x interleaved)."""
+        from repro.experiments.oracle import TrueTimeOracle
+        from repro.kernels import ConvolutionKernel
+        from repro.simulator import NVIDIA_K40
+
+        spec = ConvolutionKernel()
+        oracle = TrueTimeOracle(spec, NVIDIA_K40)
+        rng = np.random.default_rng(1)
+        strong = interaction_strength(
+            oracle.times_for, spec.space, "use_local", "ppt_y", rng, n_base=60
+        )
+        weak = interaction_strength(
+            oracle.times_for, spec.space, "pad", "interleaved",
+            np.random.default_rng(1), n_base=60,
+        )
+        assert strong > weak
+
+
+class TestReport:
+    def test_sorted_and_rendered(self):
+        txt = sensitivity_report({"a": 0.5, "b": 1.5, "c": float("nan")})
+        lines = txt.splitlines()
+        assert lines[0].startswith("b")
+        assert "n/a" in txt
+
+    def test_top_limits_rows(self):
+        txt = sensitivity_report({"a": 1.0, "b": 2.0, "c": 3.0}, top=2)
+        assert len(txt.splitlines()) == 2

@@ -1,0 +1,59 @@
+"""The examples must at least parse and import-check.
+
+Running them end-to-end takes minutes each (they are demos, exercised
+manually and in the docs); compilation plus an import-graph check catches
+the common rot — renamed APIs, moved modules — cheaply on every test run.
+"""
+
+import ast
+import importlib
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every `import repro...` / `from repro... import X` in an example
+    must resolve against the installed package."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module} has no attribute {alias.name}"
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro"):
+                    importlib.import_module(alias.name)
+
+
+def test_expected_example_set():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "cross_device_portability.py",
+        "custom_kernel.py",
+        "compare_models.py",
+        "input_aware_tuning.py",
+        "novel_architecture.py",
+        "portability_campaign.py",
+    } <= names
+
+
+def test_examples_have_docstrings_with_run_instructions():
+    for path in EXAMPLES:
+        tree = ast.parse(path.read_text())
+        doc = ast.get_docstring(tree)
+        assert doc, f"{path.name} lacks a module docstring"
+        assert "Run:" in doc or "Run " in doc, f"{path.name}: no run instructions"

@@ -1,0 +1,164 @@
+"""Tests for the experiment harness: oracle, presets, reporting, and smoke
+runs of the cheap experiments (the heavy ones are exercised — and their
+shape claims asserted — by the benchmark suite)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import TrueTimeOracle, get_preset
+from repro.experiments.presets import FAST, FULL, PAPER_TRAINING_SIZES
+from repro.experiments.reporting import header, kv_block, ms, pct, series, table
+from repro.kernels import StereoKernel
+from repro.kernels.convolution import ConvolutionKernel, ConvolutionProblem
+from repro.simulator import NVIDIA_K40
+
+
+class TestOracle:
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        return TrueTimeOracle(ConvolutionKernel(), NVIDIA_K40)
+
+    def test_invalid_is_nan(self, oracle):
+        cfg = oracle.spec.space.config(
+            wg_x=128, wg_y=128, ppt_x=1, ppt_y=1, use_image=0, use_local=0,
+            pad=0, interleaved=0, unroll=0,
+        )
+        assert np.isnan(oracle.time_of(cfg.index))
+
+    def test_memoized_and_deterministic(self, oracle):
+        a = oracle.time_of(123)
+        b = oracle.time_of(123)
+        assert a == b
+
+    def test_times_for_alignment(self, oracle):
+        idx = [5, 10, 123]
+        times = oracle.times_for(idx)
+        assert times.shape == (3,)
+        assert times[2] == oracle.time_of(123)
+
+    def test_full_table_refuses_huge_spaces(self):
+        oracle = TrueTimeOracle(StereoKernel(), NVIDIA_K40)
+        with pytest.raises(ValueError, match="too large"):
+            oracle.full_table()
+
+    def test_global_optimum_on_small_space(self):
+        spec = ConvolutionKernel(ConvolutionProblem(64, 64, 5))
+        # Timing model scales with the spec's problem; space is the same
+        # 131072 points, so use a sub-sampled optimum check instead:
+        oracle = TrueTimeOracle(spec, NVIDIA_K40)
+        idx = list(range(0, spec.space.size, 1024))
+        best_i, best_t = oracle.best_among(idx)
+        assert best_t == np.nanmin(oracle.times_for(idx))
+        assert best_i in idx
+
+    def test_best_among_all_invalid_raises(self, oracle):
+        bad = oracle.spec.space.config(
+            wg_x=128, wg_y=128, ppt_x=1, ppt_y=1, use_image=0, use_local=0,
+            pad=0, interleaved=0, unroll=0,
+        ).index
+        with pytest.raises(ValueError):
+            oracle.best_among([bad])
+
+    def test_measure_noisy_but_unbiased(self, oracle):
+        rng = np.random.default_rng(0)
+        true = oracle.time_of(123)
+        xs = np.array([oracle.measure([123], rng, repeats=1)[0] for _ in range(300)])
+        assert np.abs(np.log(xs / true).mean()) < 0.02
+
+
+class TestPresets:
+    def test_full_matches_paper_grids(self):
+        assert FULL.training_sizes == PAPER_TRAINING_SIZES
+        assert FULL.tuner_m == (10, 50, 100, 150, 200)
+        assert FULL.fig14_train == 3000 and FULL.fig14_m == 300
+        assert FULL.fig14_random_budget == 50000
+
+    def test_fast_keeps_axes(self):
+        assert max(FAST.training_sizes) == 4000
+        assert min(FAST.training_sizes) == 100
+
+    def test_lookup(self, monkeypatch):
+        assert get_preset("full") is FULL
+        assert get_preset(FAST) is FAST
+        monkeypatch.setenv("REPRO_PRESET", "full")
+        assert get_preset() is FULL
+        with pytest.raises(KeyError):
+            get_preset("turbo")
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        txt = table([(1, "ab"), (22, "c")], headers=("n", "name"))
+        lines = txt.splitlines()
+        assert lines[0].startswith("n")
+        assert len(lines) == 4
+
+    def test_pct_and_ms(self):
+        assert pct(0.061) == "6.1%"
+        assert pct(float("nan")) == "missing"
+        assert ms(0.00123) == "1.230 ms"
+        assert ms(float("nan")) == "missing"
+
+    def test_series_handles_nan(self):
+        txt = series([1, 2], [0.5, float("nan")])
+        assert "missing" in txt
+
+    def test_header_and_kv(self):
+        assert "Title" in header("Title")
+        block = kv_block({"a": 1, "long key": 2})
+        assert "long key : 2" in block
+
+
+class TestCheapExperiments:
+    def test_tables_experiment(self):
+        from repro.experiments import tables
+
+        r = tables.run()
+        txt = tables.format_text(r)
+        assert "131072" in txt and "[OK]" in txt and "MISMATCH" not in txt
+
+    def test_fig02_experiment(self):
+        from repro.experiments import fig02_ann
+
+        r = fig02_ann.run()
+        assert r["convolution"]["features"] == 9
+        assert r["raycasting"]["features"] == 10
+        assert r["stereo"]["features"] == 11
+        # 30 hidden sigmoid units over f features: f*30+30 + 30+1 params.
+        assert r["convolution"]["parameters"] == 9 * 30 + 30 + 31
+        assert "sigmoid" in fig02_ann.format_text(r)
+
+    def test_cost_accounting_small(self):
+        from repro.experiments import cost_accounting
+
+        r = cost_accounting.run(n_train=60, seed=0)
+        assert r["n_valid"] + r["n_invalid"] == 60
+        assert r["gather_total_s"] > 0
+        txt = cost_accounting.format_text(r)
+        assert "total gathering" in txt
+
+    def test_run_all_registry_complete(self):
+        from repro.experiments.run_all import EXPERIMENTS
+
+        assert set(EXPERIMENTS) == {
+            "tables", "fig01", "fig02", "fig04-06", "fig07",
+            "fig08-10", "fig11-13", "fig14", "cost", "sec7",
+        }
+
+    def test_run_all_selects_and_rejects(self, capsys):
+        from repro.experiments.run_all import run_all
+
+        rendered = run_all(only=["tables", "fig02"], stream=None)
+        assert set(rendered) == {"tables", "fig02"}
+        with pytest.raises(KeyError):
+            run_all(only=["fig99"], stream=None)
+
+    def test_write_experiments_md(self, tmp_path):
+        from repro.experiments.run_all import run_all, write_experiments_md
+
+        rendered = run_all(only=["tables"], stream=None)
+        out = tmp_path / "EXPERIMENTS.md"
+        write_experiments_md(str(out), rendered, "fast")
+        text = out.read_text()
+        assert "paper vs. measured" in text
+        assert "```text" in text

@@ -1,0 +1,78 @@
+"""Tests for kernel-spec common machinery."""
+
+import pytest
+
+from repro.kernels.base import padded_threads, resolve_unroll
+from repro.simulator.devices import AMD_HD7970, INTEL_I7_3770, NVIDIA_K40
+
+
+class TestPaddedThreads:
+    def test_exact_fit(self):
+        assert padded_threads(2048, 2, 32) == 1024
+
+    def test_rounds_up_to_workgroup(self):
+        assert padded_threads(2048, 128, 32) == 32  # needs 16, pads to 32
+
+    def test_absurd_blocking_overprovisions(self):
+        # 128 px/thread with 128-wide groups on a 2048 image: 16 needed,
+        # 128 launched — slow, not invalid (matches real parameterized code).
+        assert padded_threads(2048, 128, 128) == 128
+
+    def test_single_pixel(self):
+        assert padded_threads(1, 1, 1) == 1
+
+
+class TestResolveUnroll:
+    def test_factor_one_is_identity(self):
+        assert resolve_unroll(1, AMD_HD7970, True, ("k", (1,))) == 1
+
+    def test_manual_unroll_always_honoured(self):
+        for f in (2, 4, 8, 16):
+            assert resolve_unroll(f, AMD_HD7970, False, ("k", (f,))) == f
+
+    def test_driver_unroll_deterministic(self):
+        key = ("convolution", (32, 8, 2, 2, 0, 1, 1, 0, 1))
+        a = resolve_unroll(8, AMD_HD7970, True, key)
+        b = resolve_unroll(8, AMD_HD7970, True, key)
+        assert a == b
+        assert a in (1, 8)
+
+    def test_amd_driver_drops_more_unrolls(self):
+        """§7: the AMD driver's pragma unrolling is the least reliable."""
+        dropped = {}
+        for dev in (AMD_HD7970, NVIDIA_K40, INTEL_I7_3770):
+            misses = sum(
+                1
+                for i in range(400)
+                if resolve_unroll(8, dev, True, ("k", (i,))) == 1
+            )
+            dropped[dev.name] = misses
+        assert dropped["AMD HD 7970"] > dropped["Nvidia K40"]
+        assert dropped["AMD HD 7970"] > dropped["Intel i7 3770"]
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_unroll(0, NVIDIA_K40, True, ("k", (1,)))
+
+
+class TestSpecProtocol:
+    def test_config_tuple_orders_by_space(self, small_convolution):
+        cfg = small_convolution.space[100]
+        assert small_convolution.config_tuple(cfg) == cfg.as_tuple()
+        assert small_convolution.config_tuple(dict(cfg)) == cfg.as_tuple()
+
+    def test_repr_mentions_space_size(self, small_convolution):
+        assert str(small_convolution.space.size) in repr(small_convolution)
+
+    def test_unroll_of(self, small_convolution, small_raycasting, small_stereo):
+        c = small_convolution.space.config(
+            wg_x=8, wg_y=8, ppt_x=1, ppt_y=1, use_image=0, use_local=0,
+            pad=0, interleaved=0, unroll=1,
+        )
+        assert small_convolution.unroll_of(c) == 25  # full 5x5 tap unroll
+        r = small_raycasting.space[0]
+        assert small_raycasting.unroll_of(r) == r["unroll"]
+        s = small_stereo.space[50]
+        assert small_stereo.unroll_of(s) == (
+            s["unroll_disp"] * s["unroll_diff_x"] * s["unroll_diff_y"]
+        )

@@ -1,0 +1,153 @@
+"""Functional-equivalence tests: every valid configuration computes the
+same output as the reference ("These candidates are all functionally
+equivalent, but the different values of the tuning parameters causes their
+performance to vary", §5.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+
+def config_strategy(spec):
+    return st.integers(0, spec.space.size - 1).map(lambda i: spec.space[i])
+
+
+class TestConvolutionFunctional:
+    def test_reference_is_box_filter(self, small_convolution, rng):
+        inputs = small_convolution.make_inputs(rng)
+        out = small_convolution.reference(inputs)
+        img = inputs["image"]
+        p = small_convolution.problem
+        # Interior pixel: plain mean of the 5x5 neighbourhood.
+        y, x = 10, 20
+        r = p.ksize // 2
+        expect = img[y - r : y + r + 1, x - r : x + r + 1].mean()
+        assert out[y, x] == pytest.approx(expect, rel=1e-5)
+
+    def test_border_clamps_to_edge(self, small_convolution, rng):
+        inputs = small_convolution.make_inputs(rng)
+        out = small_convolution.reference(inputs)
+        assert np.all(np.isfinite(out))
+        # Corner equals the clamped-window mean computed by hand.
+        img = inputs["image"]
+        p = small_convolution.problem
+        r = p.ksize // 2
+        padded = np.pad(img, r, mode="edge")
+        expect = padded[: p.ksize, : p.ksize].mean()
+        assert out[0, 0] == pytest.approx(expect, rel=1e-5)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(pad=0, use_local=0),
+            dict(pad=1, use_local=1),
+            dict(pad=0, use_local=1, interleaved=1),
+            dict(pad=1, use_image=1, unroll=1),
+            dict(wg_x=128, wg_y=1, ppt_x=1, ppt_y=16),
+            dict(ppt_x=128, ppt_y=128),  # block bigger than the image
+        ],
+    )
+    def test_config_paths_match_reference(self, small_convolution, rng, overrides):
+        base = dict(
+            wg_x=8, wg_y=4, ppt_x=2, ppt_y=2, use_image=0, use_local=0,
+            pad=0, interleaved=0, unroll=0,
+        )
+        base.update(overrides)
+        cfg = small_convolution.space.config(**base)
+        inputs = small_convolution.make_inputs(rng)
+        ref = small_convolution.reference(inputs)
+        out = small_convolution.run(cfg, inputs)
+        np.testing.assert_array_equal(out, ref)
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_random_configs_bitwise_equal(self, small_convolution, data):
+        cfg = data.draw(config_strategy(small_convolution))
+        inputs = small_convolution.make_inputs(np.random.default_rng(7))
+        np.testing.assert_array_equal(
+            small_convolution.run(cfg, inputs), small_convolution.reference(inputs)
+        )
+
+
+class TestRaycastingFunctional:
+    def test_output_shape_and_range(self, small_raycasting, rng):
+        inputs = small_raycasting.make_inputs(rng)
+        out = small_raycasting.reference(inputs)
+        n = small_raycasting.problem.image
+        assert out.shape == (n, n, 4)
+        assert np.all(out >= 0)
+        assert np.all(out[..., 3] <= 1.0 + 1e-5)  # compositing keeps alpha <= 1
+
+    def test_empty_volume_gives_black_image(self, small_raycasting):
+        p = small_raycasting.problem
+        inputs = {
+            "volume": np.zeros((p.volume,) * 3, dtype=np.float32),
+            "tf": np.zeros((p.tf_size, 4), dtype=np.float32),
+        }
+        out = small_raycasting.reference(inputs)
+        assert np.all(out == 0)
+
+    @pytest.mark.parametrize("unroll", [1, 2, 4, 8, 16])
+    def test_unroll_factors_match_reference(self, small_raycasting, rng, unroll):
+        cfg = small_raycasting.space.config(
+            wg_x=4, wg_y=4, ppt_x=2, ppt_y=1, img_data=0, img_tf=0,
+            local_tf=0, const_tf=0, interleaved=0, unroll=unroll,
+        )
+        inputs = small_raycasting.make_inputs(rng)
+        np.testing.assert_array_equal(
+            small_raycasting.run(cfg, inputs), small_raycasting.reference(inputs)
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_random_configs_bitwise_equal(self, small_raycasting, data):
+        cfg = data.draw(config_strategy(small_raycasting))
+        inputs = small_raycasting.make_inputs(np.random.default_rng(3))
+        np.testing.assert_array_equal(
+            small_raycasting.run(cfg, inputs), small_raycasting.reference(inputs)
+        )
+
+
+class TestStereoFunctional:
+    def test_recovers_constant_shift(self, small_stereo):
+        """A left image that is the right image shifted by d should give
+        disparity ~d away from borders."""
+        p = small_stereo.problem
+        rng = np.random.default_rng(5)
+        right = rng.integers(0, 256, size=(p.image, p.image), dtype=np.int64)
+        d_true = 3
+        left = np.roll(right, d_true, axis=1)
+        out = small_stereo.reference({"left": left, "right": right})
+        core = out[4 : p.image - 8, 8 : p.image - 8]
+        assert (core == d_true).mean() > 0.9
+
+    def test_ties_break_to_lowest_disparity(self, small_stereo):
+        p = small_stereo.problem
+        flat = np.full((p.image, p.image), 7, dtype=np.int64)
+        out = small_stereo.reference({"left": flat, "right": flat})
+        assert np.all(out == 0)
+
+    @pytest.mark.parametrize("fd", [1, 2, 4, 8])
+    def test_disparity_chunking_matches(self, small_stereo, rng, fd):
+        cfg = small_stereo.space.config(
+            wg_x=8, wg_y=8, ppt_x=1, ppt_y=1, img_left=0, img_right=0,
+            local_left=0, local_right=0, unroll_disp=fd,
+            unroll_diff_x=1, unroll_diff_y=1,
+        )
+        inputs = small_stereo.make_inputs(rng)
+        np.testing.assert_array_equal(
+            small_stereo.run(cfg, inputs), small_stereo.reference(inputs)
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_random_configs_exact_equal(self, small_stereo, data):
+        cfg = data.draw(config_strategy(small_stereo))
+        inputs = small_stereo.make_inputs(np.random.default_rng(11))
+        np.testing.assert_array_equal(
+            small_stereo.run(cfg, inputs), small_stereo.reference(inputs)
+        )

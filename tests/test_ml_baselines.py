@@ -1,0 +1,163 @@
+"""Tests for the baseline regressors: linear, kNN, trees, forests, boosting."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GradientBoostedTrees,
+    KNNRegressor,
+    RandomForestRegressor,
+    RegressionTree,
+    RidgeRegression,
+)
+from repro.ml.metrics import r2_score
+
+
+def linear_problem(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, 3))
+    return X, 3 * X[:, 0] - 2 * X[:, 1] + 0.5
+
+
+def stepwise_problem(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, 3))
+    y = np.where(X[:, 0] > 0, 2.0, -1.0) + np.where(X[:, 1] > 0.5, 1.0, 0.0)
+    return X, y
+
+
+class TestRidge:
+    def test_recovers_linear_coefficients(self):
+        X, y = linear_problem()
+        m = RidgeRegression(alpha=1e-8).fit(X, y)
+        assert m.coef_ == pytest.approx([3, -2, 0], abs=1e-6)
+        assert m.intercept_ == pytest.approx(0.5, abs=1e-6)
+
+    def test_regularization_shrinks(self):
+        X, y = linear_problem()
+        loose = RidgeRegression(alpha=1e-8).fit(X, y)
+        tight = RidgeRegression(alpha=1e3).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegression().predict(np.zeros((1, 3)))
+
+
+class TestKNN:
+    def test_exact_on_training_points_k1(self):
+        X, y = linear_problem()
+        m = KNNRegressor(k=1).fit(X, y)
+        np.testing.assert_allclose(m.predict(X), y)
+
+    def test_weighted_beats_unweighted_on_smooth_target(self):
+        X, y = linear_problem(400)
+        Xv, yv = linear_problem(100, seed=1)
+        uw = KNNRegressor(k=7).fit(X, y)
+        w = KNNRegressor(k=7, weighted=True).fit(X, y)
+        assert r2_score(w.predict(Xv), yv) >= r2_score(uw.predict(Xv), yv) - 0.02
+
+    def test_k_larger_than_data_rejected(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=10).fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=0)
+
+
+class TestRegressionTree:
+    def test_fits_stepwise_function_exactly(self):
+        X, y = stepwise_problem()
+        m = RegressionTree(max_depth=4).fit(X, y)
+        assert r2_score(m.predict(X), y) > 0.999
+
+    def test_depth_zero_predicts_mean(self):
+        X, y = linear_problem()
+        m = RegressionTree(max_depth=0).fit(X, y)
+        np.testing.assert_allclose(m.predict(X), y.mean())
+        assert m.n_leaves == 1
+
+    def test_min_samples_leaf_respected(self):
+        X, y = stepwise_problem(50)
+        m = RegressionTree(max_depth=20, min_samples_leaf=10).fit(X, y)
+        # With >= 10 samples/leaf from 50 points, at most 5 leaves.
+        assert m.n_leaves <= 5
+
+    def test_depth_property(self):
+        X, y = stepwise_problem()
+        m = RegressionTree(max_depth=3).fit(X, y)
+        assert 1 <= m.depth <= 3
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).uniform(-1, 1, (50, 2))
+        m = RegressionTree().fit(X, np.ones(50))
+        assert m.n_leaves == 1
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=-1)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+
+
+class TestForest:
+    def test_beats_single_tree_generalization(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, (400, 4))
+        y = np.sin(3 * X[:, 0]) + X[:, 1] * X[:, 2] + 0.1 * rng.standard_normal(400)
+        Xv = rng.uniform(-1, 1, (200, 4))
+        yv = np.sin(3 * Xv[:, 0]) + Xv[:, 1] * Xv[:, 2]
+        tree = RegressionTree(max_depth=12, min_samples_leaf=1).fit(X, y)
+        forest = RandomForestRegressor(n_trees=40, seed=0).fit(X, y)
+        assert r2_score(forest.predict(Xv), yv) > r2_score(tree.predict(Xv), yv)
+
+    def test_seed_reproducibility(self):
+        X, y = stepwise_problem()
+        a = RandomForestRegressor(n_trees=5, seed=3).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_trees=5, seed=3).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_n_trees(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=0)
+
+
+class TestBoosting:
+    def test_fits_additive_structure(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, (500, 3))
+        y = np.sin(3 * X[:, 0]) + 0.5 * X[:, 1]
+        m = GradientBoostedTrees(n_stages=150, seed=0).fit(X, y)
+        assert r2_score(m.predict(X), y) > 0.97
+
+    def test_more_stages_fit_tighter(self):
+        X, y = stepwise_problem()
+        few = GradientBoostedTrees(n_stages=5, seed=0).fit(X, y)
+        many = GradientBoostedTrees(n_stages=100, seed=0).fit(X, y)
+        assert r2_score(many.predict(X), y) > r2_score(few.predict(X), y)
+
+    def test_subsample_still_learns(self):
+        X, y = stepwise_problem()
+        m = GradientBoostedTrees(n_stages=100, subsample=0.5, seed=0).fit(X, y)
+        assert r2_score(m.predict(X), y) > 0.9
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(subsample=1.5)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_stages=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().predict(np.zeros((1, 3)))

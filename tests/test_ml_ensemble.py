@@ -1,0 +1,107 @@
+"""Tests for the vectorized bagged-MLP ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.ml.bagging import BaggedRegressor
+from repro.ml.ensemble import EnsembleMLPRegressor
+from repro.ml.metrics import mean_squared_error, r2_score
+from repro.ml.mlp import MLPRegressor
+
+
+def make_problem(n=800, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, 6))
+    y = (
+        np.sin(2 * X[:, 0])
+        + X[:, 1] * X[:, 2]
+        + 0.5 * np.abs(X[:, 3])
+        + 0.05 * rng.standard_normal(n)
+    )
+    return X[: n // 2], y[: n // 2], X[n // 2 :], y[n // 2 :]
+
+
+class TestAccuracy:
+    def test_learns_nonlinear_surface(self):
+        Xt, yt, Xv, yv = make_problem()
+        m = EnsembleMLPRegressor(k=5, epochs=800, seed=0).fit(Xt, yt)
+        assert r2_score(m.predict(Xv), yv) > 0.9
+
+    def test_matches_scalar_bagging_quality(self):
+        """The vectorized trainer must be statistically equivalent to the
+        loop-of-MLPRegressor implementation it replaces."""
+        Xt, yt, Xv, yv = make_problem()
+        fast = EnsembleMLPRegressor(k=5, epochs=800, seed=0).fit(Xt, yt)
+        c = [0]
+
+        def factory():
+            c[0] += 1
+            return MLPRegressor(seed=c[0], epochs=800)
+
+        slow = BaggedRegressor(factory, k=5, seed=0).fit(Xt, yt)
+        mse_fast = mean_squared_error(fast.predict(Xv), yv)
+        mse_slow = mean_squared_error(slow.predict(Xv), yv)
+        assert mse_fast < 1.5 * mse_slow
+
+    def test_k1_single_network(self):
+        Xt, yt, Xv, yv = make_problem()
+        m = EnsembleMLPRegressor(k=1, epochs=600, seed=0).fit(Xt, yt)
+        assert r2_score(m.predict(Xv), yv) > 0.85
+
+
+class TestEnsembleSemantics:
+    def test_member_predictions_vary(self):
+        Xt, yt, Xv, _ = make_problem()
+        m = EnsembleMLPRegressor(k=7, epochs=300, seed=0).fit(Xt, yt)
+        assert np.all(m.predict_std(Xv[:20]) >= 0)
+        assert m.predict_std(Xv[:20]).max() > 0
+
+    def test_mean_is_between_member_extremes(self):
+        Xt, yt, Xv, _ = make_problem()
+        m = EnsembleMLPRegressor(k=5, epochs=300, seed=0).fit(Xt, yt)
+        members = m._member_predictions(Xv[:10])
+        mean = m.predict(Xv[:10])
+        assert np.all(mean <= members.max(axis=0) + 1e-9)
+        assert np.all(mean >= members.min(axis=0) - 1e-9)
+
+    def test_seed_reproducibility(self):
+        Xt, yt, Xv, _ = make_problem()
+        a = EnsembleMLPRegressor(k=3, epochs=100, seed=9).fit(Xt, yt).predict(Xv)
+        b = EnsembleMLPRegressor(k=3, epochs=100, seed=9).fit(Xt, yt).predict(Xv)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            EnsembleMLPRegressor(k=0)
+
+    def test_bad_hidden(self):
+        with pytest.raises(ValueError):
+            EnsembleMLPRegressor(hidden=0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            EnsembleMLPRegressor(k=11).fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            EnsembleMLPRegressor().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            EnsembleMLPRegressor().fit(np.zeros((20, 2)), np.zeros(19))
+
+
+class TestEarlyStopping:
+    def test_stops_on_plateau(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, (60, 2))
+        y = np.zeros(60)
+        m = EnsembleMLPRegressor(k=3, epochs=5000, patience=25, seed=0).fit(X, y)
+        assert len(m.loss_curve_) < 5000
+
+    def test_loss_decreases(self):
+        Xt, yt, _, _ = make_problem()
+        m = EnsembleMLPRegressor(k=3, epochs=300, seed=0).fit(Xt, yt)
+        assert m.loss_curve_[-1] < m.loss_curve_[0] / 5

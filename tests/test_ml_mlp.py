@@ -1,0 +1,157 @@
+"""Tests for the MLP regressor, including a numeric gradient check."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLPRegressor
+from repro.ml.layers import Dense
+from repro.ml.losses import MSELoss
+from repro.ml.metrics import r2_score
+
+
+class TestGradientCheck:
+    def test_backprop_matches_numeric_gradient(self):
+        """Central-difference check of every weight gradient."""
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((12, 4))
+        y = rng.standard_normal((12, 1))
+        layers = [Dense(4, 5, "sigmoid", rng), Dense(5, 1, "identity", rng)]
+        loss = MSELoss()
+
+        def forward():
+            a = X
+            for l in layers:
+                a = l.forward(a, train=True)
+            return a
+
+        pred = forward()
+        grad = loss.gradient(pred, y)
+        for l in reversed(layers):
+            grad = l.backward(grad)
+
+        eps = 1e-6
+        for l in layers:
+            for p, g in zip(l.params, l.grads):
+                flat_p = p.ravel()
+                flat_g = g.ravel()
+                for idx in range(0, flat_p.size, max(1, flat_p.size // 7)):
+                    orig = flat_p[idx]
+                    flat_p[idx] = orig + eps
+                    hi = loss.value(forward(), y)
+                    flat_p[idx] = orig - eps
+                    lo = loss.value(forward(), y)
+                    flat_p[idx] = orig
+                    numeric = (hi - lo) / (2 * eps)
+                    assert numeric == pytest.approx(flat_g[idx], rel=1e-4, abs=1e-8)
+
+
+class TestFitPredict:
+    def test_learns_linear_function(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, (300, 3))
+        y = 2 * X[:, 0] - X[:, 1] + 0.5
+        m = MLPRegressor(hidden=(10,), seed=0, epochs=1500).fit(X, y)
+        assert r2_score(m.predict(X), y) > 0.99
+
+    def test_learns_interaction(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-1, 1, (600, 2))
+        y = X[:, 0] * X[:, 1]
+        m = MLPRegressor(seed=0, epochs=1500).fit(X, y)
+        assert r2_score(m.predict(X), y) > 0.95
+
+    def test_seed_reproducibility(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-1, 1, (100, 3))
+        y = X.sum(axis=1)
+        a = MLPRegressor(seed=7, epochs=200).fit(X, y).predict(X)
+        b = MLPRegressor(seed=7, epochs=200).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-1, 1, (100, 3))
+        y = X.sum(axis=1)
+        a = MLPRegressor(seed=1, epochs=50).fit(X, y).predict(X)
+        b = MLPRegressor(seed=2, epochs=50).fit(X, y).predict(X)
+        assert not np.array_equal(a, b)
+
+    def test_loss_curve_decreases(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(-1, 1, (200, 3))
+        y = X[:, 0] ** 2
+        m = MLPRegressor(seed=0, epochs=300).fit(X, y)
+        assert m.loss_curve_[-1] < m.loss_curve_[0]
+
+    def test_early_stopping_bounds_epochs(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(-1, 1, (50, 2))
+        y = np.zeros(50)  # trivially learnable
+        m = MLPRegressor(seed=0, epochs=5000, patience=20).fit(X, y)
+        assert len(m.loss_curve_) < 5000
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MLPRegressor().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MLPRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            MLPRegressor().fit(np.zeros((1, 2)), np.zeros(1))
+
+    def test_bad_hidden(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(hidden=(0,))
+
+    def test_bad_epochs(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(epochs=0)
+
+
+class TestIntrospection:
+    def test_n_parameters(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, (30, 4))
+        m = MLPRegressor(hidden=(30,), seed=0, epochs=5).fit(X, X[:, 0])
+        # (4*30 + 30) + (30*1 + 1)
+        assert m.n_parameters == 4 * 30 + 30 + 30 + 1
+
+    def test_describe_mentions_topology(self):
+        assert "30" in MLPRegressor(hidden=(30,)).describe()
+
+    def test_paper_topology_is_default(self):
+        m = MLPRegressor()
+        assert m.hidden == (30,)
+        assert m.activation == "sigmoid"
+
+
+class TestLossChoice:
+    def test_huber_loss_trains(self):
+        rng = np.random.default_rng(6)
+        X = rng.uniform(-1, 1, (200, 3))
+        y = X[:, 0] + X[:, 1]
+        m = MLPRegressor(loss="huber", seed=0, epochs=600).fit(X, y)
+        assert r2_score(m.predict(X), y) > 0.95
+
+    def test_huber_more_robust_to_outliers(self):
+        rng = np.random.default_rng(7)
+        X = rng.uniform(-1, 1, (400, 3))
+        y = X[:, 0] + X[:, 1]
+        y_out = y.copy()
+        y_out[:10] += 30.0  # gross outliers
+        clean_region = slice(10, None)
+        mse_fit = MLPRegressor(loss="mse", seed=0, epochs=600).fit(X, y_out)
+        hub_fit = MLPRegressor(loss="huber", seed=0, epochs=600).fit(X, y_out)
+        from repro.ml.metrics import mean_squared_error
+        e_mse = mean_squared_error(mse_fit.predict(X[clean_region]), y[clean_region])
+        e_hub = mean_squared_error(hub_fit.predict(X[clean_region]), y[clean_region])
+        assert e_hub < e_mse
+
+    def test_unknown_loss_rejected(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(loss="mae")

@@ -1,0 +1,94 @@
+"""Tests for the data-splitting / evaluation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.ml import RidgeRegression
+from repro.ml.metrics import mean_squared_error
+from repro.ml.model_selection import (
+    cross_val_score,
+    k_fold_indices,
+    learning_curve,
+    train_test_split,
+)
+
+
+def linear_data(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, 3))
+    return X, 2 * X[:, 0] - X[:, 1]
+
+
+class TestTrainTestSplit:
+    def test_sizes_and_disjointness(self):
+        X, y = linear_data(100)
+        Xt, yt, Xv, yv = train_test_split(X, y, 0.2, np.random.default_rng(0))
+        assert Xv.shape[0] == 20 and Xt.shape[0] == 80
+        assert yt.shape[0] == 80 and yv.shape[0] == 20
+        # Rows are a partition of the original (by multiset of first col).
+        merged = sorted(np.concatenate([Xt[:, 0], Xv[:, 0]]).tolist())
+        assert merged == sorted(X[:, 0].tolist())
+
+    def test_deterministic_with_rng(self):
+        X, y = linear_data(50)
+        a = train_test_split(X, y, 0.3, np.random.default_rng(1))
+        b = train_test_split(X, y, 0.3, np.random.default_rng(1))
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_validation(self):
+        X, y = linear_data(10)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(X, y[:5], 0.2)
+        with pytest.raises(ValueError):
+            train_test_split(X[:1], y[:1], 0.9)
+
+
+class TestKFold:
+    def test_folds_partition_everything(self):
+        folds = list(k_fold_indices(23, 5, np.random.default_rng(0)))
+        assert len(folds) == 5
+        all_val = np.concatenate([v for _, v in folds])
+        assert sorted(all_val.tolist()) == list(range(23))
+        for train, val in folds:
+            assert set(train.tolist()).isdisjoint(val.tolist())
+            assert len(train) + len(val) == 23
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(k_fold_indices(10, 1))
+        with pytest.raises(ValueError):
+            list(k_fold_indices(3, 5))
+
+
+class TestCrossValScore:
+    def test_linear_model_scores_near_zero_mse(self):
+        X, y = linear_data(200)
+        scores = cross_val_score(
+            lambda: RidgeRegression(alpha=1e-10), X, y, mean_squared_error,
+            k=5, rng=np.random.default_rng(0),
+        )
+        assert scores.shape == (5,)
+        assert np.all(scores < 1e-10)
+
+
+class TestLearningCurve:
+    def test_error_decreases_with_size(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-1, 1, (400, 5))
+        y = X @ rng.uniform(-1, 1, 5) + 0.05 * rng.standard_normal(400)
+        curve = learning_curve(
+            RidgeRegression, X, y, sizes=(10, 50, 300),
+            metric=mean_squared_error, holdout=100,
+            rng=np.random.default_rng(0),
+        )
+        assert curve[300] < curve[10]
+        assert set(curve) == {10, 50, 300}
+
+    def test_validation(self):
+        X, y = linear_data(50)
+        with pytest.raises(ValueError):
+            learning_curve(RidgeRegression, X, y, (10,), mean_squared_error, 0)
+        with pytest.raises(ValueError):
+            learning_curve(RidgeRegression, X, y, (45,), mean_squared_error, 10)

@@ -1,0 +1,224 @@
+"""Tests for activations, losses, optimizers, scaling, metrics, bagging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.activations import ACTIVATIONS, Identity, ReLU, Sigmoid, Tanh, get_activation
+from repro.ml.bagging import BaggedRegressor
+from repro.ml.losses import HuberLoss, MSELoss
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_relative_error,
+    mean_squared_error,
+    r2_score,
+)
+from repro.ml.optimizers import SGD, Adam, RProp, make_optimizer
+from repro.ml.scaling import StandardScaler
+
+
+class TestActivations:
+    @pytest.mark.parametrize("act", [Sigmoid, Tanh, ReLU, Identity])
+    def test_derivative_matches_numeric(self, act):
+        z = np.linspace(-3, 3, 41)
+        z = z[np.abs(z) > 1e-3]  # avoid the ReLU kink
+        eps = 1e-6
+        numeric = (act.value(z + eps) - act.value(z - eps)) / (2 * eps)
+        analytic = act.derivative(act.value(z))
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_sigmoid_extremes_stable(self):
+        z = np.array([-1e6, -100.0, 0.0, 100.0, 1e6])
+        v = Sigmoid.value(z)
+        assert np.all(np.isfinite(v))
+        assert v[0] == pytest.approx(0.0)
+        assert v[-1] == pytest.approx(1.0)
+        assert v[2] == pytest.approx(0.5)
+
+    def test_registry_and_lookup(self):
+        assert set(ACTIVATIONS) == {"sigmoid", "tanh", "relu", "identity"}
+        assert get_activation("sigmoid") is Sigmoid
+        assert get_activation(Tanh) is Tanh
+        with pytest.raises(KeyError):
+            get_activation("swish")
+
+
+class TestLosses:
+    def test_mse_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        pred = rng.standard_normal((7, 1))
+        target = rng.standard_normal((7, 1))
+        g = MSELoss.gradient(pred, target)
+        eps = 1e-6
+        for i in range(7):
+            p = pred.copy()
+            p[i] += eps
+            hi = MSELoss.value(p, target)
+            p[i] -= 2 * eps
+            lo = MSELoss.value(p, target)
+            assert g[i, 0] == pytest.approx((hi - lo) / (2 * eps), rel=1e-5)
+
+    def test_huber_quadratic_then_linear(self):
+        h = HuberLoss(delta=1.0)
+        small = h.value(np.array([0.5]), np.array([0.0]))
+        assert small == pytest.approx(0.125)
+        big = h.value(np.array([10.0]), np.array([0.0]))
+        assert big == pytest.approx(1.0 * (10 - 0.5))
+
+    def test_huber_gradient_clipped(self):
+        h = HuberLoss(delta=1.0)
+        g = h.gradient(np.array([10.0, -10.0, 0.3]), np.zeros(3))
+        np.testing.assert_allclose(g * 3, [1.0, -1.0, 0.3])
+
+    def test_huber_bad_delta(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, opt, steps=300):
+        # minimize (x - 3)^2 elementwise
+        x = np.array([0.0, 10.0])
+        for _ in range(steps):
+            g = 2 * (x - 3.0)
+            opt.step([x], [g])
+        return x
+
+    @pytest.mark.parametrize(
+        "opt",
+        [SGD(lr=0.05), SGD(lr=0.02, momentum=0.9), Adam(lr=0.1), RProp()],
+    )
+    def test_minimizes_quadratic(self, opt):
+        x = self._quadratic_descent(opt)
+        np.testing.assert_allclose(x, 3.0, atol=0.05)
+
+    def test_make_optimizer_variants(self):
+        assert isinstance(make_optimizer("adam"), Adam)
+        assert isinstance(make_optimizer(("sgd", {"lr": 0.1})), SGD)
+        inst = Adam()
+        assert make_optimizer(inst) is inst
+        with pytest.raises(KeyError):
+            make_optimizer("lbfgs")
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam(lr=-1)
+
+
+class TestStandardScaler:
+    def test_transform_standardizes(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5, 3, (500, 4))
+        s = StandardScaler()
+        Z = s.fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0, atol=1e-12)
+        np.testing.assert_allclose(Z.std(axis=0), 1, atol=1e-12)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        s = StandardScaler().fit(X)
+        np.testing.assert_allclose(s.inverse_transform(s.transform(X)), X)
+
+    def test_constant_column_silenced(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+        assert np.all(np.isfinite(Z))
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 2)))
+
+
+class TestMetrics:
+    def test_mean_relative_error_definition(self):
+        assert mean_relative_error([1.1, 0.9], [1.0, 1.0]) == pytest.approx(0.1)
+
+    def test_mre_requires_positive_actuals(self):
+        with pytest.raises(ValueError):
+            mean_relative_error([1.0], [0.0])
+
+    def test_perfect_scores(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mean_squared_error(y, y) == 0
+        assert mean_absolute_error(y, y) == 0
+        assert r2_score(y, y) == 1.0
+
+    def test_r2_of_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, 2.0)
+        assert r2_score(pred, y) == pytest.approx(0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+
+    @given(
+        st.lists(st.floats(0.1, 100), min_size=1, max_size=30),
+        st.floats(1.001, 2.0),
+    )
+    @settings(max_examples=50)
+    def test_mre_scale_property(self, actual, factor):
+        """Predicting actual*f gives MRE of exactly f-1."""
+        actual = np.asarray(actual)
+        assert mean_relative_error(actual * factor, actual) == pytest.approx(
+            factor - 1, rel=1e-9
+        )
+
+
+class TestBagging:
+    class _Mean:
+        """Trivial member: predicts its training mean."""
+
+        def fit(self, X, y):
+            self.mean = y.mean()
+            return self
+
+        def predict(self, X):
+            return np.full(len(X), self.mean)
+
+    def test_k_members_trained_on_folds(self):
+        X = np.arange(22.0)[:, None]
+        y = np.arange(22.0)
+        m = BaggedRegressor(self._Mean, k=11, seed=0).fit(X, y)
+        assert len(m.members_) == 11
+        # Each member misses one fold: means differ across members.
+        means = {mm.mean for mm in m.members_}
+        assert len(means) > 1
+
+    def test_prediction_is_member_mean(self):
+        X = np.arange(22.0)[:, None]
+        y = np.arange(22.0)
+        m = BaggedRegressor(self._Mean, k=11, seed=0).fit(X, y)
+        expected = np.mean([mm.mean for mm in m.members_])
+        np.testing.assert_allclose(m.predict(X[:3]), expected)
+
+    def test_predict_std_nonnegative(self):
+        X = np.arange(22.0)[:, None]
+        m = BaggedRegressor(self._Mean, k=11, seed=0).fit(X, np.arange(22.0))
+        assert np.all(m.predict_std(X[:3]) >= 0)
+
+    def test_paper_default_k_is_11(self):
+        assert BaggedRegressor(self._Mean).k == 11
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            BaggedRegressor(self._Mean, k=11).fit(np.zeros((5, 1)), np.zeros(5))
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            BaggedRegressor(self._Mean, k=1)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            BaggedRegressor(self._Mean).predict(np.zeros((1, 1)))

@@ -1,0 +1,92 @@
+"""Unit tests for repro.params.parameter."""
+
+import pytest
+
+from repro.params import Parameter, boolean, choice, pow2
+from repro.params.parameter import KIND_BOOL, KIND_CHOICE, KIND_POW2
+
+
+class TestPow2:
+    def test_range_expansion(self):
+        p = pow2("wg_x", 1, 128)
+        assert p.values == (1, 2, 4, 8, 16, 32, 64, 128)
+        assert p.kind == KIND_POW2
+        assert p.cardinality == 8
+
+    def test_single_value_range(self):
+        assert pow2("x", 4, 4).values == (4,)
+
+    def test_rejects_non_pow2_bounds(self):
+        with pytest.raises(ValueError):
+            pow2("x", 3, 8)
+        with pytest.raises(ValueError):
+            pow2("x", 1, 6)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            pow2("x", 8, 4)
+
+    def test_rejects_zero_lo(self):
+        with pytest.raises(ValueError):
+            pow2("x", 0, 8)
+
+
+class TestBoolean:
+    def test_values(self):
+        p = boolean("use_local")
+        assert p.values == (0, 1)
+        assert p.kind == KIND_BOOL
+        assert len(p) == 2
+
+
+class TestChoice:
+    def test_values_preserved_in_order(self):
+        p = choice("unroll", (1, 2, 4, 8, 16))
+        assert p.values == (1, 2, 4, 8, 16)
+        assert p.kind == KIND_CHOICE
+
+    def test_non_numeric_values(self):
+        p = choice("mode", ("a", "b", "c"))
+        assert p.index_of("b") == 1
+
+
+class TestParameterValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Parameter("", (1, 2))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            Parameter("x", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError):
+            Parameter("x", (1, 2, 1))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Parameter("x", (1, 2), kind="weird")
+
+    def test_pow2_kind_validates_values(self):
+        with pytest.raises(ValueError):
+            Parameter("x", (1, 3), kind=KIND_POW2)
+
+    def test_bool_kind_validates_values(self):
+        with pytest.raises(ValueError):
+            Parameter("x", (0, 2), kind=KIND_BOOL)
+
+    def test_list_values_coerced_to_tuple(self):
+        p = Parameter("x", [1, 2, 3])
+        assert p.values == (1, 2, 3)
+
+
+class TestIndexOf:
+    def test_roundtrip(self):
+        p = pow2("x", 1, 32)
+        for i, v in enumerate(p.values):
+            assert p.index_of(v) == i
+
+    def test_illegal_value_raises_with_context(self):
+        p = pow2("x", 1, 32)
+        with pytest.raises(ValueError, match="x"):
+            p.index_of(3)

@@ -1,0 +1,248 @@
+"""Unit and property tests for repro.params.space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.params import Configuration, ParameterSpace, boolean, choice, pow2
+
+
+@pytest.fixture
+def small_space():
+    return ParameterSpace(
+        [
+            pow2("wg_x", 1, 8),
+            boolean("use_local"),
+            choice("unroll", (1, 2, 4)),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_size_is_product_of_cardinalities(self, small_space):
+        assert small_space.size == 4 * 2 * 3
+        assert len(small_space) == 24
+
+    def test_paper_space_sizes(self):
+        from repro.kernels import ConvolutionKernel, RaycastingKernel, StereoKernel
+
+        assert ConvolutionKernel().space.size == 131072
+        assert RaycastingKernel().space.size == 655360
+        assert StereoKernel().space.size == 2359296
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSpace([boolean("a"), boolean("a")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSpace([])
+
+    def test_parameter_lookup(self, small_space):
+        assert small_space.parameter("wg_x").cardinality == 4
+        with pytest.raises(KeyError):
+            small_space.parameter("nope")
+
+    def test_contains(self, small_space):
+        assert "wg_x" in small_space
+        assert "nope" not in small_space
+
+
+class TestIndexing:
+    def test_first_and_last(self, small_space):
+        assert small_space[0].as_tuple() == (1, 0, 1)
+        assert small_space[23].as_tuple() == (8, 1, 4)
+
+    def test_most_significant_first(self, small_space):
+        # last parameter varies fastest
+        assert small_space[0]["unroll"] == 1
+        assert small_space[1]["unroll"] == 2
+        assert small_space[2]["unroll"] == 4
+        assert small_space[3]["unroll"] == 1
+        assert small_space[3]["use_local"] == 1
+
+    def test_out_of_range(self, small_space):
+        with pytest.raises(IndexError):
+            small_space.digits_of(24)
+        with pytest.raises(IndexError):
+            small_space.digits_of(-1)
+
+    def test_index_of_digits_validates(self, small_space):
+        with pytest.raises(ValueError):
+            small_space.index_of_digits([0, 0])  # wrong length
+        with pytest.raises(ValueError):
+            small_space.index_of_digits([4, 0, 0])  # digit out of range
+
+    def test_config_constructor_roundtrip(self, small_space):
+        c = small_space.config(wg_x=4, use_local=1, unroll=2)
+        assert small_space[c.index] == c
+        assert c["wg_x"] == 4
+
+    def test_config_constructor_rejects_bad_names(self, small_space):
+        with pytest.raises(ValueError, match="missing"):
+            small_space.config(wg_x=4)
+        with pytest.raises(ValueError, match="unknown"):
+            small_space.config(wg_x=4, use_local=1, unroll=2, bogus=3)
+
+    def test_index_of_mapping(self, small_space):
+        c = small_space[17]
+        assert small_space.index_of(dict(c)) == 17
+        assert small_space.index_of(c) == 17
+
+
+class TestConfiguration:
+    def test_mapping_protocol(self, small_space):
+        c = small_space[5]
+        assert set(c.keys()) == {"wg_x", "use_local", "unroll"}
+        assert len(c) == 3
+        assert dict(c) == {name: c[name] for name in c}
+
+    def test_equality_with_mapping(self, small_space):
+        c = small_space[5]
+        assert c == dict(c)
+        assert c != dict(c, wg_x=999)
+
+    def test_hashable(self, small_space):
+        assert len({small_space[1], small_space[1], small_space[2]}) == 2
+
+    def test_repr_contains_values(self, small_space):
+        assert "wg_x" in repr(small_space[0])
+
+
+class TestSampling:
+    def test_without_replacement_unique(self, small_space):
+        rng = np.random.default_rng(0)
+        idx = small_space.sample_indices(24, rng)
+        assert sorted(idx) == list(range(24))
+
+    def test_too_many_without_replacement(self, small_space):
+        with pytest.raises(ValueError):
+            small_space.sample_indices(25, np.random.default_rng(0))
+
+    def test_with_replacement_allows_any_n(self, small_space):
+        idx = small_space.sample_indices(100, np.random.default_rng(0), replace=True)
+        assert idx.shape == (100,)
+        assert idx.min() >= 0 and idx.max() < 24
+
+    def test_rejection_path_on_large_space(self):
+        from repro.kernels import StereoKernel
+
+        space = StereoKernel().space
+        rng = np.random.default_rng(1)
+        idx = space.sample_indices(5000, rng)
+        assert len(set(int(i) for i in idx)) == 5000
+        assert idx.max() < space.size
+
+    def test_sample_returns_configurations(self, small_space):
+        configs = small_space.sample(5, np.random.default_rng(0))
+        assert all(isinstance(c, Configuration) for c in configs)
+
+    def test_negative_n_rejected(self, small_space):
+        with pytest.raises(ValueError):
+            small_space.sample_indices(-1, np.random.default_rng(0))
+
+
+class TestVectorizedViews:
+    def test_digits_matrix_matches_scalar(self, small_space):
+        idx = np.arange(24)
+        mat = small_space.digits_matrix(idx)
+        for i in idx:
+            assert tuple(mat[i]) == small_space.digits_of(int(i))
+
+    def test_values_matrix_matches_configs(self, small_space):
+        idx = np.array([0, 7, 23])
+        vals = small_space.values_matrix(idx)
+        for row, i in zip(vals, idx):
+            assert tuple(row) == tuple(float(v) for v in small_space[int(i)].as_tuple())
+
+    def test_digits_matrix_range_check(self, small_space):
+        with pytest.raises(IndexError):
+            small_space.digits_matrix([24])
+
+
+# -- property-based -----------------------------------------------------------
+
+spaces = st.lists(
+    st.sampled_from(
+        [
+            pow2("p2", 1, 16),
+            pow2("p2b", 2, 8),
+            boolean("b1"),
+            boolean("b2"),
+            choice("c1", (1, 2, 4)),
+            choice("c2", ("x", "y")),
+        ]
+    ),
+    min_size=1,
+    max_size=4,
+    unique_by=lambda p: p.name,
+).map(ParameterSpace)
+
+
+@given(spaces, st.data())
+@settings(max_examples=60)
+def test_index_digit_bijection(space, data):
+    """digits_of and index_of_digits are inverse bijections."""
+    index = data.draw(st.integers(0, space.size - 1))
+    digits = space.digits_of(index)
+    assert space.index_of_digits(digits) == index
+    assert all(0 <= d < p.cardinality for d, p in zip(digits, space.parameters))
+
+
+@given(spaces, st.data())
+@settings(max_examples=60)
+def test_config_roundtrip_through_values(space, data):
+    """index -> configuration -> values -> index is the identity."""
+    index = data.draw(st.integers(0, space.size - 1))
+    config = space[index]
+    assert space.config(**dict(config)).index == index
+
+
+@given(spaces)
+@settings(max_examples=30)
+def test_iteration_covers_space_exactly_once(space):
+    seen = [c.index for c in space]
+    assert seen == list(range(space.size))
+
+
+class TestIndicesWith:
+    def test_no_pins_returns_everything(self, small_space):
+        idx = small_space.indices_with()
+        assert idx.tolist() == list(range(24))
+
+    def test_single_pin_partitions_space(self, small_space):
+        on = small_space.indices_with(use_local=1)
+        off = small_space.indices_with(use_local=0)
+        assert on.size == off.size == 12
+        assert sorted(np.concatenate([on, off]).tolist()) == list(range(24))
+        for i in on:
+            assert small_space[int(i)]["use_local"] == 1
+
+    def test_multiple_pins(self, small_space):
+        idx = small_space.indices_with(wg_x=8, unroll=4)
+        assert idx.size == 2  # only use_local sweeps
+        for i in idx:
+            cfg = small_space[int(i)]
+            assert cfg["wg_x"] == 8 and cfg["unroll"] == 4
+
+    def test_all_pinned_single_index(self, small_space):
+        idx = small_space.indices_with(wg_x=2, use_local=0, unroll=2)
+        assert idx.size == 1
+        assert small_space[int(idx[0])].as_tuple() == (2, 0, 2)
+
+    def test_unknown_parameter_rejected(self, small_space):
+        with pytest.raises(ValueError, match="unknown"):
+            small_space.indices_with(bogus=1)
+
+    def test_illegal_value_rejected(self, small_space):
+        with pytest.raises(ValueError):
+            small_space.indices_with(wg_x=3)
+
+    def test_large_space_instant(self):
+        from repro.kernels import StereoKernel
+
+        space = StereoKernel().space
+        idx = space.indices_with(local_left=1, local_right=1)
+        assert idx.size == space.size // 4
+        assert space[int(idx[0])]["local_left"] == 1

@@ -1,0 +1,97 @@
+"""Tests for model serialization (ensemble + performance model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import PerformanceModel
+from repro.kernels import ConvolutionKernel, RaycastingKernel
+from repro.ml import RidgeRegression
+from repro.ml.ensemble import EnsembleMLPRegressor
+
+
+@pytest.fixture(scope="module")
+def fitted_ensemble():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-1, 1, (300, 5))
+    y = X[:, 0] * X[:, 1] + np.sin(X[:, 2])
+    return X, y, EnsembleMLPRegressor(k=5, epochs=300, seed=0).fit(X, y)
+
+
+class TestEnsemblePersistence:
+    def test_roundtrip_predictions_identical(self, fitted_ensemble, tmp_path):
+        X, _, model = fitted_ensemble
+        path = tmp_path / "model.npz"
+        model.save(path)
+        again = EnsembleMLPRegressor.load(path)
+        np.testing.assert_array_equal(model.predict(X), again.predict(X))
+        np.testing.assert_array_equal(model.predict_std(X), again.predict_std(X))
+
+    def test_metadata_restored(self, fitted_ensemble, tmp_path):
+        _, _, model = fitted_ensemble
+        path = tmp_path / "model.npz"
+        model.save(path)
+        again = EnsembleMLPRegressor.load(path)
+        assert again.k == 5
+        assert again.hidden == 30
+        assert again.activation.name == "sigmoid"
+
+    def test_save_unfitted_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            EnsembleMLPRegressor().save(tmp_path / "x.npz")
+
+
+class TestPerformanceModelPersistence:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        from repro.experiments.oracle import TrueTimeOracle
+        from repro.simulator import NVIDIA_K40
+
+        spec = ConvolutionKernel()
+        oracle = TrueTimeOracle(spec, NVIDIA_K40)
+        rng = np.random.default_rng(1)
+        idx = spec.space.sample_indices(600, rng)
+        t = oracle.measure(idx, rng)
+        ok = ~np.isnan(t)
+        return spec, PerformanceModel(spec.space, seed=1).fit(idx[ok], t[ok])
+
+    def test_roundtrip(self, fitted, tmp_path):
+        spec, model = fitted
+        path = tmp_path / "perf.npz"
+        model.save(path)
+        again = PerformanceModel.load(spec.space, path)
+        idx = np.arange(500)
+        np.testing.assert_array_equal(
+            model.predict_indices(idx), again.predict_indices(idx)
+        )
+        # top_m agrees too.
+        np.testing.assert_array_equal(model.top_m(20), again.top_m(20))
+
+    def test_wrong_space_rejected(self, fitted, tmp_path):
+        spec, model = fitted
+        path = tmp_path / "perf.npz"
+        model.save(path)
+        other = RaycastingKernel().space  # 10 features, not 9
+        with pytest.raises(ValueError, match="features"):
+            PerformanceModel.load(other, path)
+
+    def test_custom_factory_not_serializable(self, fitted, tmp_path):
+        spec, _ = fitted
+        m = PerformanceModel(
+            spec.space, k=2, seed=0, base_factory=lambda: RidgeRegression()
+        )
+        rng = np.random.default_rng(0)
+        from repro.experiments.oracle import TrueTimeOracle
+        from repro.simulator import NVIDIA_K40
+
+        oracle = TrueTimeOracle(spec, NVIDIA_K40)
+        idx = spec.space.sample_indices(100, rng)
+        t = oracle.measure(idx, rng)
+        ok = ~np.isnan(t)
+        m.fit(idx[ok], t[ok])
+        with pytest.raises(TypeError):
+            m.save(tmp_path / "x.npz")
+
+    def test_save_unfitted_rejected(self, fitted, tmp_path):
+        spec, _ = fitted
+        with pytest.raises(RuntimeError):
+            PerformanceModel(spec.space).save(tmp_path / "y.npz")

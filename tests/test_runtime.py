@@ -1,0 +1,123 @@
+"""Tests for the OpenCL-flavoured runtime facade."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import ConvolutionKernel
+from repro.runtime import BuildError, Context, Device, LaunchError, Platform, Program
+from repro.simulator import AMD_HD7970, INTEL_I7_3770, NVIDIA_K40
+from repro.simulator.noise import FAILED_BUILD_COST_S
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ConvolutionKernel()
+
+
+def make_config(spec, **overrides):
+    base = dict(
+        wg_x=32, wg_y=4, ppt_x=2, ppt_y=2, use_image=0, use_local=0,
+        pad=1, interleaved=1, unroll=0,
+    )
+    base.update(overrides)
+    return spec.space.config(**base)
+
+
+class TestPlatform:
+    def test_lists_all_devices(self):
+        devs = Platform().devices()
+        assert len(devs) == 5
+        assert {d.name for d in devs} >= {"Nvidia K40", "AMD HD 7970"}
+
+    def test_device_lookup(self):
+        assert Platform().device("amd").spec is AMD_HD7970
+
+
+class TestBuildAndLaunch:
+    def test_valid_config_runs(self, spec):
+        ctx = Context(NVIDIA_K40, seed=0)
+        kernel = Program(ctx, spec, make_config(spec)).build()
+        event = kernel.enqueue().wait()
+        assert event.duration_s > 0
+        assert event.duration_ms == pytest.approx(event.duration_s * 1e3)
+        assert event.true_duration_s > 0
+
+    def test_oversized_workgroup_fails_to_build(self, spec):
+        ctx = Context(AMD_HD7970, seed=0)
+        cfg = make_config(spec, wg_x=32, wg_y=32)  # 1024 > 256
+        with pytest.raises(BuildError, match="work-group"):
+            Program(ctx, spec, cfg).build()
+
+    def test_local_overflow_fails_to_build(self, spec):
+        ctx = Context(NVIDIA_K40, seed=0)
+        cfg = make_config(spec, use_local=1, wg_x=64, wg_y=16, ppt_x=8, ppt_y=8)
+        with pytest.raises(BuildError, match="local memory"):
+            Program(ctx, spec, cfg).build()
+
+    def test_register_pressure_fails_at_launch(self, spec):
+        ctx = Context(NVIDIA_K40, seed=0)
+        # 32x32 group, large blocking: regs/thread high, wg passes build.
+        cfg = make_config(spec, wg_x=32, wg_y=32, ppt_x=32, ppt_y=8, unroll=1)
+        kernel = Program(ctx, spec, cfg).build()
+        with pytest.raises(LaunchError, match="register"):
+            kernel.enqueue()
+
+    def test_kernel_property_requires_build(self, spec):
+        ctx = Context(NVIDIA_K40, seed=0)
+        prog = Program(ctx, spec, make_config(spec))
+        with pytest.raises(RuntimeError):
+            prog.kernel
+        prog.build()
+        assert prog.kernel is not None
+
+
+class TestMeasurementBehaviour:
+    def test_noise_varies_but_truth_fixed(self, spec):
+        ctx = Context(NVIDIA_K40, seed=0)
+        kernel = Program(ctx, spec, make_config(spec)).build()
+        events = kernel.enqueue_many(5)
+        truths = {e.true_duration_s for e in events}
+        measured = {e.duration_s for e in events}
+        assert len(truths) == 1
+        assert len(measured) == 5
+
+    def test_seeded_contexts_reproduce(self, spec):
+        def run(seed):
+            ctx = Context(NVIDIA_K40, seed=seed)
+            return Program(ctx, spec, make_config(spec)).build().enqueue().duration_s
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_context_accepts_bare_spec(self):
+        ctx = Context(INTEL_I7_3770)
+        assert isinstance(ctx.device, Device)
+        assert ctx.device.name == "Intel i7 3770"
+
+
+class TestCostAccounting:
+    def test_build_charges_compile_time(self, spec):
+        ctx = Context(NVIDIA_K40, seed=0)
+        Program(ctx, spec, make_config(spec)).build()
+        assert ctx.ledger.compile_s > 0
+        assert ctx.ledger.run_s == 0
+
+    def test_unrolled_variant_compiles_slower(self, spec):
+        ctx1 = Context(NVIDIA_K40, seed=0)
+        Program(ctx1, spec, make_config(spec, unroll=0)).build()
+        ctx2 = Context(NVIDIA_K40, seed=0)
+        Program(ctx2, spec, make_config(spec, unroll=1)).build()
+        assert ctx2.ledger.compile_s > ctx1.ledger.compile_s
+
+    def test_failed_build_charged(self, spec):
+        ctx = Context(AMD_HD7970, seed=0)
+        with pytest.raises(BuildError):
+            Program(ctx, spec, make_config(spec, wg_x=128, wg_y=8)).build()
+        assert ctx.ledger.failed_s == pytest.approx(FAILED_BUILD_COST_S)
+        assert ctx.ledger.compile_s == 0
+
+    def test_runs_charged(self, spec):
+        ctx = Context(NVIDIA_K40, seed=0)
+        kernel = Program(ctx, spec, make_config(spec)).build()
+        e = kernel.enqueue()
+        assert ctx.ledger.run_s == pytest.approx(e.duration_s)

@@ -1,0 +1,109 @@
+"""Unit tests for device specs and the catalog."""
+
+import dataclasses
+
+import pytest
+
+from repro.simulator import DEVICES, get_device
+from repro.simulator.device import CPU, GPU, DeviceSpec
+from repro.simulator.devices import (
+    AMD_HD7970,
+    INTEL_I7_3770,
+    MAIN_DEVICES,
+    NVIDIA_C2070,
+    NVIDIA_GTX980,
+    NVIDIA_K40,
+)
+
+
+class TestCatalog:
+    def test_contains_all_paper_devices(self):
+        assert set(DEVICES) == {"intel", "nvidia", "amd", "c2070", "gtx980"}
+
+    def test_main_devices_are_the_evaluation_trio(self):
+        assert MAIN_DEVICES == ("intel", "nvidia", "amd")
+
+    def test_lookup_by_key_and_name(self):
+        assert get_device("nvidia") is NVIDIA_K40
+        assert get_device("Nvidia K40") is NVIDIA_K40
+        assert get_device("INTEL") is INTEL_I7_3770
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("radeon-9999")
+
+    def test_device_types(self):
+        assert INTEL_I7_3770.is_cpu and not INTEL_I7_3770.is_gpu
+        for gpu in (NVIDIA_K40, AMD_HD7970, NVIDIA_C2070, NVIDIA_GTX980):
+            assert gpu.is_gpu and not gpu.is_cpu
+
+
+class TestArchitectureFacts:
+    """Published architecture numbers the cost model relies on."""
+
+    def test_workgroup_limits(self):
+        assert AMD_HD7970.max_workgroup_size == 256
+        assert NVIDIA_K40.max_workgroup_size == 1024
+        assert INTEL_I7_3770.max_workgroup_size == 8192
+
+    def test_simd_widths(self):
+        assert NVIDIA_K40.simd_width == 32  # warp
+        assert AMD_HD7970.simd_width == 64  # wavefront
+        assert INTEL_I7_3770.simd_width == 8  # AVX float
+
+    def test_local_memory_sizes(self):
+        assert NVIDIA_K40.local_mem_per_cu_kb == 48.0
+        assert AMD_HD7970.local_mem_per_cu_kb == 64.0
+        assert NVIDIA_K40.local_mem_per_cu_bytes == 48 * 1024
+
+    def test_cpu_emulates_image_and_local(self):
+        assert INTEL_I7_3770.image_is_emulated
+        assert INTEL_I7_3770.local_is_emulated
+        for gpu in (NVIDIA_K40, AMD_HD7970):
+            assert not gpu.image_is_emulated
+            assert not gpu.local_is_emulated
+
+    def test_amd_driver_unroll_least_reliable(self):
+        # The paper's §7 explanation for the AMD accuracy gap.
+        assert AMD_HD7970.driver_unroll_reliability < NVIDIA_K40.driver_unroll_reliability
+        assert AMD_HD7970.driver_unroll_reliability < INTEL_I7_3770.driver_unroll_reliability
+
+    def test_cpu_timing_noise_smallest(self):
+        # §7: CPU kernels run longer, timing is more reliable.
+        for gpu in (NVIDIA_K40, AMD_HD7970, NVIDIA_C2070, NVIDIA_GTX980):
+            assert INTEL_I7_3770.timing_noise_sigma < gpu.timing_noise_sigma
+
+    def test_gtx980_has_highest_structured_jitter_of_nvidia_gpus(self):
+        # Fig. 7: slightly worse model accuracy on Maxwell.
+        assert NVIDIA_GTX980.jitter_sigma > NVIDIA_K40.jitter_sigma
+        assert NVIDIA_GTX980.jitter_sigma > NVIDIA_C2070.jitter_sigma
+
+    def test_peak_gflops_plausible(self):
+        # K40 model throughput should land in the single-precision TFLOP/s
+        # range; the CPU tens of GFLOP/s.
+        assert 0.5e3 < NVIDIA_K40.peak_gflops < 6e3
+        assert 20 < INTEL_I7_3770.peak_gflops < 300
+
+
+class TestValidation:
+    def _clone(self, dev, **changes):
+        return dataclasses.replace(dev, **changes)
+
+    def test_bad_device_type(self):
+        with pytest.raises(ValueError):
+            self._clone(NVIDIA_K40, device_type="tpu")
+
+    def test_bad_reliability(self):
+        with pytest.raises(ValueError):
+            self._clone(NVIDIA_K40, driver_unroll_reliability=1.5)
+
+    def test_nonpositive_clock(self):
+        with pytest.raises(ValueError):
+            self._clone(NVIDIA_K40, clock_ghz=0.0)
+
+    def test_zero_compute_units(self):
+        with pytest.raises(ValueError):
+            self._clone(NVIDIA_K40, compute_units=0)
+
+    def test_str_mentions_vendor(self):
+        assert "Nvidia" in str(NVIDIA_K40)

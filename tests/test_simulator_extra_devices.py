@@ -1,0 +1,61 @@
+"""Tests for the novel-architecture device model (Xeon Phi, §8)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import ConvolutionKernel
+from repro.simulator import INTEL_I7_3770, NVIDIA_K40, validate
+from repro.simulator.executor import simulate_kernel_time
+from repro.simulator.extra_devices import XEON_PHI_5110P
+
+
+class TestXeonPhiModel:
+    def test_identity(self):
+        assert XEON_PHI_5110P.is_cpu  # CPU-style OpenCL runtime
+        assert XEON_PHI_5110P.image_is_emulated
+        assert XEON_PHI_5110P.local_is_emulated
+        assert XEON_PHI_5110P.compute_units > 100  # many-core
+
+    def test_not_in_main_catalog(self):
+        """The paper's testbed stays canonical; the Phi is an extension."""
+        from repro.simulator.devices import DEVICES, get_device
+
+        assert all(d is not XEON_PHI_5110P for d in DEVICES.values())
+        with pytest.raises(KeyError):
+            get_device("phi")
+
+    def test_jitter_between_cpu_and_gpus(self):
+        assert (
+            INTEL_I7_3770.jitter_sigma
+            < XEON_PHI_5110P.jitter_sigma
+            < NVIDIA_K40.jitter_sigma
+        )
+
+    def test_runs_the_benchmarks(self):
+        spec = ConvolutionKernel()
+        rng = np.random.default_rng(0)
+        valid = 0
+        for i in spec.space.sample_indices(200, rng):
+            cfg = spec.space[int(i)]
+            p = spec.workload(cfg, XEON_PHI_5110P)
+            if validate(p, XEON_PHI_5110P):
+                t = simulate_kernel_time(
+                    p, XEON_PHI_5110P, jitter_key=("convolution", cfg.as_tuple())
+                )
+                assert 0 < t < 100.0
+                valid += 1
+        assert valid > 50
+
+    def test_prefers_different_configs_than_the_host_cpu(self):
+        """GPU-scale parallelism shifts the optimum: on a sample, the Phi's
+        best and the i7's best should disagree."""
+        from repro.experiments.oracle import TrueTimeOracle
+
+        spec = ConvolutionKernel()
+        rng = np.random.default_rng(3)
+        idx = spec.space.sample_indices(3000, rng)
+        phi = TrueTimeOracle(spec, XEON_PHI_5110P)
+        i7 = TrueTimeOracle(spec, INTEL_I7_3770)
+        phi_best, _ = phi.best_among(idx)
+        i7_best, _ = i7.best_among(idx)
+        assert phi_best != i7_best

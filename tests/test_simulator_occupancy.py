@@ -1,0 +1,97 @@
+"""Tests for the occupancy model."""
+
+import dataclasses
+
+import pytest
+
+from repro.simulator.devices import AMD_HD7970, NVIDIA_K40
+from repro.simulator.occupancy import compute_occupancy, effective_registers_per_thread
+from repro.simulator.workload import WorkloadProfile
+
+
+def profile(wg=(32, 8), local_bytes=0, regs=16, grid=(2048, 2048)):
+    return WorkloadProfile(
+        global_size=grid,
+        workgroup=wg,
+        flops_per_thread=10.0,
+        local_mem_per_wg_bytes=local_bytes,
+        registers_per_thread=regs,
+    )
+
+
+class TestLimiters:
+    def test_thread_limited(self):
+        # 1024-thread groups on the K40: 2048/1024 = 2 resident.
+        occ = compute_occupancy(profile(wg=(32, 32)), NVIDIA_K40)
+        assert occ.workgroups_per_cu == 2
+        assert occ.occupancy == pytest.approx(1.0)
+        assert occ.limiter == "threads"
+
+    def test_slot_limited(self):
+        # Tiny groups: the 16 slots bind before the 2048-thread budget.
+        occ = compute_occupancy(profile(wg=(8, 4)), NVIDIA_K40)
+        assert occ.workgroups_per_cu == 16
+        assert occ.limiter == "slots"
+        assert occ.occupancy == pytest.approx(16 * 32 / 2048)
+
+    def test_local_memory_limited(self):
+        # 20 KB/group against 48 KB scratch: 2 resident groups.
+        occ = compute_occupancy(profile(local_bytes=20 * 1024), NVIDIA_K40)
+        assert occ.workgroups_per_cu == 2
+        assert occ.limiter == "local_mem"
+
+    def test_register_limited(self):
+        # 200 regs x 512 threads = 102400 > 65536: no group fits.
+        occ = compute_occupancy(profile(wg=(32, 16), regs=200), NVIDIA_K40)
+        assert occ.workgroups_per_cu == 0
+        assert occ.limiter == "registers"
+
+    def test_amd_full_occupancy_from_wavefront_groups(self):
+        # GCN: 40 wave slots -> 64-thread groups already fill the CU.
+        occ = compute_occupancy(profile(wg=(64, 1)), AMD_HD7970)
+        assert occ.occupancy == pytest.approx(1.0)
+
+
+class TestLaunchBound:
+    def test_residency_capped_by_workgroups_in_launch(self):
+        # A launch with fewer groups than one CU could hold.
+        p = profile(wg=(32, 8), grid=(64, 16))  # 4 work-groups total
+        occ = compute_occupancy(p, NVIDIA_K40)
+        assert occ.workgroups_per_cu == 1
+
+    def test_occupancy_bounded_by_one(self):
+        occ = compute_occupancy(profile(), NVIDIA_K40)
+        assert 0.0 < occ.occupancy <= 1.0
+
+
+class TestRegisterClamp:
+    def test_demand_clamped_to_ceiling(self):
+        p = profile(regs=400)
+        assert effective_registers_per_thread(p, NVIDIA_K40) == 255
+
+    def test_below_ceiling_unchanged(self):
+        p = profile(regs=40)
+        assert effective_registers_per_thread(p, NVIDIA_K40) == 40
+
+    def test_clamped_demand_can_still_launch(self):
+        # 400 requested -> clamped to 255; 255*64 = 16320 < 65536.
+        occ = compute_occupancy(profile(wg=(8, 8), regs=400), NVIDIA_K40)
+        assert occ.workgroups_per_cu >= 1
+
+
+class TestMonotonicity:
+    def test_more_local_memory_never_raises_occupancy(self):
+        prev = None
+        for kb in (4, 8, 16, 24, 48):
+            occ = compute_occupancy(profile(local_bytes=kb * 1024), NVIDIA_K40)
+            if prev is not None:
+                assert occ.workgroups_per_cu <= prev
+            prev = occ.workgroups_per_cu
+
+    def test_more_registers_never_raise_occupancy(self):
+        prev = None
+        for regs in (16, 32, 64, 128, 255):
+            occ = compute_occupancy(profile(wg=(16, 16), regs=regs), NVIDIA_K40)
+            if prev is not None:
+                assert occ.workgroups_per_cu <= prev
+            prev = occ.workgroups_per_cu

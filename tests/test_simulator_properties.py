@@ -1,0 +1,128 @@
+"""Property-based tests on the simulator's cost-model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.devices import AMD_HD7970, INTEL_I7_3770, NVIDIA_K40
+from repro.simulator.executor import execute, simulate_kernel_time
+from repro.simulator.validity import validate
+from repro.simulator.workload import WorkloadProfile
+
+DEVICES = (INTEL_I7_3770, NVIDIA_K40, AMD_HD7970)
+
+pow2s = st.sampled_from([1, 2, 4, 8, 16, 32])
+
+
+@st.composite
+def profiles(draw):
+    wx = draw(pow2s)
+    wy = draw(pow2s)
+    gx = wx * draw(st.integers(1, 64))
+    gy = wy * draw(st.integers(1, 64))
+    return WorkloadProfile(
+        global_size=(gx, gy),
+        workgroup=(wx, wy),
+        flops_per_thread=draw(st.floats(1.0, 1e4)),
+        global_reads=draw(st.floats(0.0, 100.0)),
+        global_writes=draw(st.floats(0.0, 10.0)),
+        image_reads=draw(st.floats(0.0, 100.0)),
+        local_reads=draw(st.floats(0.0, 100.0)),
+        local_writes=draw(st.floats(0.0, 10.0)),
+        constant_reads=draw(st.floats(0.0, 50.0)),
+        local_mem_per_wg_bytes=draw(st.integers(0, 32 * 1024)),
+        registers_per_thread=draw(st.integers(8, 64)),
+        coalesced_fraction=draw(st.floats(0.0, 1.0)),
+        spatial_locality=draw(st.floats(0.0, 1.0)),
+        footprint_bytes=draw(st.floats(0.0, 1e9)),
+        loop_iterations_per_thread=draw(st.floats(0.0, 1e4)),
+        barriers_per_workgroup=draw(st.floats(0.0, 4.0)),
+        wg_footprint_bytes=draw(st.floats(0.0, 1e6)),
+    )
+
+
+@given(profiles(), st.sampled_from(DEVICES))
+@settings(max_examples=150, deadline=None)
+def test_time_positive_and_finite_for_valid_profiles(profile, device):
+    if not validate(profile, device):
+        return
+    t = simulate_kernel_time(profile, device)
+    assert np.isfinite(t)
+    assert t > 0
+
+
+@given(profiles(), st.sampled_from(DEVICES))
+@settings(max_examples=80, deadline=None)
+def test_more_arithmetic_never_faster(profile, device):
+    if not validate(profile, device):
+        return
+    import dataclasses
+
+    heavier = dataclasses.replace(
+        profile, flops_per_thread=profile.flops_per_thread * 4.0
+    )
+    assert simulate_kernel_time(heavier, device) >= simulate_kernel_time(
+        profile, device
+    )
+
+
+@given(profiles(), st.sampled_from(DEVICES))
+@settings(max_examples=80, deadline=None)
+def test_more_global_traffic_never_faster(profile, device):
+    if not validate(profile, device):
+        return
+    import dataclasses
+
+    heavier = dataclasses.replace(profile, global_reads=profile.global_reads + 50.0)
+    assert simulate_kernel_time(heavier, device) >= simulate_kernel_time(
+        profile, device
+    )
+
+
+@given(profiles(), st.sampled_from(DEVICES))
+@settings(max_examples=80, deadline=None)
+def test_better_coalescing_never_slower(profile, device):
+    if not validate(profile, device):
+        return
+    import dataclasses
+
+    best = dataclasses.replace(profile, coalesced_fraction=1.0)
+    worst = dataclasses.replace(profile, coalesced_fraction=0.0)
+    assert simulate_kernel_time(best, device) <= simulate_kernel_time(worst, device)
+
+
+@given(profiles(), st.sampled_from(DEVICES), st.tuples(st.integers(0, 7), st.integers(0, 7)))
+@settings(max_examples=80, deadline=None)
+def test_jitter_bounded(profile, device, key_bits):
+    """Structured + idiosyncratic jitter stays within its clipped range."""
+    if not validate(profile, device):
+        return
+    base = simulate_kernel_time(profile, device)
+    jittered = simulate_kernel_time(
+        profile, device, jitter_key=("k", (key_bits[0], key_bits[1], 1, 2, 0))
+    )
+    sigma = device.jitter_sigma + device.jitter_idio_sigma
+    bound = np.exp(4.0 * sigma + 4.0 * sigma)  # 4-sigma clip on each part
+    assert base / bound <= jittered <= base * bound
+
+
+@given(profiles())
+@settings(max_examples=60, deadline=None)
+def test_breakdown_parts_sum_consistently(profile):
+    device = NVIDIA_K40
+    if not validate(profile, device):
+        return
+    b = execute(profile, device)
+    busy = max(b.compute_time, b.memory.total) + (1.0 - b.overlap) * min(
+        b.compute_time, b.memory.total
+    )
+    # total >= quantized busy + overheads (latency term is the remainder).
+    assert b.total_time >= busy * b.wave_quantization * 0.999
+    assert b.total_time >= b.overhead_time
+
+
+@given(profiles(), st.sampled_from(DEVICES))
+@settings(max_examples=60, deadline=None)
+def test_validity_is_deterministic(profile, device):
+    assert validate(profile, device).valid == validate(profile, device).valid

@@ -1,0 +1,62 @@
+"""Tests for the launch-breakdown reporter."""
+
+import pytest
+
+from repro.kernels import ConvolutionKernel
+from repro.simulator import NVIDIA_K40
+from repro.simulator.report import describe_breakdown, explain
+from repro.simulator.executor import execute
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ConvolutionKernel()
+
+
+def config(spec, **overrides):
+    base = dict(
+        wg_x=32, wg_y=4, ppt_x=2, ppt_y=2, use_image=0, use_local=0,
+        pad=1, interleaved=1, unroll=0,
+    )
+    base.update(overrides)
+    return spec.space.config(**base)
+
+
+class TestExplain:
+    def test_mentions_kernel_device_and_launch(self, spec):
+        txt = explain(spec, config(spec), NVIDIA_K40)
+        assert "convolution on Nvidia K40" in txt
+        assert "work-groups of 32x4" in txt
+        assert "total" in txt
+
+    def test_boundedness_labelled(self, spec):
+        txt = explain(spec, config(spec), NVIDIA_K40, with_jitter=False)
+        assert "compute-bound" in txt or "memory-bound" in txt
+
+    def test_memory_spaces_listed_when_used(self, spec):
+        local = explain(spec, config(spec, use_local=1), NVIDIA_K40)
+        assert "local" in local
+        image = explain(spec, config(spec, use_image=1), NVIDIA_K40)
+        assert "image" in image
+
+    def test_jitter_line_controlled_by_flag(self, spec):
+        with_j = explain(spec, config(spec), NVIDIA_K40, with_jitter=True)
+        without = explain(spec, config(spec), NVIDIA_K40, with_jitter=False)
+        assert "config quirk" in with_j
+        assert "config quirk" not in without
+
+    def test_invalid_config_raises(self, spec):
+        from repro.simulator.validity import InvalidConfig
+
+        bad = config(spec, wg_x=128, wg_y=128)
+        with pytest.raises(InvalidConfig):
+            explain(spec, bad, NVIDIA_K40)
+
+
+class TestDescribeBreakdown:
+    def test_percentages_well_formed(self, spec):
+        profile = spec.workload(config(spec), NVIDIA_K40)
+        b = execute(profile, NVIDIA_K40)
+        txt = describe_breakdown(b)
+        assert "overlap" in txt and "wave penalty" in txt
+        assert "ms" in txt

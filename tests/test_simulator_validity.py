@@ -1,0 +1,88 @@
+"""Tests for invalid-configuration rules."""
+
+import pytest
+
+from repro.simulator.devices import AMD_HD7970, INTEL_I7_3770, NVIDIA_K40
+from repro.simulator.validity import (
+    STAGE_BUILD,
+    STAGE_LAUNCH,
+    InvalidConfig,
+    validate,
+)
+from repro.simulator.workload import WorkloadProfile
+
+
+def profile(wg=(16, 16), local_bytes=0, regs=16):
+    return WorkloadProfile(
+        global_size=(1024, 1024),
+        workgroup=wg,
+        flops_per_thread=10.0,
+        local_mem_per_wg_bytes=local_bytes,
+        registers_per_thread=regs,
+    )
+
+
+class TestBuildStage:
+    def test_workgroup_over_limit(self):
+        res = validate(profile(wg=(32, 32)), AMD_HD7970)  # 1024 > 256
+        assert not res.valid
+        assert res.stage == STAGE_BUILD
+        assert "work-group" in res.reason
+
+    def test_same_workgroup_fine_on_k40(self):
+        assert validate(profile(wg=(32, 32)), NVIDIA_K40).valid
+
+    def test_local_memory_over_limit(self):
+        res = validate(profile(local_bytes=64 * 1024), NVIDIA_K40)  # > 48 KB
+        assert not res.valid
+        assert res.stage == STAGE_BUILD
+        assert "local memory" in res.reason
+
+    def test_local_fits_on_amd(self):
+        assert validate(profile(local_bytes=60 * 1024), AMD_HD7970).valid
+
+
+class TestLaunchStage:
+    def test_register_pressure_fails_at_launch(self):
+        # 255 (clamped) * 1024 threads > 65536 registers.
+        res = validate(profile(wg=(32, 32), regs=255), NVIDIA_K40)
+        assert not res.valid
+        assert res.stage == STAGE_LAUNCH
+        assert "register" in res.reason
+
+    def test_cpu_never_register_limited(self):
+        assert validate(profile(wg=(64, 64), regs=255), INTEL_I7_3770).valid
+
+
+class TestResultBehaviour:
+    def test_bool_protocol(self):
+        assert validate(profile(), NVIDIA_K40)
+        assert not validate(profile(wg=(64, 64)), AMD_HD7970)
+
+    def test_raise_if_invalid(self):
+        ok = validate(profile(), NVIDIA_K40)
+        ok.raise_if_invalid()  # no exception
+        bad = validate(profile(wg=(64, 64)), AMD_HD7970)
+        with pytest.raises(InvalidConfig) as exc:
+            bad.raise_if_invalid()
+        assert exc.value.stage == STAGE_BUILD
+
+    def test_cpu_has_fewer_invalids_than_gpus(self):
+        """Paper §7: 'there are fewer invalid configurations on the CPU'."""
+        import numpy as np
+
+        from repro.kernels import ConvolutionKernel
+
+        spec = ConvolutionKernel()
+        rng = np.random.default_rng(0)
+        idx = spec.space.sample_indices(2000, rng)
+        counts = {}
+        for dev in (INTEL_I7_3770, NVIDIA_K40, AMD_HD7970):
+            bad = 0
+            for i in idx:
+                p = spec.workload(spec.space[int(i)], dev)
+                if not validate(p, dev):
+                    bad += 1
+            counts[dev.name] = bad
+        assert counts["Intel i7 3770"] < counts["Nvidia K40"]
+        assert counts["Intel i7 3770"] < counts["AMD HD 7970"]
