@@ -71,14 +71,24 @@ def cmd_benchmarks(_args) -> int:
 
 
 def cmd_tune(args) -> int:
+    from pathlib import Path
+
+    from repro.core.results import MeasurementDB
+    from repro.experiments.reporting import engine_stats_block
+
     spec = get_benchmark(args.kernel)
     device = get_device(args.device)
     ctx = Context(device, seed=args.seed)
     rng = np.random.default_rng(args.seed)
+    db = MeasurementDB(Path(args.db)) if args.db else None
+    measurer = Measurer(ctx, spec, db=db) if db is not None else None
 
     if args.iterative:
         tuner = IterativeTuner(
-            ctx, spec, IterativeSettings(total_budget=args.budget, rounds=args.rounds)
+            ctx,
+            spec,
+            IterativeSettings(total_budget=args.budget, rounds=args.rounds),
+            measurer=measurer,
         )
         result = tuner.tune(rng, model_seed=args.seed)
     else:
@@ -86,8 +96,12 @@ def cmd_tune(args) -> int:
             ctx,
             spec,
             TunerSettings(n_train=args.n_train, m_candidates=args.m_candidates),
+            measurer=measurer,
         )
         result = tuner.tune(rng, model_seed=args.seed)
+
+    if db is not None:
+        db.save()
 
     if result.failed:
         print("tuning FAILED: every stage-two candidate was invalid "
@@ -100,6 +114,32 @@ def cmd_tune(args) -> int:
     print(f"measured time     : {result.best_time_s * 1e3:.3f} ms")
     print(f"evaluated         : {result.evaluated_fraction:.2%} of the space")
     print(f"simulated cost    : {result.total_cost_s / 60:.1f} min")
+    print("engine stats")
+    print(engine_stats_block(tuner.measurer.stats, ctx.ledger))
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from pathlib import Path
+
+    from repro.core.campaign import run_campaign_grid
+    from repro.core.results import MeasurementDB
+
+    kernels = [k.strip() for k in args.kernels.split(",") if k.strip()]
+    devices = [d.strip() for d in args.devices.split(",") if d.strip()]
+    specs = [get_benchmark(k) for k in kernels]
+    for d in devices:
+        get_device(d)  # fail fast on typos before forking workers
+    db = MeasurementDB(Path(args.db)) if args.db else None
+    report = run_campaign_grid(
+        specs,
+        devices,
+        settings=TunerSettings(n_train=args.n_train, m_candidates=args.m_candidates),
+        db=db,
+        max_workers=args.workers,
+        seed=args.seed,
+    )
+    print(report.report())
     return 0
 
 
@@ -167,7 +207,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="total measurements for --iterative")
     tune.add_argument("--rounds", type=int, default=3)
     tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--db", default=None,
+                      help="path to a MeasurementDB JSON file; known "
+                           "measurements are reused, new ones persisted")
     tune.set_defaults(fn=cmd_tune)
+
+    camp = sub.add_parser(
+        "campaign", help="tune kernels x devices in parallel processes"
+    )
+    camp.add_argument("-k", "--kernels", required=True,
+                      help="comma-separated benchmark names")
+    camp.add_argument("-d", "--devices", required=True,
+                      help="comma-separated device keys")
+    camp.add_argument("-n", "--n-train", type=int, default=800)
+    camp.add_argument("-m", "--m-candidates", type=int, default=80)
+    camp.add_argument("--workers", type=int, default=None,
+                      help="process count; 1 runs inline")
+    camp.add_argument("--db", default=None,
+                      help="campaign MeasurementDB path (enables resume)")
+    camp.add_argument("--seed", type=int, default=0)
+    camp.set_defaults(fn=cmd_campaign)
 
     pred = sub.add_parser("predict", help="train a model and predict one config")
     pred.add_argument("-k", "--kernel", required=True, choices=sorted(BENCHMARKS))

@@ -16,11 +16,17 @@ coordinate descent (which parameter interactions defeat).
 """
 
 from repro.core.adaptive import choose_m
-from repro.core.campaign import CampaignResult, PortabilityCampaign
+from repro.core.campaign import (
+    CampaignResult,
+    GridCell,
+    GridReport,
+    PortabilityCampaign,
+    run_campaign_grid,
+)
 from repro.core.encoding import ConfigEncoder
 from repro.core.input_aware import InputAwareModel
 from repro.core.iterative import IterativeSettings, IterativeTuner
-from repro.core.measure import MeasurementSet, Measurer
+from repro.core.measure import EngineStats, MeasurementSet, Measurer
 from repro.core.model import PerformanceModel
 from repro.core.results import MeasurementDB, TuningResult
 from repro.core.sensitivity import interaction_strength, parameter_sensitivity
@@ -31,6 +37,10 @@ __all__ = [
     "choose_m",
     "PortabilityCampaign",
     "CampaignResult",
+    "GridCell",
+    "GridReport",
+    "run_campaign_grid",
+    "EngineStats",
     "InputAwareModel",
     "IterativeTuner",
     "IterativeSettings",

@@ -7,21 +7,34 @@ kernel on a set of devices, persist every measurement in a
 matrix a deployment engineer actually wants — tuned time per device, plus
 how badly each device's configuration would behave everywhere else
 (the Fig. 1 story, computed for *your* kernel).
+
+:func:`run_campaign_grid` scales the workflow out: every (kernel, device)
+cell runs as an independent process with its own DB shard, shards are
+merged into the campaign DB at the end, and the grid report carries the
+engine's observability counters (throughput, cache-hit rate, simulated
+cost) per cell.  Re-running a grid against a populated DB pre-seeds the
+shards, so crashed or extended campaigns resume instead of re-measuring.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.measure import Measurer
+from repro.core.measure import EngineStats, Measurer
 from repro.core.results import MeasurementDB, TuningResult
 from repro.core.tuner import MLAutoTuner, TunerSettings
 from repro.kernels.base import KernelSpec
 from repro.runtime import Context
 from repro.simulator.devices import get_device
+from repro.simulator.noise import CostLedger
 
 
 @dataclass(frozen=True)
@@ -97,21 +110,19 @@ class PortabilityCampaign:
         self,
         spec: KernelSpec,
         devices: Sequence[str],
-        settings: TunerSettings = TunerSettings(n_train=800, m_candidates=80),
+        settings: Optional[TunerSettings] = None,
         db: Optional[MeasurementDB] = None,
     ):
         if not devices:
             raise ValueError("need at least one device")
         self.spec = spec
         self.devices = list(devices)
-        self.settings = settings
+        self.settings = (
+            settings
+            if settings is not None
+            else TunerSettings(n_train=800, m_candidates=80)
+        )
         self.db = db
-
-    def _record(self, device_name: str, measurer: Measurer) -> None:
-        if self.db is None:
-            return
-        for index, true_time in measurer._cache.items():
-            self.db.put(self.spec.name, device_name, index, true_time)
 
     def run(self, seed: int = 0) -> CampaignResult:
         results: Dict[str, TuningResult] = {}
@@ -119,7 +130,12 @@ class PortabilityCampaign:
         for key in self.devices:
             device = get_device(key)
             ctx = Context(device, seed=seed)
-            measurer = Measurer(ctx, self.spec, repeats=self.settings.repeats)
+            # The measurer writes straight through to the campaign DB, so
+            # every stage-one/stage-two measurement is durable and a
+            # re-run against the same DB serves them back without cost.
+            measurer = Measurer(
+                ctx, self.spec, repeats=self.settings.repeats, db=self.db
+            )
             tuner = MLAutoTuner(ctx, self.spec, self.settings, measurer=measurer)
             results[key] = tuner.tune(np.random.default_rng(seed), model_seed=seed)
             measurers[key] = measurer
@@ -135,11 +151,164 @@ class PortabilityCampaign:
                 t = measurers[target].measure(r.best_index)
                 matrix[target][source] = t  # None when invalid on target
 
-        for key in self.devices:
-            self._record(get_device(key).name, measurers[key])
         if self.db is not None and self.db.path is not None:
             self.db.save()
 
         return CampaignResult(
             kernel=self.spec.name, results=results, transplant_matrix=matrix
         )
+
+
+# -- parallel campaign grids ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One tuned (kernel, device) pair with its engine telemetry."""
+
+    kernel: str
+    device: str
+    result: TuningResult
+    stats: EngineStats
+    ledger: CostLedger
+
+
+@dataclass(frozen=True)
+class GridReport:
+    """Outcome of :func:`run_campaign_grid`."""
+
+    cells: Tuple[GridCell, ...]
+
+    @property
+    def total_stats(self) -> EngineStats:
+        total = EngineStats()
+        for cell in self.cells:
+            total = total.merge(cell.stats)
+        return total
+
+    @property
+    def total_cost_s(self) -> float:
+        """Simulated wall-clock spent across all cells."""
+        return sum(cell.ledger.total_s for cell in self.cells)
+
+    def result(self, kernel: str, device: str) -> TuningResult:
+        for cell in self.cells:
+            if cell.kernel == kernel and cell.device == device:
+                return cell.result
+        raise KeyError(f"no cell {kernel}@{device}")
+
+    def report(self) -> str:
+        """Human-readable grid summary with engine counters."""
+        lines = [f"campaign grid: {len(self.cells)} (kernel, device) cells"]
+        for cell in self.cells:
+            r = cell.result
+            outcome = (
+                "tuning FAILED"
+                if r.failed
+                else f"{r.best_time_s * 1e3:.3f} ms"
+            )
+            lines.append(
+                f"  {cell.kernel} @ {cell.device}: {outcome}  "
+                f"[{cell.stats.n_requested} measurements, "
+                f"{cell.stats.cache_hit_rate:.0%} cache hits, "
+                f"{cell.stats.configs_per_sec:,.0f} configs/s, "
+                f"{cell.ledger.total_s / 60:.0f} min simulated]"
+            )
+        total = self.total_stats
+        lines.append(
+            f"  total: {total.n_requested} measurements "
+            f"({total.n_simulated} simulated, {total.n_cache_hits} cached, "
+            f"{total.n_db_hits} from DB), cache hit rate "
+            f"{total.cache_hit_rate:.0%}, "
+            f"{total.configs_per_sec:,.0f} configs/s, "
+            f"{self.total_cost_s / 60:.0f} min simulated cost"
+        )
+        return "\n".join(lines)
+
+
+def _run_grid_cell(payload) -> tuple:
+    """Worker for one grid cell; module-level so process pools can pickle it.
+
+    Builds a fresh context + DB-shard-backed measurer, tunes, saves the
+    shard, and returns (result, stats, ledger) — everything the parent
+    needs, nothing process-bound.
+    """
+    spec, device_key, settings, seed, shard_path = payload
+    device = get_device(device_key)
+    shard = MeasurementDB(Path(shard_path)) if shard_path else MeasurementDB()
+    ctx = Context(device, seed=seed)
+    measurer = Measurer(ctx, spec, repeats=settings.repeats, db=shard)
+    tuner = MLAutoTuner(ctx, spec, settings, measurer=measurer)
+    result = tuner.tune(np.random.default_rng(seed), model_seed=seed)
+    if shard.path is not None:
+        shard.save()
+    return result, measurer.stats, ctx.ledger
+
+
+def run_campaign_grid(
+    specs: Sequence[KernelSpec],
+    devices: Sequence[str],
+    settings: Optional[TunerSettings] = None,
+    db: Optional[MeasurementDB] = None,
+    max_workers: Optional[int] = None,
+    seed: int = 0,
+) -> GridReport:
+    """Tune every kernel on every device, cells in parallel processes.
+
+    Each (kernel, device) cell is independent, so the grid fans out over a
+    process pool; every worker measures against its own on-disk
+    :class:`MeasurementDB` shard (JSON writes are not concurrency-safe
+    across processes), and the shards are merged into ``db`` afterwards.
+    When ``db`` already holds measurements for a cell they pre-seed its
+    shard, so an interrupted grid picks up where it stopped.
+
+    ``max_workers <= 1`` runs the cells inline (deterministic debugging,
+    no multiprocessing); ``None`` sizes the pool to the grid and machine.
+    """
+    specs = list(specs)
+    devices = list(devices)
+    if not specs or not devices:
+        raise ValueError("need at least one kernel and one device")
+    if settings is None:
+        settings = TunerSettings(n_train=800, m_candidates=80)
+    cells = [(spec, key) for spec in specs for key in devices]
+
+    tmpdir = Path(tempfile.mkdtemp(prefix="repro-campaign-"))
+    try:
+        payloads: List[tuple] = []
+        for spec, key in cells:
+            shard_path = tmpdir / f"{spec.name}-{key}.json"
+            if db is not None:
+                known = db.table(spec.name, get_device(key).name)
+                if known:
+                    shard = MeasurementDB(shard_path)
+                    shard.put_many(spec.name, get_device(key).name, known)
+                    shard.save()
+            payloads.append((spec, key, settings, seed, str(shard_path)))
+
+        if max_workers is not None and max_workers <= 1:
+            outcomes = [_run_grid_cell(p) for p in payloads]
+        else:
+            workers = max_workers or min(len(payloads), os.cpu_count() or 1)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_run_grid_cell, payloads))
+
+        grid_cells = []
+        for (spec, key), payload, outcome in zip(cells, payloads, outcomes):
+            result, stats, ledger = outcome
+            if db is not None:
+                db.merge_from(MeasurementDB(Path(payload[4])))
+            grid_cells.append(
+                GridCell(
+                    kernel=spec.name,
+                    device=get_device(key).name,
+                    result=result,
+                    stats=stats,
+                    ledger=ledger,
+                )
+            )
+        if db is not None and db.path is not None:
+            db.save()
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return GridReport(cells=tuple(grid_cells))

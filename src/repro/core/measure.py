@@ -5,17 +5,36 @@ pyopencl-based harness drives real OpenCL — build, enqueue, wait, read the
 profiled duration, catch build/launch failures — and memoizes per-
 configuration state so re-measuring a configuration only redraws
 measurement noise (a real harness would likewise cache compiled binaries).
+
+Two layers sit on top of the single-config path:
+
+* **a durable cache** — when a :class:`~repro.core.results.MeasurementDB`
+  is attached, measured values are written through to it and known indices
+  are served from it without touching the simulator, the RNG or the cost
+  ledger (the real-world analogue: a persisted campaign result needs no
+  re-run after a crash);
+* **a vectorized batch engine** — :meth:`Measurer.measure_batch` classifies
+  a whole index array, evaluates all not-yet-known configurations through
+  the simulator's batch API, and draws every noise sample in one RNG call.
+  It is bit-identical to looping :meth:`Measurer.measure` — same
+  measurements, same ledger totals, same RNG stream consumption — just an
+  order of magnitude faster.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.results import MeasurementDB
 from repro.kernels.base import KernelSpec
 from repro.runtime import BuildError, Context, LaunchError, Program
+from repro.simulator.executor import execute_batch
+from repro.simulator.noise import FAILED_BUILD_COST_S, FAILED_LAUNCH_COST_S
+from repro.simulator.validity import STAGE_BUILD_CODE, STAGE_OK_CODE
 
 
 @dataclass
@@ -60,6 +79,76 @@ class MeasurementSet:
         )
 
 
+@dataclass
+class EngineStats:
+    """Observability counters of one measurement engine.
+
+    ``n_requested`` splits into simulator evaluations (``n_simulated``),
+    in-memory cache hits (``n_cache_hits``) and durable-DB hits
+    (``n_db_hits``); ``n_invalid`` counts returned invalids across all
+    three.  ``elapsed_s`` is harness wall-clock (not simulated seconds).
+    """
+
+    n_requested: int = 0
+    n_simulated: int = 0
+    n_cache_hits: int = 0
+    n_db_hits: int = 0
+    n_invalid: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of requests served without a simulator evaluation."""
+        if self.n_requested == 0:
+            return 0.0
+        return (self.n_cache_hits + self.n_db_hits) / self.n_requested
+
+    @property
+    def configs_per_sec(self) -> float:
+        """Measurement throughput in configurations per wall-clock second."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.n_requested / self.elapsed_s
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        return EngineStats(
+            n_requested=self.n_requested + other.n_requested,
+            n_simulated=self.n_simulated + other.n_simulated,
+            n_cache_hits=self.n_cache_hits + other.n_cache_hits,
+            n_db_hits=self.n_db_hits + other.n_db_hits,
+            n_invalid=self.n_invalid + other.n_invalid,
+            elapsed_s=self.elapsed_s + other.elapsed_s,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "n_requested": self.n_requested,
+            "n_simulated": self.n_simulated,
+            "n_cache_hits": self.n_cache_hits,
+            "n_db_hits": self.n_db_hits,
+            "n_invalid": self.n_invalid,
+            "elapsed_s": self.elapsed_s,
+            "cache_hit_rate": self.cache_hit_rate,
+            "configs_per_sec": self.configs_per_sec,
+        }
+
+
+def _sequential_sum(start: float, contributions: np.ndarray) -> float:
+    """``start + c0 + c1 + ...`` accumulated strictly left to right.
+
+    ``np.sum`` uses pairwise summation, whose rounding differs from the
+    scalar path's sequential ``+=``; a running cumulative sum reproduces
+    the scalar result bit for bit.
+    """
+    if contributions.size == 0:
+        return start
+    return float(np.cumsum(np.concatenate(([start], contributions)))[-1])
+
+
+# Batch classification codes (internal to measure_batch).
+_FRESH, _CACHED, _DB, _DUP = 0, 1, 2, 3
+
+
 class Measurer:
     """Measures configurations of one kernel on one context.
 
@@ -72,14 +161,27 @@ class Measurer:
     repeats:
         Launches per measurement; the reported time is the minimum (usual
         kernel-benchmarking practice — interference only slows you down).
+    db:
+        Optional durable cache.  Known (kernel, device, index) entries are
+        returned as-is — no simulation, no noise draws, no ledger charges —
+        and new measurements are written through, which is what lets a
+        killed campaign resume where it stopped.
     """
 
-    def __init__(self, context: Context, spec: KernelSpec, repeats: int = 3):
+    def __init__(
+        self,
+        context: Context,
+        spec: KernelSpec,
+        repeats: int = 3,
+        db: Optional[MeasurementDB] = None,
+    ):
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
         self.context = context
         self.spec = spec
         self.repeats = repeats
+        self.db = db
+        self.stats = EngineStats()
         # index -> true time (seconds), or None for invalid.
         self._cache: Dict[int, Optional[float]] = {}
 
@@ -106,12 +208,46 @@ class Measurer:
         return event.true_duration_s
 
     def measure(self, index: int) -> Optional[float]:
-        """Best-of-``repeats`` noisy measurement, or None if invalid."""
+        """Best-of-``repeats`` noisy measurement, or None if invalid.
+
+        Every measurement bills exactly ``repeats`` launches: a fresh
+        configuration's first (probe) launch is charged by the runtime at
+        its observed time, so only ``repeats - 1`` re-runs are added here;
+        a cache-served re-measurement launches all ``repeats`` again.
+        A DB hit is served stored — no launches, no charges.
+        """
+        t0 = time.perf_counter()
+        index = int(index)
+        self.stats.n_requested += 1
+        kernel = self.spec.name
+        device = self.context.device.name
+        if self.db is not None and self.db.has(kernel, device, index):
+            value = self.db.get(kernel, device, index)
+            self.stats.n_db_hits += 1
+            if value is None:
+                self.stats.n_invalid += 1
+            self.stats.elapsed_s += time.perf_counter() - t0
+            return value
+        fresh = index not in self._cache
         true = self.true_time(index)
+        if fresh:
+            self.stats.n_simulated += 1
+        else:
+            self.stats.n_cache_hits += 1
         if true is None:
+            self.stats.n_invalid += 1
+            if self.db is not None:
+                self.db.put(kernel, device, index, None)
+            self.stats.elapsed_s += time.perf_counter() - t0
             return None
-        self.context.ledger.run_s += true * (self.repeats - 1)
-        return self.context.measurement.best_of(true, self.repeats)
+        self.context.ledger.run_s += true * (
+            self.repeats - 1 if fresh else self.repeats
+        )
+        value = self.context.measurement.best_of(true, self.repeats)
+        if self.db is not None:
+            self.db.put(kernel, device, index, value)
+        self.stats.elapsed_s += time.perf_counter() - t0
+        return value
 
     def is_valid(self, index: int) -> bool:
         return self.true_time(index) is not None
@@ -119,21 +255,175 @@ class Measurer:
     # -- batches ---------------------------------------------------------------
 
     def measure_batch(self, indices: Sequence[int]) -> MeasurementSet:
-        """Measure many configurations, splitting valid from invalid."""
-        ok: List[int] = []
-        times: List[float] = []
-        bad: List[int] = []
-        for i in indices:
-            t = self.measure(int(i))
-            if t is None:
-                bad.append(int(i))
+        """Measure many configurations in one vectorized pass.
+
+        Bit-identical to looping :meth:`measure` over ``indices`` — same
+        valid/invalid split, same measured values, same ledger totals, same
+        RNG stream consumption, same cache/DB updates — but the simulator,
+        noise and ledger arithmetic run over whole arrays:
+
+        1. classify each position (DB hit / cached / first occurrence /
+           intra-batch duplicate);
+        2. evaluate all first-occurrence configs through the simulator's
+           batch API (:func:`repro.simulator.executor.execute_batch`);
+        3. draw every noise sample in a single RNG call and assemble probe
+           observations and best-of-``repeats`` minima by gather;
+        4. accumulate the ledger from per-position contribution arrays in
+           input order.
+        """
+        t0 = time.perf_counter()
+        idx: List[int] = [int(i) for i in indices]
+        n = len(idx)
+        repeats = self.repeats
+        model = self.context.measurement
+        sigma = model.device.timing_noise_sigma
+        device = self.context.device.spec
+        kernel_name = self.spec.name
+        device_name = device.name
+        db = self.db
+
+        kinds = np.empty(n, dtype=np.int8)
+        true_vals = np.full(n, np.nan)
+        results = np.full(n, np.nan)
+        valid = np.zeros(n, dtype=bool)
+        src_pos = np.full(n, -1, dtype=np.int64)
+        fresh_list: List[int] = []
+        fresh_positions: List[int] = []
+        # index -> position of the occurrence a later duplicate would be
+        # served from.  With a DB attached that is any earlier measured
+        # position (its value is in the DB by the time the duplicate runs in
+        # the scalar loop); without one, only fresh occurrences matter
+        # (cache-served re-measures legitimately redraw noise every time).
+        pending: Dict[int, int] = {}
+
+        for p, i in enumerate(idx):
+            if db is not None and db.has(kernel_name, device_name, i):
+                kinds[p] = _DB
+                v = db.get(kernel_name, device_name, i)
+                if v is not None:
+                    results[p] = v
+                    valid[p] = True
+            elif i in pending:
+                kinds[p] = _DUP
+                src_pos[p] = pending[i]
+            elif i in self._cache:
+                kinds[p] = _CACHED
+                t = self._cache[i]
+                if t is not None:
+                    true_vals[p] = t
+                if db is not None:
+                    pending[i] = p
             else:
-                ok.append(int(i))
-                times.append(t)
+                kinds[p] = _FRESH
+                fresh_list.append(i)
+                fresh_positions.append(p)
+                pending[i] = p
+
+        # -- simulate all first-occurrence configs in one batch --------------
+        compile_c = np.zeros(n)
+        failed_c = np.zeros(n)
+        if fresh_list:
+            fresh_arr = np.asarray(fresh_list, dtype=np.int64)
+            fp = np.asarray(fresh_positions, dtype=np.int64)
+            tuples = self.spec.config_tuples(fresh_arr)
+            wb = self.spec.workload_batch(fresh_arr, device, config_tuples=tuples)
+            be = execute_batch(
+                wb, device, kernel_name=kernel_name, config_tuples=tuples
+            )
+            true_vals[fp] = be.times
+            build_bad = be.stages == STAGE_BUILD_CODE
+            ok = be.stages == STAGE_OK_CODE
+            failed_c[fp[build_bad]] = FAILED_BUILD_COST_S
+            failed_c[fp[~build_bad & ~ok]] = FAILED_LAUNCH_COST_S
+            compile_costs = device.compile_time_base_s + (
+                device.compile_time_per_unroll_s * (wb.unroll_factor - 1)
+            )
+            compile_c[fp[~build_bad]] = compile_costs[~build_bad]
+            for j, i in enumerate(fresh_list):
+                t = be.times[j]
+                self._cache[i] = float(t) if ok[j] else None
+
+        mask_fc = (kinds == _FRESH) | (kinds == _CACHED)
+        valid[mask_fc] = ~np.isnan(true_vals[mask_fc])
+        mask_dup = kinds == _DUP
+        dup_idx = np.nonzero(mask_dup)[0]
+        if dup_idx.size:
+            valid[dup_idx] = valid[src_pos[dup_idx]]
+            if db is None:
+                true_vals[dup_idx] = true_vals[src_pos[dup_idx]]
+
+        # -- one RNG call for every noise draw, in scalar-loop order ----------
+        fresh_valid = (kinds == _FRESH) & valid
+        counts = np.zeros(n, dtype=np.int64)
+        probe_draws = 1 if sigma != 0.0 else 0
+        counts[fresh_valid] = probe_draws + repeats
+        counts[(kinds == _CACHED) & valid] = repeats
+        if db is None:
+            counts[mask_dup & valid] = repeats
+        total_draws = int(counts.sum())
+        if total_draws:
+            factors = np.exp(sigma * model.rng.standard_normal(total_draws))
+        else:
+            factors = np.empty(0)
+        starts = np.cumsum(counts) - counts
+
+        obs = np.zeros(n)
+        if sigma != 0.0:
+            obs[fresh_valid] = true_vals[fresh_valid] * factors[starts[fresh_valid]]
+        else:
+            obs[fresh_valid] = true_vals[fresh_valid]
+
+        meas_mask = counts >= repeats  # positions that redraw best-of noise
+        if meas_mask.any():
+            # Measurement draws are the last `repeats` of each position.
+            m_starts = starts[meas_mask] + counts[meas_mask] - repeats
+            gathered = factors[m_starts[:, None] + np.arange(repeats)]
+            results[meas_mask] = (
+                true_vals[meas_mask][:, None] * gathered
+            ).min(axis=1)
+        if db is not None and dup_idx.size:
+            results[dup_idx] = results[src_pos[dup_idx]]
+
+        # -- ledger, accumulated in input order --------------------------------
+        run_c = np.zeros((n, 2))
+        run_c[fresh_valid, 0] = obs[fresh_valid]
+        run_c[fresh_valid, 1] = true_vals[fresh_valid] * (repeats - 1)
+        recharged = (kinds == _CACHED) & valid
+        if db is None:
+            recharged = recharged | (mask_dup & valid)
+        run_c[recharged, 1] = true_vals[recharged] * repeats
+        ledger = self.context.ledger
+        ledger.compile_s = _sequential_sum(ledger.compile_s, compile_c)
+        ledger.run_s = _sequential_sum(ledger.run_s, run_c.ravel())
+        ledger.failed_s = _sequential_sum(ledger.failed_s, failed_c)
+
+        # -- write-through + stats --------------------------------------------
+        if db is not None and pending:
+            items = {
+                i: (float(results[p]) if valid[p] else None)
+                for i, p in pending.items()
+            }
+            db.put_many(kernel_name, device_name, items)
+
+        stats = self.stats
+        stats.n_requested += n
+        stats.n_simulated += len(fresh_list)
+        n_dup = int(dup_idx.size)
+        n_db = int(np.count_nonzero(kinds == _DB))
+        if db is None:
+            stats.n_cache_hits += int(np.count_nonzero(kinds == _CACHED)) + n_dup
+            stats.n_db_hits += n_db
+        else:
+            stats.n_cache_hits += int(np.count_nonzero(kinds == _CACHED))
+            stats.n_db_hits += n_db + n_dup
+        stats.n_invalid += int(np.count_nonzero(~valid))
+        stats.elapsed_s += time.perf_counter() - t0
+
+        idx_arr = np.asarray(idx, dtype=np.int64)
         return MeasurementSet(
-            indices=np.asarray(ok, dtype=np.int64),
-            times_s=np.asarray(times, dtype=np.float64),
-            invalid_indices=np.asarray(bad, dtype=np.int64),
+            indices=idx_arr[valid],
+            times_s=results[valid],
+            invalid_indices=idx_arr[~valid],
         )
 
     def sample_and_measure(

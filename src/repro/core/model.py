@@ -200,7 +200,7 @@ class PerformanceModel:
         model = cls(space, log_transform=log_transform)
         inner = EnsembleMLPRegressor.load(path)
         expected = model.encoder.n_features
-        got = inner._params[0].shape[1]
+        got = inner.n_features
         if got != expected:
             raise ValueError(
                 f"saved model expects {got} features but this space encodes "

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 import json
+import math
+import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
 
 @dataclass(frozen=True)
@@ -54,12 +57,42 @@ class TuningResult:
         return self.best_time_s / optimum_time_s
 
 
+def _encode_time(value: Optional[float]):
+    """JSON-portable encoding of one stored measurement.
+
+    ``json.dumps`` emits bare ``NaN``/``Infinity`` tokens that are not valid
+    JSON and break any standard-compliant reader; non-finite floats are
+    stored as strings instead (``None`` stays ``null`` — it means invalid).
+    """
+    if value is None:
+        return None
+    value = float(value)
+    if math.isfinite(value):
+        return value
+    return repr(value)  # 'nan', 'inf', '-inf'
+
+
+def _decode_time(raw) -> Optional[float]:
+    if raw is None:
+        return None
+    if isinstance(raw, str):
+        return float(raw)
+    return float(raw)
+
+
 class MeasurementDB:
     """JSON-backed store of per-(kernel, device) measurements.
 
     Maps configuration index -> measured seconds (or ``None`` for invalid),
     so expensive campaigns (exhaustive sweeps for ground truth) can be
-    written once and reloaded by experiments and tests.
+    written once and reloaded by experiments, tests, and — via
+    ``Measurer(db=...)`` — by resumed runs of the campaigns themselves.
+
+    Persistence is crash-safe: :meth:`save` writes to a temporary file in
+    the destination directory and atomically renames it over the target, so
+    a kill mid-write leaves the previous on-disk state intact.  Values are
+    round-tripped through strict JSON (non-finite floats encoded as
+    strings), so files can be read by any JSON parser.
     """
 
     def __init__(self, path: Optional[Path] = None):
@@ -73,9 +106,11 @@ class MeasurementDB:
         return f"{kernel}@{device}"
 
     def _load(self) -> None:
+        # json.loads still accepts legacy bare-NaN files written before
+        # strict encoding; _decode_time normalizes both representations.
         raw = json.loads(self.path.read_text())
         self._data = {
-            key: {int(i): t for i, t in entries.items()}
+            key: {int(i): _decode_time(t) for i, t in entries.items()}
             for key, entries in raw.items()
         }
 
@@ -83,15 +118,77 @@ class MeasurementDB:
         if self.path is None:
             raise RuntimeError("no path bound to this MeasurementDB")
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(self._data))
+        payload = {
+            key: {str(i): _encode_time(t) for i, t in entries.items()}
+            for key, entries in self._data.items()
+        }
+        text = json.dumps(payload, allow_nan=False)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     # -- access ----------------------------------------------------------------
 
     def put(self, kernel: str, device: str, index: int, time_s: Optional[float]) -> None:
-        self._data.setdefault(self._key(kernel, device), {})[int(index)] = time_s
+        value = None if time_s is None else float(time_s)
+        self._data.setdefault(self._key(kernel, device), {})[int(index)] = value
+
+    def put_many(
+        self,
+        kernel: str,
+        device: str,
+        items: Mapping[int, Optional[float]],
+    ) -> None:
+        """Bulk insert of index -> time (or None-for-invalid) entries."""
+        table = self._data.setdefault(self._key(kernel, device), {})
+        for index, time_s in items.items():
+            table[int(index)] = None if time_s is None else float(time_s)
 
     def get(self, kernel: str, device: str, index: int):
         return self._data.get(self._key(kernel, device), {}).get(int(index))
+
+    def get_many(
+        self, kernel: str, device: str, indices: Iterable[int]
+    ) -> Dict[int, Optional[float]]:
+        """Stored entries among ``indices``; unknown indices are omitted
+        (``None`` values mean known-invalid, not missing)."""
+        table = self._data.get(self._key(kernel, device), {})
+        out: Dict[int, Optional[float]] = {}
+        for i in indices:
+            i = int(i)
+            if i in table:
+                out[i] = table[i]
+        return out
+
+    def has(self, kernel: str, device: str, index: int) -> bool:
+        """True when the configuration has a stored outcome (even invalid)."""
+        return int(index) in self._data.get(self._key(kernel, device), {})
+
+    def known_indices(self, kernel: str, device: str) -> List[int]:
+        """All stored configuration indices for one (kernel, device)."""
+        return list(self._data.get(self._key(kernel, device), {}))
+
+    def merge_from(self, other: "MeasurementDB") -> int:
+        """Absorb every entry of ``other``; returns entries added/updated."""
+        n = 0
+        for key, entries in other._data.items():
+            table = self._data.setdefault(key, {})
+            for i, t in entries.items():
+                table[i] = t
+                n += 1
+        return n
 
     def table(self, kernel: str, device: str) -> Dict[int, Optional[float]]:
         return dict(self._data.get(self._key(kernel, device), {}))

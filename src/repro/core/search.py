@@ -22,32 +22,46 @@ def exhaustive_search(
     measurer: Measurer,
     db: Optional[MeasurementDB] = None,
     indices: Optional[Sequence[int]] = None,
+    chunk_size: int = 4096,
+    checkpoint_every: int = 8,
 ) -> MeasurementSet:
     """Measure every configuration (or a given subset) once.
 
-    Optionally records each measurement in a :class:`MeasurementDB` so the
-    (expensive) ground truth is computed once per (kernel, device).
+    Runs through the vectorized batch engine in ``chunk_size`` slices.
+    When a :class:`MeasurementDB` is given (or already attached to the
+    measurer) every measurement is recorded in it, already-stored indices
+    are served from it without re-measuring, and — if the DB is bound to a
+    path — a checkpoint is saved every ``checkpoint_every`` chunks.  Killing
+    a sweep and re-running it against the same DB therefore resumes where
+    the last checkpoint left off.
     """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
     space = measurer.spec.space
     if indices is None:
         indices = range(space.size)
-    ok, times, bad = [], [], []
-    kernel = measurer.spec.name
-    device = measurer.context.device.name
-    for i in indices:
-        t = measurer.measure(int(i))
-        if db is not None:
-            db.put(kernel, device, int(i), t)
-        if t is None:
-            bad.append(int(i))
-        else:
-            ok.append(int(i))
-            times.append(t)
-    return MeasurementSet(
-        indices=np.asarray(ok, dtype=np.int64),
-        times_s=np.asarray(times, dtype=np.float64),
-        invalid_indices=np.asarray(bad, dtype=np.int64),
+    idx = np.fromiter((int(i) for i in indices), dtype=np.int64)
+    if db is None:
+        db = measurer.db
+    prev_db, measurer.db = measurer.db, db
+    durable = db is not None and db.path is not None
+    result = MeasurementSet(
+        indices=np.empty(0, dtype=np.int64),
+        times_s=np.empty(0, dtype=np.float64),
+        invalid_indices=np.empty(0, dtype=np.int64),
     )
+    try:
+        for k, start in enumerate(range(0, idx.size, chunk_size), start=1):
+            result = result.merged_with(
+                measurer.measure_batch(idx[start : start + chunk_size])
+            )
+            if durable and checkpoint_every and k % checkpoint_every == 0:
+                db.save()
+        if durable:
+            db.save()
+    finally:
+        measurer.db = prev_db
+    return result
 
 
 def random_search(

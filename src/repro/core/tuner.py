@@ -70,9 +70,13 @@ class MLAutoTuner:
         self,
         context: Context,
         spec: KernelSpec,
-        settings: TunerSettings = TunerSettings(),
+        settings: Optional[TunerSettings] = None,
         measurer: Optional[Measurer] = None,
     ):
+        # A TunerSettings default argument would be instantiated once at
+        # class-definition time and shared by every tuner; build per
+        # instance instead.
+        settings = settings if settings is not None else TunerSettings()
         self.context = context
         self.spec = spec
         self.settings = settings

@@ -16,8 +16,11 @@ import numpy as np
 
 from repro.kernels.base import KernelSpec
 from repro.simulator.device import DeviceSpec
-from repro.simulator.executor import simulate_kernel_time
+from repro.simulator.executor import execute_batch, simulate_kernel_time
 from repro.simulator.validity import validate
+
+#: Chunk size for vectorized true-time sweeps.
+ORACLE_CHUNK = 1 << 15
 
 
 class TrueTimeOracle:
@@ -54,9 +57,38 @@ class TrueTimeOracle:
             self._cache[index] = self._compute(index)
         return self._cache[index]
 
+    def _compute_batch(self, indices: np.ndarray) -> np.ndarray:
+        """True times of many configurations via the batch executor.
+
+        Bit-identical to looping :meth:`_compute` (the batch-engine
+        property tests pin this), just vectorized; chunked so the whole
+        131K convolution space fits comfortably in memory.
+        """
+        out = np.empty(indices.shape[0], dtype=np.float64)
+        for start in range(0, indices.shape[0], ORACLE_CHUNK):
+            chunk = indices[start : start + ORACLE_CHUNK]
+            tuples = self.spec.config_tuples(chunk)
+            wb = self.spec.workload_batch(chunk, self.device, config_tuples=tuples)
+            be = execute_batch(
+                wb, self.device, kernel_name=self.spec.name, config_tuples=tuples
+            )
+            out[start : start + chunk.shape[0]] = be.times
+        return out
+
     def times_for(self, indices: Sequence[int]) -> np.ndarray:
         """True times for many configurations (NaN where invalid)."""
-        return np.array([self.time_of(i) for i in indices], dtype=np.float64)
+        idx = np.asarray(indices, dtype=np.int64)
+        if self._full is not None:
+            return self._full[idx]
+        missing = np.asarray(
+            sorted({int(i) for i in idx.tolist() if int(i) not in self._cache}),
+            dtype=np.int64,
+        )
+        if missing.size:
+            computed = self._compute_batch(missing)
+            for i, t in zip(missing.tolist(), computed.tolist()):
+                self._cache[i] = t
+        return np.array([self._cache[int(i)] for i in idx], dtype=np.float64)
 
     def full_table(self) -> np.ndarray:
         """True times of the *entire* space.
@@ -72,9 +104,7 @@ class TrueTimeOracle:
                     f"space of {size} too large to exhaust; the paper also "
                     "could not ('time constraints prevented us', §6)"
                 )
-            self._full = np.array(
-                [self._compute(i) for i in range(size)], dtype=np.float64
-            )
+            self._full = self._compute_batch(np.arange(size, dtype=np.int64))
         return self._full
 
     def global_optimum(self) -> Tuple[int, float]:

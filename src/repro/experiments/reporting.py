@@ -49,3 +49,28 @@ def ms(value_s: float) -> str:
 def kv_block(pairs: Mapping) -> str:
     width = max(len(str(k)) for k in pairs)
     return "\n".join(f"{str(k).ljust(width)} : {v}" for k, v in pairs.items())
+
+
+def engine_stats_block(stats, ledger=None) -> str:
+    """Observability summary of a measurement engine run.
+
+    ``stats`` is a :class:`repro.core.measure.EngineStats`; ``ledger``
+    optionally a :class:`repro.simulator.noise.CostLedger` to append the
+    simulated-cost split.
+    """
+    pairs = {
+        "measurements": stats.n_requested,
+        "simulated": stats.n_simulated,
+        "cache hits": stats.n_cache_hits,
+        "db hits": stats.n_db_hits,
+        "invalid": stats.n_invalid,
+        "cache hit rate": pct(stats.cache_hit_rate),
+        "throughput": f"{stats.configs_per_sec:,.0f} configs/s",
+    }
+    if ledger is not None:
+        pairs["simulated cost"] = (
+            f"{ledger.total_s:.1f} s "
+            f"(compile {ledger.compile_s:.1f}, run {ledger.run_s:.1f}, "
+            f"failed {ledger.failed_s:.1f})"
+        )
+    return kv_block(pairs)

@@ -10,14 +10,14 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Mapping
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.params import Configuration, ParameterSpace
 from repro.simulator.device import DeviceSpec
 from repro.simulator.hashing import unit_uniform
-from repro.simulator.workload import WorkloadProfile
+from repro.simulator.workload import WorkloadBatch, WorkloadProfile
 
 
 def resolve_unroll(
@@ -127,6 +127,30 @@ class KernelSpec(abc.ABC):
         """Requested unroll factor of a configuration (1 when the benchmark
         has no unroll parameter); used by the compile-time model."""
         return 1
+
+    def config_tuples(self, indices: Sequence[int]) -> List[tuple]:
+        """Config value-tuples of many flat indices (Python ints, so the
+        jitter hashes keyed on them match the scalar path bit for bit)."""
+        return self._space.tuples_of(indices)
+
+    def workload_batch(
+        self,
+        indices: Sequence[int],
+        device: DeviceSpec,
+        config_tuples: Optional[Sequence[tuple]] = None,
+    ) -> WorkloadBatch:
+        """Workload profiles of many configurations as one column batch.
+
+        The base implementation loops over :meth:`workload` and stacks the
+        scalar profiles — correct for every kernel, fast for none.
+        Benchmarks override this with a fully vectorized construction
+        (convolution does); the override must produce bit-identical columns,
+        which the batch-engine property tests enforce.  ``config_tuples``
+        lets callers share the decoded tuples with the executor's jitter
+        pass instead of decoding twice.
+        """
+        profiles = [self.workload(self._space[int(i)], device) for i in indices]
+        return WorkloadBatch.from_profiles(profiles)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(space={self._space.size}, problem={self.problem})"

@@ -26,14 +26,15 @@ Workload-model highlights:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.kernels.base import KernelSpec, padded_threads, resolve_unroll
 from repro.params import ParameterSpace, boolean, pow2
 from repro.simulator.device import DeviceSpec
-from repro.simulator.workload import WorkloadProfile
+from repro.simulator.hashing import HashPrefix
+from repro.simulator.workload import WorkloadBatch, WorkloadProfile
 
 
 @dataclass(frozen=True)
@@ -187,6 +188,113 @@ class ConvolutionKernel(KernelSpec):
             unroll_factor=self.unroll_of(config),
             barriers_per_workgroup=2.0 if use_local else 0.0,
             wg_footprint_bytes=tile_w * tile_h * 4.0,
+        )
+
+    def workload_batch(
+        self,
+        indices: Sequence[int],
+        device: DeviceSpec,
+        config_tuples: Optional[Sequence[tuple]] = None,
+    ) -> WorkloadBatch:
+        """Vectorized :meth:`workload` over many flat indices.
+
+        Mirrors the scalar computation operation for operation (same
+        literals, same association order) so every column is bit-identical
+        to stacking scalar profiles; the driver-unroll coin flips reuse the
+        scalar hash via a pre-hashed key prefix.
+        """
+        p = self.problem
+        vm = self.space.int_values_matrix(indices)
+        wx, wy, px, py = vm[:, 0], vm[:, 1], vm[:, 2], vm[:, 3]
+        use_image = vm[:, 4] == 1
+        use_local = vm[:, 5] == 1
+        pad = vm[:, 6] == 1
+        interleaved = vm[:, 7] == 1
+        unrolled = vm[:, 8] == 1
+
+        # padded_threads, both axes.
+        gx = (np.ceil(np.ceil(p.width / px) / wx) * wx).astype(np.int64)
+        gy = (np.ceil(np.ceil(p.height / py) / wy) * wy).astype(np.int64)
+        threads = gx * gy
+        useful = np.minimum(1.0, (p.width * p.height) / (threads * px * py))
+        pixels = px * py * useful
+
+        taps = p.taps
+        requested = np.where(unrolled, taps, 1)
+        effective_unroll = requested.copy()
+        pending = np.nonzero(requested > 1)[0]
+        if pending.size:
+            if config_tuples is None:
+                config_tuples = self.space.tuples_of(indices)
+            hp = HashPrefix(device.name, "driver-unroll", self.name)
+            rel = device.driver_unroll_reliability
+            for k in pending.tolist():
+                if not hp.uniform(tuple(config_tuples[k])) < rel:
+                    effective_unroll[k] = 1
+        iters_per_pixel = taps / effective_unroll
+        loop_iters = pixels * iters_per_pixel + 2.0
+
+        ops_per_tap = np.where(pad, 2.6, 4.1)
+        flops = pixels * (taps * ops_per_tap + 6.0) + 4.0
+
+        block = px * py
+        regs = 12 + np.minimum(block, 64) * 2 + np.where(effective_unroll > 1, 10, 0)
+
+        tile_w = wx * px + p.halo
+        tile_h = wy * py + p.halo
+        local_bytes = np.where(use_local, tile_w * tile_h * 4, 0)
+        tile_share = (tile_w * tile_h) / (wx * wy)
+        pix_taps = pixels * taps
+        cooperative = np.where(use_local, tile_share, 0.0)
+        direct = np.where(use_local, 0.0, pix_taps)
+        image_reads = np.where(use_image, cooperative + direct, 0.0)
+        global_reads = np.where(use_image, 0.0, cooperative + direct)
+        local_writes = cooperative
+        local_reads = np.where(use_local, pix_taps, 0.0)
+        global_writes = pixels
+
+        if device.is_gpu:
+            coal = np.where(
+                use_local,
+                0.92,
+                np.where(interleaved, 0.95, np.maximum(0.12, 1.0 / px)),
+            )
+        else:
+            coal = np.where(
+                use_local,
+                0.85,
+                np.where(
+                    ~interleaved | (wx == 1), 0.88, np.maximum(0.2, 1.0 / wx)
+                ),
+            )
+
+        pad_growth = (p.width + p.halo) * (p.height + p.halo) / (p.width * p.height)
+        in_bytes = p.width * p.height * 4 * np.where(pad, pad_growth, 1.0)
+        footprint = in_bytes + p.width * p.height * 4
+
+        n = vm.shape[0]
+        return WorkloadBatch(
+            gx=gx,
+            gy=gy,
+            wx=wx,
+            wy=wy,
+            flops_per_thread=flops,
+            global_reads=global_reads,
+            global_writes=global_writes.astype(np.float64),
+            image_reads=image_reads,
+            local_reads=local_reads,
+            local_writes=local_writes,
+            constant_reads=np.zeros(n),
+            local_mem_per_wg_bytes=local_bytes,
+            registers_per_thread=regs,
+            coalesced_fraction=coal,
+            spatial_locality=np.full(n, 0.85),
+            footprint_bytes=footprint,
+            loop_iterations_per_thread=loop_iters,
+            unroll_factor=requested,
+            barriers_per_workgroup=np.where(use_local, 2.0, 0.0),
+            wg_footprint_bytes=tile_w * tile_h * 4.0,
+            uses_driver_unroll=True,
         )
 
     # -- functional implementation -------------------------------------------

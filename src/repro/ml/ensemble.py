@@ -73,6 +73,13 @@ class EnsembleMLPRegressor:
         self._y_scaler = StandardScaler()
         self.loss_curve_: list[float] = []
 
+    @property
+    def n_features(self) -> int:
+        """Input-feature dimensionality the fitted ensemble expects."""
+        if self._params is None:
+            raise RuntimeError("n_features before fit()/load()")
+        return int(self._params[0].shape[1])
+
     # -- internals -----------------------------------------------------------
 
     def _forward(self, Xs: np.ndarray):

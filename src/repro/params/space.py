@@ -291,3 +291,30 @@ class ParameterSpace:
             lut = np.asarray(p.values, dtype=np.float64)
             out[:, j] = lut[digits[:, j]]
         return out
+
+    def int_values_matrix(self, indices: Sequence[int]) -> np.ndarray:
+        """Parameter values of many indices as ``(n, n_params)`` int64.
+
+        Only valid when every parameter's values are plain Python ints
+        (pow2 and boolean parameters — all benchmarks in the paper).
+        """
+        for p in self._parameters:
+            if not all(type(v) is int for v in p.values):
+                raise TypeError(
+                    f"parameter {p.name!r} has non-int values; "
+                    "use values_matrix or per-config access"
+                )
+        digits = self.digits_matrix(indices)
+        out = np.empty(digits.shape, dtype=np.int64)
+        for j, p in enumerate(self._parameters):
+            lut = np.asarray(p.values, dtype=np.int64)
+            out[:, j] = lut[digits[:, j]]
+        return out
+
+    def tuples_of(self, indices: Sequence[int]) -> List[tuple]:
+        """Config value-tuples (``Configuration.as_tuple``) of many indices.
+
+        Returns plain Python ints so ``repr`` (and therefore the stable
+        jitter hashes keyed on the tuples) matches the scalar path exactly.
+        """
+        return [tuple(row) for row in self.int_values_matrix(indices).tolist()]

@@ -35,10 +35,20 @@ from repro.simulator.devices import (
     NVIDIA_K40,
     get_device,
 )
-from repro.simulator.executor import KernelExecutor, simulate_kernel_time
+from repro.simulator.executor import (
+    BatchExecution,
+    KernelExecutor,
+    execute_batch,
+    simulate_kernel_time,
+)
 from repro.simulator.noise import MeasurementModel
-from repro.simulator.validity import InvalidConfig, ValidationResult, validate
-from repro.simulator.workload import WorkloadProfile
+from repro.simulator.validity import (
+    InvalidConfig,
+    ValidationResult,
+    validate,
+    validate_batch,
+)
+from repro.simulator.workload import WorkloadBatch, WorkloadProfile
 
 __all__ = [
     "DeviceSpec",
@@ -51,9 +61,13 @@ __all__ = [
     "get_device",
     "KernelExecutor",
     "simulate_kernel_time",
+    "execute_batch",
+    "BatchExecution",
     "MeasurementModel",
     "InvalidConfig",
     "ValidationResult",
     "validate",
+    "validate_batch",
     "WorkloadProfile",
+    "WorkloadBatch",
 ]

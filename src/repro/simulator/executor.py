@@ -27,13 +27,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.simulator.device import DeviceSpec
-from repro.simulator.hashing import structured_jitter
-from repro.simulator.memory import MemoryCost, memory_time
-from repro.simulator.occupancy import OccupancyResult, compute_occupancy
-from repro.simulator.validity import validate
-from repro.simulator.workload import WorkloadProfile
+from repro.simulator.hashing import JitterTable, structured_jitter
+from repro.simulator.memory import MemoryCost, memory_time, memory_time_batch
+from repro.simulator.occupancy import (
+    OccupancyBatch,
+    OccupancyResult,
+    compute_occupancy,
+    compute_occupancy_batch,
+)
+from repro.simulator.validity import STAGE_OK_CODE, validate, validate_batch
+from repro.simulator.workload import WorkloadBatch, WorkloadProfile
 
 #: Scalar ops charged per remaining loop iteration (compare+branch+index).
 LOOP_OVERHEAD_OPS = 4.0
@@ -238,6 +246,178 @@ def simulate_kernel_time(
 ) -> float:
     """True (noise-free) execution time in seconds for one launch."""
     return execute(profile, device, jitter_key=jitter_key).total_time
+
+
+# ---------------------------------------------------------------------------
+# Batch (vectorized) execution.  Mirrors the scalar pipeline operation for
+# operation so true times are bit-identical to per-config `execute` calls;
+# only the per-config jitter lookup stays a Python loop (over valid configs),
+# served by memoizing `JitterTable`s.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchExecution:
+    """Result of :func:`execute_batch` over ``n`` configurations.
+
+    ``times`` holds the true time in seconds where ``stages`` is
+    :data:`~repro.simulator.validity.STAGE_OK_CODE` and NaN otherwise;
+    ``stages`` are the :func:`~repro.simulator.validity.validate_batch`
+    codes (0 ok / 1 build / 2 launch).
+    """
+
+    times: np.ndarray
+    stages: np.ndarray
+
+
+def simd_utilization_batch(batch: WorkloadBatch, device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`simd_utilization`."""
+    wg = batch.workgroup_threads
+    groups = np.ceil(wg / device.simd_width)
+    return wg / (groups * device.simd_width)
+
+
+def compute_time_batch(batch: WorkloadBatch, device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`compute_time`."""
+    util = simd_utilization_batch(batch, device)
+    ops_per_thread = batch.flops_per_thread + (
+        LOOP_OVERHEAD_OPS * batch.loop_iterations_per_thread
+    )
+    total_ops = batch.threads * ops_per_thread / np.maximum(util, 1e-9)
+    throughput = device.peak_gflops * 1e9
+    if device.is_cpu:
+        vec = 0.30 + 0.70 * batch.coalesced_fraction
+        return total_ops / (throughput * vec)
+    return total_ops / throughput
+
+
+def wave_quantization_factor_batch(
+    batch: WorkloadBatch, device: DeviceSpec, occ: OccupancyBatch
+) -> np.ndarray:
+    """Vectorized :func:`wave_quantization_factor`."""
+    per_wave = device.compute_units * np.maximum(occ.workgroups_per_cu, 1)
+    n_wg = batch.num_workgroups
+    waves = np.ceil(n_wg / per_wave)
+    return waves * per_wave / n_wg
+
+
+def overlap_fraction_batch(device: DeviceSpec, occ: OccupancyBatch) -> np.ndarray:
+    """Vectorized :func:`overlap_fraction`."""
+    if device.is_cpu:
+        return np.full(occ.occupancy.shape[0], CPU_OVERLAP)
+    return np.minimum(1.0, occ.occupancy / OCCUPANCY_KNEE)
+
+
+def overhead_time_batch(batch: WorkloadBatch, device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`overhead_time`."""
+    n_wg = batch.num_workgroups
+    spread = n_wg * device.wg_launch_overhead_us / device.compute_units
+    total = (device.kernel_launch_overhead_us + spread) * 1e-6
+
+    if device.is_cpu:
+        total = total + (
+            batch.threads * CPU_ITEM_OVERHEAD_NS * 1e-9 / device.compute_units
+        )
+
+    barriers = batch.barriers_per_workgroup
+    if device.is_cpu:
+        per_wg_ns = barriers * batch.workgroup_threads * CPU_BARRIER_NS_PER_ITEM
+    else:
+        warps = np.ceil(batch.workgroup_threads / device.simd_width)
+        per_wg_ns = barriers * warps * GPU_BARRIER_NS_PER_WARP
+    barrier_term = n_wg * per_wg_ns * 1e-9 / device.compute_units
+    return total + np.where(barriers > 0, barrier_term, 0.0)
+
+
+def granularity_penalty_batch(batch: WorkloadBatch, device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`granularity_penalty`.
+
+    log2 is evaluated with ``math.log2`` over the (few) unique warp counts —
+    ``np.log2``'s last bit can differ from the C library's, which would break
+    bit-identity with the scalar path.
+    """
+    if device.is_cpu:
+        return np.ones(len(batch))
+    warps = np.maximum(
+        1, np.ceil(batch.workgroup_threads / device.simd_width).astype(np.int64)
+    )
+    uniq, inverse = np.unique(warps, return_inverse=True)
+    table = np.fromiter(
+        (math.log2(int(u)) ** 2 for u in uniq), np.float64, uniq.shape[0]
+    )
+    return 1.0 + GPU_WG_GRANULARITY_PENALTY * table[inverse]
+
+
+def batch_jitter_factors(
+    batch: WorkloadBatch,
+    device: DeviceSpec,
+    kernel_name: str,
+    config_tuples: Sequence[tuple],
+    mask: np.ndarray,
+) -> np.ndarray:
+    """Deterministic jitter factor per configuration (1.0 where ``mask`` is
+    false).  Bit-identical to the jitter block of :func:`execute`."""
+    factors = np.ones(len(batch))
+    table = JitterTable(
+        device.jitter_sigma, device.jitter_idio_sigma, device.name, kernel_name
+    )
+    quirk_table = None
+    if batch.uses_driver_unroll:
+        quirk_sigma = DRIVER_UNROLL_QUIRK_SIGMA * (
+            1.0 - device.driver_unroll_reliability
+        )
+        quirk_table = JitterTable(
+            0.0, quirk_sigma, device.name, f"{kernel_name}/unroll-quirk"
+        )
+    unroll = batch.unroll_factor
+    for p in np.nonzero(mask)[0].tolist():
+        cfg = tuple(config_tuples[p])
+        j = table.factor(cfg)
+        if quirk_table is not None and unroll[p] > 1:
+            j *= quirk_table.factor(cfg)
+        factors[p] = j
+    return factors
+
+
+def execute_batch(
+    batch: WorkloadBatch,
+    device: DeviceSpec,
+    kernel_name: Optional[str] = None,
+    config_tuples: Optional[Sequence[tuple]] = None,
+) -> BatchExecution:
+    """Simulate a whole batch of launches in one vectorized pass.
+
+    Unlike :func:`execute`, invalid configurations do not raise — they come
+    back as NaN times with a non-zero stage code, so callers triage a full
+    sweep in one call.  Passing ``kernel_name`` + ``config_tuples`` enables
+    the per-configuration deterministic jitter (the scalar path's
+    ``jitter_key``); omitting them disables jitter, as an empty key does.
+    """
+    stages = validate_batch(batch, device)
+    valid = stages == STAGE_OK_CODE
+
+    occ = compute_occupancy_batch(batch, device)
+    comp = compute_time_batch(batch, device)
+    mem = memory_time_batch(batch, device)
+
+    ov = overlap_fraction_batch(device, occ)
+    busy = np.maximum(comp, mem) + (1.0 - ov) * np.minimum(comp, mem)
+
+    per_wave = device.compute_units * np.maximum(occ.workgroups_per_cu, 1)
+    waves = np.ceil(batch.num_workgroups / per_wave)
+    latency = (1.0 - ov) * waves * device.global_latency_us * 1e-6
+
+    q = wave_quantization_factor_batch(batch, device, occ) * granularity_penalty_batch(
+        batch, device
+    )
+    ovh = overhead_time_batch(batch, device)
+
+    total = busy * q + latency + ovh
+    if kernel_name is not None and config_tuples is not None:
+        total = total * batch_jitter_factors(
+            batch, device, kernel_name, config_tuples, valid
+        )
+    return BatchExecution(times=np.where(valid, total, np.nan), stages=stages)
 
 
 class KernelExecutor:

@@ -22,8 +22,10 @@ import math
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.simulator.device import DeviceSpec
-from repro.simulator.workload import WorkloadProfile
+from repro.simulator.workload import WorkloadBatch, WorkloadProfile
 
 #: Bytes per access for the float32/uchar4 codes in the benchmarks.
 ACCESS_BYTES = 4.0
@@ -189,4 +191,116 @@ def memory_time(profile: WorkloadProfile, device: DeviceSpec) -> MemoryCost:
         local_time=local_memory_time(profile, device),
         constant_time=constant_memory_time(profile, device),
         spill_time=spill_memory_time(profile, device),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batch (vectorized) versions.  Each mirrors its scalar counterpart operation
+# for operation — same literals, same association order — so the results are
+# bit-identical to running the scalar function per configuration.
+# log2 goes through ``math.log2`` on the (few) unique inputs rather than
+# ``np.log2``, whose last bit can differ from the C library's.
+# ---------------------------------------------------------------------------
+
+
+def _math_log2_unique(values: np.ndarray) -> np.ndarray:
+    """``math.log2`` applied elementwise via a unique-value table."""
+    uniq, inverse = np.unique(values, return_inverse=True)
+    table = np.fromiter(
+        (math.log2(float(u)) for u in uniq), np.float64, uniq.shape[0]
+    )
+    return table[inverse]
+
+
+def cache_hit_fraction_batch(batch: WorkloadBatch, device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`cache_hit_fraction`."""
+    loc = batch.spatial_locality
+    no_fp = np.minimum(0.97, loc)
+    cache_bytes = device.cache_kb * 1024.0
+    fit = np.minimum(1.0, cache_bytes / np.where(batch.footprint_bytes > 0,
+                                                 batch.footprint_bytes, 1.0))
+    resident = 0.95 * fit
+    streaming = 0.8 * loc * (1.0 - fit)
+    with_fp = np.minimum(0.97, resident + streaming)
+    return np.where(batch.footprint_bytes <= 0, no_fp, with_fp)
+
+
+def cpu_l2_overflow_factor_batch(batch: WorkloadBatch, device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`cpu_l2_overflow_factor`."""
+    ones = np.ones(len(batch))
+    if not device.is_cpu:
+        return ones
+    fp = batch.wg_footprint_bytes
+    over_mask = fp > CPU_L2_BYTES
+    if not over_mask.any():
+        return ones
+    overflow = _math_log2_unique(fp[over_mask] / CPU_L2_BYTES)
+    ones[over_mask] = 1.0 + CPU_L2_OVERFLOW_PENALTY * overflow
+    return ones
+
+
+def global_memory_time_batch(batch: WorkloadBatch, device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`global_memory_time`."""
+    accesses = batch.threads * (batch.global_reads + batch.global_writes)
+    bytes_moved = accesses * ACCESS_BYTES
+    coal = batch.coalesced_fraction
+    waste = UNCOALESCED_EFFICIENCY if device.is_gpu else 0.45
+    efficiency = coal + (1.0 - coal) * waste
+    hit = cache_hit_fraction_batch(batch, device)
+    dram_bw = device.global_bandwidth_gbs * 1e9 * efficiency
+    cache_bw = dram_bw * device.cache_bandwidth_factor
+    t = bytes_moved * ((1.0 - hit) / dram_bw + hit / cache_bw)
+    t = t * cpu_l2_overflow_factor_batch(batch, device)
+    return np.where(accesses <= 0, 0.0, t)
+
+
+def image_memory_time_batch(batch: WorkloadBatch, device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`image_memory_time`."""
+    fetches = batch.threads * batch.image_reads
+    rate = device.texture_rate_gtexels * 1e9
+    if device.image_is_emulated:
+        effective = rate * (1.0 + 0.3 * batch.spatial_locality)
+        t = fetches / effective
+    else:
+        hit = 0.5 + 0.45 * batch.spatial_locality
+        t = fetches * ((1.0 - hit) / rate + hit / (rate * device.texture_cache_factor))
+    return np.where(fetches <= 0, 0.0, t)
+
+
+def local_memory_time_batch(batch: WorkloadBatch, device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`local_memory_time`."""
+    accesses = batch.threads * (batch.local_reads + batch.local_writes)
+    bytes_moved = accesses * ACCESS_BYTES
+    bw = device.global_bandwidth_gbs * 1e9 * device.local_bandwidth_factor
+    t = bytes_moved / bw * cpu_l2_overflow_factor_batch(batch, device)
+    return np.where(accesses <= 0, 0.0, t)
+
+
+def constant_memory_time_batch(batch: WorkloadBatch, device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`constant_memory_time`."""
+    accesses = batch.threads * batch.constant_reads
+    bytes_moved = accesses * ACCESS_BYTES
+    bw = device.global_bandwidth_gbs * 1e9 * device.constant_bandwidth_factor
+    return np.where(accesses <= 0, 0.0, bytes_moved / bw)
+
+
+def spill_memory_time_batch(batch: WorkloadBatch, device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`spill_memory_time`."""
+    over = batch.registers_per_thread - device.max_registers_per_thread
+    live_spilled = np.minimum(over.astype(np.float64), 6.0)
+    work_units = batch.flops_per_thread * 0.1
+    accesses = batch.threads * live_spilled * work_units * 2.0
+    bw = device.global_bandwidth_gbs * 1e9 * device.cache_bandwidth_factor
+    return np.where(over <= 0, 0.0, accesses * ACCESS_BYTES / bw)
+
+
+def memory_time_batch(batch: WorkloadBatch, device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`memory_time`, returning the summed ``total``
+    column (the executor only consumes the total)."""
+    return (
+        global_memory_time_batch(batch, device)
+        + image_memory_time_batch(batch, device)
+        + local_memory_time_batch(batch, device)
+        + constant_memory_time_batch(batch, device)
+        + spill_memory_time_batch(batch, device)
     )

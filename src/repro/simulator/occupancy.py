@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.simulator.device import DeviceSpec
-from repro.simulator.workload import WorkloadProfile
+from repro.simulator.workload import WorkloadBatch, WorkloadProfile
 
 
 @dataclass(frozen=True)
@@ -81,4 +83,59 @@ def compute_occupancy(profile: WorkloadProfile, device: DeviceSpec) -> Occupancy
         active_threads_per_cu=active,
         occupancy=occ,
         limiter=limiter,
+    )
+
+
+@dataclass(frozen=True)
+class OccupancyBatch:
+    """Array-shaped :class:`OccupancyResult` (no per-config limiter label —
+    batch callers only consume the numeric columns)."""
+
+    workgroups_per_cu: np.ndarray
+    active_threads_per_cu: np.ndarray
+    occupancy: np.ndarray
+
+
+def compute_occupancy_batch(batch: WorkloadBatch, device: DeviceSpec) -> OccupancyBatch:
+    """Vectorized :func:`compute_occupancy` over a workload batch.
+
+    Produces the same ``workgroups_per_cu`` / ``active_threads_per_cu`` /
+    ``occupancy`` values as the scalar path, elementwise.  Resources a
+    configuration does not consume (no local memory, zero registers) are
+    excluded from the minimum exactly as the scalar dict construction does.
+    """
+    wg_threads = batch.workgroup_threads
+
+    no_limit = np.iinfo(np.int64).max
+    limit_threads = device.max_threads_per_cu // wg_threads
+    limit_slots = np.full_like(wg_threads, device.max_workgroups_per_cu)
+
+    lm = batch.local_mem_per_wg_bytes
+    limit_local = np.where(
+        lm > 0, device.local_mem_per_cu_bytes // np.maximum(lm, 1), no_limit
+    )
+
+    regs = np.minimum(batch.registers_per_thread, device.max_registers_per_thread)
+    regs_per_wg = regs * wg_threads
+    limit_regs = np.where(
+        regs_per_wg > 0, device.registers_per_cu // np.maximum(regs_per_wg, 1), no_limit
+    )
+
+    wgs = np.minimum(
+        np.minimum(limit_threads, limit_slots), np.minimum(limit_local, limit_regs)
+    )
+    wgs = np.maximum(0, wgs)
+
+    wgs_in_launch = batch.num_workgroups
+    cu_share = np.maximum(
+        1, (wgs_in_launch + device.compute_units - 1) // device.compute_units
+    )
+    wgs_effective = np.minimum(wgs, cu_share)
+
+    active = wgs_effective * wg_threads
+    occ = np.minimum(1.0, active / device.max_threads_per_cu)
+    return OccupancyBatch(
+        workgroups_per_cu=wgs_effective,
+        active_threads_per_cu=active,
+        occupancy=occ,
     )

@@ -15,13 +15,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.simulator.device import DeviceSpec
-from repro.simulator.occupancy import compute_occupancy
-from repro.simulator.workload import WorkloadProfile
+from repro.simulator.occupancy import compute_occupancy, compute_occupancy_batch
+from repro.simulator.workload import WorkloadBatch, WorkloadProfile
 
 #: Stage at which a failure surfaces.
 STAGE_BUILD = "build"
 STAGE_LAUNCH = "launch"
+
+#: Integer stage codes used by :func:`validate_batch`.
+STAGE_OK_CODE = 0
+STAGE_BUILD_CODE = 1
+STAGE_LAUNCH_CODE = 2
 
 
 class InvalidConfig(Exception):
@@ -89,3 +96,24 @@ def validate(profile: WorkloadProfile, device: DeviceSpec) -> ValidationResult:
             f"({device.registers_per_cu}/CU); limiter={occ.limiter}",
         )
     return VALID
+
+
+def validate_batch(batch: WorkloadBatch, device: DeviceSpec) -> np.ndarray:
+    """Vectorized :func:`validate`: per-config integer stage codes.
+
+    Returns an ``int8`` array with :data:`STAGE_OK_CODE` (0) for runnable
+    configurations, :data:`STAGE_BUILD_CODE` (1) for build-stage failures
+    (work-group or local-memory over device limits) and
+    :data:`STAGE_LAUNCH_CODE` (2) for launch-stage failures (zero resident
+    work-groups).  Build failures take precedence, mirroring the scalar
+    check order.
+    """
+    wg_threads = batch.workgroup_threads
+    build_bad = (wg_threads > device.max_workgroup_size) | (
+        batch.local_mem_per_wg_bytes > device.local_mem_per_cu_bytes
+    )
+    occ = compute_occupancy_batch(batch, device)
+    launch_bad = occ.workgroups_per_cu < 1
+    return np.where(
+        build_bad, STAGE_BUILD_CODE, np.where(launch_bad, STAGE_LAUNCH_CODE, STAGE_OK_CODE)
+    ).astype(np.int8)

@@ -10,7 +10,9 @@ this profile — which keeps the device model kernel-agnostic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -136,3 +138,84 @@ class WorkloadProfile:
     def total_global_bytes(self) -> float:
         """Raw global traffic of the launch in bytes (before caching)."""
         return 4.0 * self.threads * (self.global_reads + self.global_writes)
+
+
+@dataclass
+class WorkloadBatch:
+    """Column-wise batch of :class:`WorkloadProfile` records.
+
+    Each scalar field of ``WorkloadProfile`` becomes a NumPy array of
+    length ``n``; the ``(gx, gy)`` / ``(wx, wy)`` tuples are split into
+    per-axis integer arrays.  ``uses_driver_unroll`` stays a single bool —
+    it is a property of the kernel, not of the configuration.
+
+    Integer-valued columns use ``int64`` and float columns ``float64`` so
+    that elementwise arithmetic reproduces the scalar Python computation
+    bit for bit.  No validation happens here: batches may describe invalid
+    configurations (over-sized work-groups etc.); :func:`validity
+    <repro.simulator.validity.validate_batch>` classifies them afterwards.
+    """
+
+    gx: np.ndarray
+    gy: np.ndarray
+    wx: np.ndarray
+    wy: np.ndarray
+    flops_per_thread: np.ndarray
+    global_reads: np.ndarray
+    global_writes: np.ndarray
+    image_reads: np.ndarray
+    local_reads: np.ndarray
+    local_writes: np.ndarray
+    constant_reads: np.ndarray
+    local_mem_per_wg_bytes: np.ndarray
+    registers_per_thread: np.ndarray
+    coalesced_fraction: np.ndarray
+    spatial_locality: np.ndarray
+    footprint_bytes: np.ndarray
+    loop_iterations_per_thread: np.ndarray
+    unroll_factor: np.ndarray
+    barriers_per_workgroup: np.ndarray
+    wg_footprint_bytes: np.ndarray
+    uses_driver_unroll: bool = False
+
+    def __len__(self) -> int:
+        return int(self.gx.shape[0])
+
+    @property
+    def threads(self) -> np.ndarray:
+        """Total work-items per launch (int64)."""
+        return self.gx * self.gy
+
+    @property
+    def workgroup_threads(self) -> np.ndarray:
+        """Work-items per work-group (int64)."""
+        return self.wx * self.wy
+
+    @property
+    def num_workgroups(self) -> np.ndarray:
+        """Work-groups per launch (int64)."""
+        return ((self.gx + self.wx - 1) // self.wx) * (
+            (self.gy + self.wy - 1) // self.wy
+        )
+
+    @classmethod
+    def from_profiles(cls, profiles: "list[WorkloadProfile]") -> "WorkloadBatch":
+        """Stack scalar profiles into a batch (reference path; kernels
+        normally build batches directly from decoded parameter columns)."""
+        n = len(profiles)
+        int_cols = {"local_mem_per_wg_bytes", "registers_per_thread", "unroll_factor"}
+        kw = {
+            "gx": np.fromiter((p.global_size[0] for p in profiles), np.int64, n),
+            "gy": np.fromiter((p.global_size[1] for p in profiles), np.int64, n),
+            "wx": np.fromiter((p.workgroup[0] for p in profiles), np.int64, n),
+            "wy": np.fromiter((p.workgroup[1] for p in profiles), np.int64, n),
+            "uses_driver_unroll": any(p.uses_driver_unroll for p in profiles),
+        }
+        for f in fields(WorkloadProfile):
+            if f.name in ("global_size", "workgroup", "uses_driver_unroll"):
+                continue
+            dtype = np.int64 if f.name in int_cols else np.float64
+            kw[f.name] = np.fromiter(
+                (getattr(p, f.name) for p in profiles), dtype, n
+            )
+        return cls(**kw)

@@ -67,3 +67,78 @@ class TestCampaign:
     def test_empty_devices_rejected(self):
         with pytest.raises(ValueError):
             PortabilityCampaign(ConvolutionKernel(), devices=())
+
+
+class TestCampaignGrid:
+    @pytest.fixture(scope="class")
+    def grid(self, tmp_path_factory):
+        spec = ConvolutionKernel()
+        db_path = tmp_path_factory.mktemp("grid") / "grid.json"
+        db = MeasurementDB(db_path)
+        from repro.core.campaign import run_campaign_grid
+
+        report = run_campaign_grid(
+            [spec],
+            ["intel", "nvidia"],
+            settings=TunerSettings(n_train=150, m_candidates=15),
+            db=db,
+            max_workers=2,
+            seed=7,
+        )
+        return report, db, db_path, spec
+
+    def test_every_cell_tuned_in_parallel(self, grid):
+        report, _, _, _ = grid
+        assert len(report.cells) == 2
+        devices = {c.device for c in report.cells}
+        assert devices == {"Intel i7 3770", "Nvidia K40"}
+        for cell in report.cells:
+            assert cell.kernel == "convolution"
+            assert cell.stats.n_requested >= 165
+            assert cell.ledger.total_s > 0
+
+    def test_shards_merged_into_main_db(self, grid):
+        report, db, db_path, spec = grid
+        for cell in report.cells:
+            assert db.table(spec.name, cell.device), cell.device
+            r = cell.result
+            if not r.failed:
+                assert db.has(spec.name, cell.device, r.best_index)
+        # and persisted to disk
+        assert len(MeasurementDB(db_path)) == len(db)
+
+    def test_report_carries_engine_counters(self, grid):
+        report, _, _, _ = grid
+        text = report.report()
+        assert "campaign grid: 2 (kernel, device) cells" in text
+        assert "cache hit" in text and "configs/s" in text
+        total = report.total_stats
+        assert total.n_requested == sum(c.stats.n_requested for c in report.cells)
+
+    def test_rerun_resumes_entirely_from_db(self, grid):
+        report, db, db_path, spec = grid
+        from repro.core.campaign import run_campaign_grid
+
+        again = run_campaign_grid(
+            [spec],
+            ["intel", "nvidia"],
+            settings=TunerSettings(n_train=150, m_candidates=15),
+            db=MeasurementDB(db_path),
+            max_workers=1,  # inline: same semantics as the pooled path
+            seed=7,
+        )
+        assert again.total_stats.n_simulated == 0
+        assert again.total_cost_s == 0.0
+        for cell in again.cells:
+            before = report.result(cell.kernel, cell.device)
+            assert cell.result.best_index == before.best_index
+            assert not cell.result.failed
+            assert cell.result.best_time_s == before.best_time_s
+
+    def test_empty_grid_rejected(self):
+        from repro.core.campaign import run_campaign_grid
+
+        with pytest.raises(ValueError):
+            run_campaign_grid([], ["intel"])
+        with pytest.raises(ValueError):
+            run_campaign_grid([ConvolutionKernel()], [])

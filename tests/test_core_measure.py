@@ -107,3 +107,61 @@ class TestBatch:
             invalid_indices=np.array([], dtype=np.int64),
         )
         assert ms.invalid_fraction == 0.0
+
+
+class TestLedgerAccounting:
+    """Every measurement bills exactly ``repeats`` launches.
+
+    Regression for a bug where cache-served re-measurements were charged
+    ``repeats - 1`` launches: the probe launch is only billed by the runtime
+    on the *first* (fresh) measurement, so re-measures must add all
+    ``repeats`` themselves.  Pinned on a zero-noise device so the expected
+    totals are exact multiples of the true time.
+    """
+
+    @pytest.fixture
+    def quiet_measurer(self, spec):
+        import dataclasses
+
+        quiet = dataclasses.replace(NVIDIA_K40, timing_noise_sigma=0.0)
+        return Measurer(Context(quiet, seed=0), spec, repeats=4)
+
+    def test_fresh_measurement_bills_repeats_launches(self, spec, quiet_measurer):
+        m = quiet_measurer
+        i = config_index(spec)
+        value = m.measure(i)
+        true = m.true_time(i)
+        assert value == true  # zero noise: best-of == true
+        assert m.context.ledger.run_s == pytest.approx(4 * true, rel=1e-12)
+
+    def test_cached_re_measure_bills_repeats_launches(self, spec, quiet_measurer):
+        m = quiet_measurer
+        i = config_index(spec)
+        m.measure(i)
+        true = m.true_time(i)
+        m.measure(i)
+        assert m.context.ledger.run_s == pytest.approx(8 * true, rel=1e-12)
+        m.measure(i)
+        assert m.context.ledger.run_s == pytest.approx(12 * true, rel=1e-12)
+
+    def test_db_hit_bills_nothing(self, spec):
+        from repro.core.results import MeasurementDB
+
+        db = MeasurementDB()
+        i = config_index(spec)
+        db.put(spec.name, NVIDIA_K40.name, i, 42e-3)
+        m = Measurer(Context(NVIDIA_K40, seed=0), spec, db=db)
+        assert m.measure(i) == 42e-3
+        assert m.context.ledger.total_s == 0.0
+        assert m.stats.n_db_hits == 1
+
+    def test_invalid_db_hit_returns_none_without_cost(self, spec):
+        from repro.core.results import MeasurementDB
+
+        db = MeasurementDB()
+        i = config_index(spec)
+        db.put(spec.name, NVIDIA_K40.name, i, None)
+        m = Measurer(Context(NVIDIA_K40, seed=0), spec, db=db)
+        assert m.measure(i) is None
+        assert m.context.ledger.total_s == 0.0
+        assert m.stats.n_invalid == 1

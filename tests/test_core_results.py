@@ -87,3 +87,84 @@ class TestMeasurementDB:
             db.best("k", "d")
         with pytest.raises(ValueError):
             db.best("k", "other")
+
+
+class TestDurableCampaignCache:
+    def test_nan_and_infinity_roundtrip_strict_json(self, tmp_path):
+        """Non-finite values survive save/load through *valid* JSON."""
+        import json
+
+        path = tmp_path / "weird.json"
+        db = MeasurementDB(path)
+        db.put("k", "d", 0, float("nan"))
+        db.put("k", "d", 1, float("inf"))
+        db.put("k", "d", 2, None)
+        db.put("k", "d", 3, 1.5e-3)
+        db.save()
+        # The file is standard JSON (no bare NaN/Infinity tokens).
+        json.loads(path.read_text(), parse_constant=lambda c: pytest.fail(
+            f"non-standard JSON constant {c!r} in saved file"))
+        back = MeasurementDB(path)
+        assert math.isnan(back.get("k", "d", 0))
+        assert back.get("k", "d", 1) == float("inf")
+        assert back.get("k", "d", 2) is None
+        assert back.get("k", "d", 3) == 1.5e-3
+        assert len(back) == 4
+
+    def test_legacy_bare_nan_files_still_load(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text('{"k@d": {"7": NaN, "8": null, "9": 0.25}}')
+        db = MeasurementDB(path)
+        assert math.isnan(db.get("k", "d", 7))
+        assert db.get("k", "d", 8) is None
+        assert db.get("k", "d", 9) == 0.25
+
+    def test_interrupted_save_preserves_previous_state(self, tmp_path, monkeypatch):
+        import os
+
+        path = tmp_path / "db.json"
+        db = MeasurementDB(path)
+        db.put("k", "d", 0, 0.5)
+        db.save()
+        db.put("k", "d", 1, 0.25)
+
+        def boom(src, dst):
+            raise OSError("killed mid-rename")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            db.save()
+        monkeypatch.undo()
+        # Old state intact, no temp litter.
+        back = MeasurementDB(path)
+        assert back.get("k", "d", 0) == 0.5
+        assert not back.has("k", "d", 1)
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_put_coerces_to_float(self):
+        import numpy as np
+
+        db = MeasurementDB()
+        db.put("k", "d", 0, np.float64(0.125))
+        db.put("k", "d", 1, np.float32(2.0))
+        assert type(db.get("k", "d", 0)) is float
+        assert type(db.get("k", "d", 1)) is float
+
+    def test_bulk_put_get_has(self):
+        db = MeasurementDB()
+        db.put_many("k", "d", {0: 1.0, 1: None, 2: 3.0})
+        assert db.has("k", "d", 1) and not db.has("k", "d", 5)
+        got = db.get_many("k", "d", [0, 1, 5])
+        assert got == {0: 1.0, 1: None}  # 5 is unknown, hence absent
+        assert sorted(db.known_indices("k", "d")) == [0, 1, 2]
+
+    def test_merge_from_combines_shards(self):
+        a, b = MeasurementDB(), MeasurementDB()
+        a.put_many("k", "d1", {0: 1.0})
+        b.put_many("k", "d1", {1: 2.0})
+        b.put_many("k", "d2", {0: None})
+        added = a.merge_from(b)
+        assert added == 2
+        assert a.get("k", "d1", 1) == 2.0
+        assert a.has("k", "d2", 0)
+        assert len(a) == 3

@@ -98,3 +98,54 @@ class TestCoordinateDescent:
             )
             worst_gap = max(worst_gap, oracle.time_of(idx) / opt)
         assert worst_gap > 1.05
+
+
+class TestExhaustiveResume:
+    """A killed sweep picks up from its on-disk DB instead of re-measuring."""
+
+    def test_interrupted_sweep_resumes_from_checkpoint(self, tmp_path):
+        spec = ConvolutionKernel()
+        path = tmp_path / "sweep.json"
+        subset = list(range(0, 6000, 10))
+
+        # First run: measure the first half, checkpointing every chunk,
+        # then "die" (simply stop).
+        db = MeasurementDB(path)
+        m1 = Measurer(Context(NVIDIA_K40, seed=9), spec)
+        first = exhaustive_search(
+            m1, db=db, indices=subset[:300], chunk_size=64, checkpoint_every=1
+        )
+        assert path.exists()
+
+        # Restart: fresh process state, same DB file, full index list.
+        db2 = MeasurementDB(path)
+        m2 = Measurer(Context(NVIDIA_K40, seed=9), spec)
+        full = exhaustive_search(
+            m2, db=db2, indices=subset, chunk_size=64, checkpoint_every=1
+        )
+        assert full.n_valid + full.n_invalid == len(subset)
+        # Nothing from the first half was re-simulated ...
+        assert m2.stats.n_db_hits == 300
+        assert m2.stats.n_simulated == len(subset) - 300
+        # ... and the first half's stored values are reproduced verbatim.
+        resumed = {int(i): t for i, t in zip(full.indices, full.times_s)}
+        for i, t in zip(first.indices, first.times_s):
+            assert resumed[int(i)] == t
+        assert len(db2) == len(subset)
+
+    def test_completed_sweep_replays_for_free(self, tmp_path):
+        spec = ConvolutionKernel()
+        path = tmp_path / "sweep.json"
+        subset = list(range(0, 2000, 10))
+        db = MeasurementDB(path)
+        m1 = Measurer(Context(NVIDIA_K40, seed=2), spec)
+        before = exhaustive_search(m1, db=db, indices=subset)
+
+        db2 = MeasurementDB(path)
+        m2 = Measurer(Context(NVIDIA_K40, seed=2), spec)
+        after = exhaustive_search(m2, db=db2, indices=subset)
+        assert m2.stats.n_simulated == 0
+        assert m2.context.ledger.total_s == 0.0
+        assert np.array_equal(before.indices, after.indices)
+        assert np.array_equal(before.times_s, after.times_s)
+        assert np.array_equal(before.invalid_indices, after.invalid_indices)
