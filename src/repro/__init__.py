@@ -34,6 +34,7 @@ from repro.core import (
     exhaustive_search,
     random_search,
 )
+from repro.obs import NULL_TRACER, Tracer, render_summary
 from repro.runtime import BuildError, Context, Device, LaunchError, Platform
 
 __version__ = "1.0.0"
@@ -56,4 +57,7 @@ __all__ = [
     "exhaustive_search",
     "random_search",
     "coordinate_descent",
+    "Tracer",
+    "NULL_TRACER",
+    "render_summary",
 ]

@@ -6,6 +6,8 @@
     python -m repro benchmarks                   # list benchmarks + spaces
     python -m repro tune -k convolution -d nvidia -n 1000 -m 100
     python -m repro tune -k raycasting -d amd --iterative --budget 900
+    python -m repro tune -k convolution -d nvidia --trace trace.jsonl
+    python -m repro trace-summary trace.jsonl
     python -m repro predict -k convolution -d nvidia -n 500 \
         --config "wg_x=32,wg_y=4,ppt_x=2,ppt_y=2,use_image=1,use_local=0,pad=1,interleaved=1,unroll=1"
     python -m repro experiments --only fig01      # reproduction harness
@@ -71,37 +73,51 @@ def cmd_benchmarks(_args) -> int:
 
 
 def cmd_tune(args) -> int:
+    from dataclasses import asdict
     from pathlib import Path
 
     from repro.core.results import MeasurementDB
     from repro.experiments.reporting import engine_stats_block
+    from repro.obs import NULL_TRACER, Tracer, run_manifest
 
     spec = get_benchmark(args.kernel)
     device = get_device(args.device)
-    ctx = Context(device, seed=args.seed)
     rng = np.random.default_rng(args.seed)
+    if args.iterative:
+        settings = IterativeSettings(total_budget=args.budget, rounds=args.rounds)
+    else:
+        settings = TunerSettings(n_train=args.n_train, m_candidates=args.m_candidates)
+    if args.trace:
+        tracer = Tracer(
+            Path(args.trace),
+            manifest=run_manifest(
+                command="tune",
+                kernel=args.kernel,
+                device=device.name,
+                settings=asdict(settings),
+                seed=args.seed,
+                iterative=bool(args.iterative),
+            ),
+        )
+    else:
+        tracer = NULL_TRACER
+    ctx = Context(device, seed=args.seed, tracer=tracer)
     db = MeasurementDB(Path(args.db)) if args.db else None
     measurer = Measurer(ctx, spec, db=db) if db is not None else None
 
-    if args.iterative:
-        tuner = IterativeTuner(
-            ctx,
-            spec,
-            IterativeSettings(total_budget=args.budget, rounds=args.rounds),
-            measurer=measurer,
-        )
+    try:
+        if args.iterative:
+            tuner = IterativeTuner(ctx, spec, settings, measurer=measurer)
+        else:
+            tuner = MLAutoTuner(ctx, spec, settings, measurer=measurer)
         result = tuner.tune(rng, model_seed=args.seed)
-    else:
-        tuner = MLAutoTuner(
-            ctx,
-            spec,
-            TunerSettings(n_train=args.n_train, m_candidates=args.m_candidates),
-            measurer=measurer,
-        )
-        result = tuner.tune(rng, model_seed=args.seed)
+    finally:
+        tracer.close()
 
     if db is not None:
         db.save()
+    if args.trace:
+        print(f"trace written to {args.trace}")
 
     if result.failed:
         print("tuning FAILED: every stage-two candidate was invalid "
@@ -120,10 +136,12 @@ def cmd_tune(args) -> int:
 
 
 def cmd_campaign(args) -> int:
+    from dataclasses import asdict
     from pathlib import Path
 
     from repro.core.campaign import run_campaign_grid
     from repro.core.results import MeasurementDB
+    from repro.obs import Tracer, run_manifest
 
     kernels = [k.strip() for k in args.kernels.split(",") if k.strip()]
     devices = [d.strip() for d in args.devices.split(",") if d.strip()]
@@ -131,15 +149,48 @@ def cmd_campaign(args) -> int:
     for d in devices:
         get_device(d)  # fail fast on typos before forking workers
     db = MeasurementDB(Path(args.db)) if args.db else None
-    report = run_campaign_grid(
-        specs,
-        devices,
-        settings=TunerSettings(n_train=args.n_train, m_candidates=args.m_candidates),
-        db=db,
-        max_workers=args.workers,
-        seed=args.seed,
-    )
+    settings = TunerSettings(n_train=args.n_train, m_candidates=args.m_candidates)
+    tracer = None
+    if args.trace:
+        tracer = Tracer(
+            Path(args.trace),
+            manifest=run_manifest(
+                command="campaign",
+                kernels=kernels,
+                devices=devices,
+                settings=asdict(settings),
+                seed=args.seed,
+            ),
+        )
+    try:
+        report = run_campaign_grid(
+            specs,
+            devices,
+            settings=settings,
+            db=db,
+            max_workers=args.workers,
+            seed=args.seed,
+            tracer=tracer,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(report.report())
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def cmd_trace_summary(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import render_summary
+
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return 1
+    print(render_summary(path))
     return 0
 
 
@@ -210,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--db", default=None,
                       help="path to a MeasurementDB JSON file; known "
                            "measurements are reused, new ones persisted")
+    tune.add_argument("--trace", default=None,
+                      help="write a JSONL pipeline trace to this path "
+                           "(inspect with 'repro trace-summary')")
     tune.set_defaults(fn=cmd_tune)
 
     camp = sub.add_parser(
@@ -225,8 +279,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="process count; 1 runs inline")
     camp.add_argument("--db", default=None,
                       help="campaign MeasurementDB path (enables resume)")
+    camp.add_argument("--trace", default=None,
+                      help="write a merged per-worker JSONL trace to this "
+                           "path (inspect with 'repro trace-summary')")
     camp.add_argument("--seed", type=int, default=0)
     camp.set_defaults(fn=cmd_campaign)
+
+    summ = sub.add_parser(
+        "trace-summary", help="per-stage time/cost breakdown of a JSONL trace"
+    )
+    summ.add_argument("trace", help="path to a trace written with --trace")
+    summ.set_defaults(fn=cmd_trace_summary)
 
     pred = sub.add_parser("predict", help="train a model and predict one config")
     pred.add_argument("-k", "--kernel", required=True, choices=sorted(BENCHMARKS))

@@ -22,7 +22,7 @@ import os
 import shutil
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,6 +32,7 @@ from repro.core.measure import EngineStats, Measurer
 from repro.core.results import MeasurementDB, TuningResult
 from repro.core.tuner import MLAutoTuner, TunerSettings
 from repro.kernels.base import KernelSpec
+from repro.obs import NULL_TRACER, Tracer, run_manifest
 from repro.runtime import Context
 from repro.simulator.devices import get_device
 from repro.simulator.noise import CostLedger
@@ -231,15 +232,32 @@ def _run_grid_cell(payload) -> tuple:
 
     Builds a fresh context + DB-shard-backed measurer, tunes, saves the
     shard, and returns (result, stats, ledger) — everything the parent
-    needs, nothing process-bound.
+    needs, nothing process-bound.  When a trace path is given the worker
+    writes its own JSONL trace there (processes cannot share a sink); the
+    parent merges the per-worker files afterwards.
     """
-    spec, device_key, settings, seed, shard_path = payload
+    spec, device_key, settings, seed, shard_path, trace_path = payload
     device = get_device(device_key)
     shard = MeasurementDB(Path(shard_path)) if shard_path else MeasurementDB()
-    ctx = Context(device, seed=seed)
+    if trace_path:
+        tracer = Tracer(
+            trace_path,
+            manifest=run_manifest(
+                kernel=spec.name,
+                device=device.name,
+                settings=asdict(settings),
+                seed=seed,
+            ),
+        )
+    else:
+        tracer = NULL_TRACER
+    ctx = Context(device, seed=seed, tracer=tracer)
     measurer = Measurer(ctx, spec, repeats=settings.repeats, db=shard)
     tuner = MLAutoTuner(ctx, spec, settings, measurer=measurer)
-    result = tuner.tune(np.random.default_rng(seed), model_seed=seed)
+    try:
+        result = tuner.tune(np.random.default_rng(seed), model_seed=seed)
+    finally:
+        tracer.close()
     if shard.path is not None:
         shard.save()
     return result, measurer.stats, ctx.ledger
@@ -252,6 +270,7 @@ def run_campaign_grid(
     db: Optional[MeasurementDB] = None,
     max_workers: Optional[int] = None,
     seed: int = 0,
+    tracer=None,
 ) -> GridReport:
     """Tune every kernel on every device, cells in parallel processes.
 
@@ -264,6 +283,11 @@ def run_campaign_grid(
 
     ``max_workers <= 1`` runs the cells inline (deterministic debugging,
     no multiprocessing); ``None`` sizes the pool to the grid and machine.
+
+    When an enabled ``tracer`` is given, every worker writes its own JSONL
+    trace shard (a file sink cannot be shared across processes) and the
+    shards are merged into ``tracer`` afterwards, each record tagged with
+    its ``worker="kernel@device"`` cell.
     """
     specs = list(specs)
     devices = list(devices)
@@ -271,6 +295,8 @@ def run_campaign_grid(
         raise ValueError("need at least one kernel and one device")
     if settings is None:
         settings = TunerSettings(n_train=800, m_candidates=80)
+    if tracer is None:
+        tracer = NULL_TRACER
     cells = [(spec, key) for spec in specs for key in devices]
 
     tmpdir = Path(tempfile.mkdtemp(prefix="repro-campaign-"))
@@ -284,24 +310,35 @@ def run_campaign_grid(
                     shard = MeasurementDB(shard_path)
                     shard.put_many(spec.name, get_device(key).name, known)
                     shard.save()
-            payloads.append((spec, key, settings, seed, str(shard_path)))
+            trace_path = (
+                str(tmpdir / f"{spec.name}-{key}.trace.jsonl")
+                if tracer.enabled
+                else None
+            )
+            payloads.append(
+                (spec, key, settings, seed, str(shard_path), trace_path)
+            )
 
-        if max_workers is not None and max_workers <= 1:
-            outcomes = [_run_grid_cell(p) for p in payloads]
-        else:
-            workers = max_workers or min(len(payloads), os.cpu_count() or 1)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(_run_grid_cell, payloads))
+        with tracer.span("campaign.grid", cells=len(cells)):
+            if max_workers is not None and max_workers <= 1:
+                outcomes = [_run_grid_cell(p) for p in payloads]
+            else:
+                workers = max_workers or min(len(payloads), os.cpu_count() or 1)
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(_run_grid_cell, payloads))
 
         grid_cells = []
         for (spec, key), payload, outcome in zip(cells, payloads, outcomes):
             result, stats, ledger = outcome
             if db is not None:
                 db.merge_from(MeasurementDB(Path(payload[4])))
+            device_name = get_device(key).name
+            if payload[5]:
+                tracer.merge_file(payload[5], worker=f"{spec.name}@{device_name}")
             grid_cells.append(
                 GridCell(
                     kernel=spec.name,
-                    device=get_device(key).name,
+                    device=device_name,
                     result=result,
                     stats=stats,
                     ledger=ledger,

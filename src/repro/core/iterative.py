@@ -90,32 +90,50 @@ class IterativeTuner:
     def tune(self, rng: np.random.Generator, model_seed: Optional[int] = None) -> TuningResult:
         s = self.settings
         space = self.spec.space
+        tracer = self.context.tracer
+        # Per-run cost: the ledger is cumulative across the context's
+        # lifetime, so report the delta (same contract as MLAutoTuner).
+        cost0 = self.context.ledger.total_s
 
-        self.history = [self.measurer.sample_and_measure(s.initial_batch, rng)]
+        with tracer.span(
+            "tune.iterative", kernel=self.spec.name, device=self.context.device.name
+        ):
+            with tracer.span("stage1.measure"):
+                self.history = [
+                    self.measurer.sample_and_measure(s.initial_batch, rng)
+                ]
 
-        for _ in range(s.rounds):
-            data = self._all_measurements()
-            if data.n_valid < max(11, s.k_bag):
-                # Not enough signal yet: spend the round exploring.
-                self.history.append(
-                    self.measurer.sample_and_measure(s.round_batch, rng)
-                )
-                continue
-            self.model = PerformanceModel(space, k=s.k_bag, seed=model_seed)
-            self.model.fit(data.indices, data.times_s)
+            for r in range(s.rounds):
+                with tracer.span("round", number=r + 1):
+                    data = self._all_measurements()
+                    if data.n_valid < max(11, s.k_bag):
+                        # Not enough signal yet: spend the round exploring.
+                        self.history.append(
+                            self.measurer.sample_and_measure(s.round_batch, rng)
+                        )
+                        continue
+                    self.model = PerformanceModel(
+                        space, k=s.k_bag, seed=model_seed, tracer=tracer
+                    )
+                    self.model.fit(data.indices, data.times_s)
 
-            n_explore = int(s.round_batch * s.exploration)
-            n_exploit = s.round_batch - n_explore
-            seen = set(int(i) for i in data.indices) | set(
-                int(i) for i in data.invalid_indices
-            )
-            # Exploit: the best-predicted configurations not yet measured.
-            proposals = self.model.top_m(n_exploit + len(seen))
-            fresh = [int(i) for i in proposals if int(i) not in seen][:n_exploit]
-            batch = list(fresh)
-            if n_explore > 0:
-                batch.extend(int(i) for i in space.sample_indices(n_explore, rng))
-            self.history.append(self.measurer.measure_batch(batch))
+                    n_explore = int(s.round_batch * s.exploration)
+                    n_exploit = s.round_batch - n_explore
+                    seen = set(int(i) for i in data.indices) | set(
+                        int(i) for i in data.invalid_indices
+                    )
+                    # Exploit: the best-predicted configurations not yet
+                    # measured.
+                    proposals = self.model.top_m(n_exploit + len(seen))
+                    fresh = [
+                        int(i) for i in proposals if int(i) not in seen
+                    ][:n_exploit]
+                    batch = list(fresh)
+                    if n_explore > 0:
+                        batch.extend(
+                            int(i) for i in space.sample_indices(n_explore, rng)
+                        )
+                    self.history.append(self.measurer.measure_batch(batch))
 
         final = self._all_measurements()
         if final.n_valid == 0:
@@ -132,5 +150,5 @@ class IterativeTuner:
             n_stage2=measured - (self.history[0].n_valid + self.history[0].n_invalid),
             stage2_invalid=sum(ms.n_invalid for ms in self.history[1:]),
             evaluated_fraction=measured / space.size,
-            total_cost_s=self.context.ledger.total_s,
+            total_cost_s=self.context.ledger.total_s - cost0,
         )

@@ -271,6 +271,10 @@ class Measurer:
         4. accumulate the ledger from per-position contribution arrays in
            input order.
         """
+        with self.context.tracer.span("measure.batch") as span:
+            return self._measure_batch(indices, span)
+
+    def _measure_batch(self, indices: Sequence[int], span) -> MeasurementSet:
         t0 = time.perf_counter()
         idx: List[int] = [int(i) for i in indices]
         n = len(idx)
@@ -411,13 +415,34 @@ class Measurer:
         n_dup = int(dup_idx.size)
         n_db = int(np.count_nonzero(kinds == _DB))
         if db is None:
-            stats.n_cache_hits += int(np.count_nonzero(kinds == _CACHED)) + n_dup
-            stats.n_db_hits += n_db
+            n_cached = int(np.count_nonzero(kinds == _CACHED)) + n_dup
+            n_db_served = n_db
         else:
-            stats.n_cache_hits += int(np.count_nonzero(kinds == _CACHED))
-            stats.n_db_hits += n_db + n_dup
-        stats.n_invalid += int(np.count_nonzero(~valid))
+            n_cached = int(np.count_nonzero(kinds == _CACHED))
+            n_db_served = n_db + n_dup
+        stats.n_cache_hits += n_cached
+        stats.n_db_hits += n_db_served
+        n_bad = int(np.count_nonzero(~valid))
+        stats.n_invalid += n_bad
         stats.elapsed_s += time.perf_counter() - t0
+
+        # Fold the engine counters into the trace (aggregate per batch —
+        # never per configuration, so a disabled tracer costs a handful of
+        # no-op calls for the whole sweep).
+        tracer = self.context.tracer
+        if tracer.enabled:
+            tracer.count("measure.requested", n)
+            tracer.count("measure.simulated", len(fresh_list))
+            tracer.count("measure.cache_hits", n_cached)
+            tracer.count("measure.db_hits", n_db_served)
+            tracer.count("measure.invalid", n_bad)
+            span.set(
+                n=n,
+                simulated=len(fresh_list),
+                cache_hits=n_cached,
+                db_hits=n_db_served,
+                invalid=n_bad,
+            )
 
         idx_arr = np.asarray(idx, dtype=np.int64)
         return MeasurementSet(

@@ -26,6 +26,7 @@ from repro.ml.bagging import BaggedRegressor
 from repro.ml.ensemble import EnsembleMLPRegressor
 from repro.ml.metrics import mean_relative_error
 from repro.ml.mlp import MLPRegressor
+from repro.obs import NULL_TRACER
 from repro.params import ParameterSpace
 
 #: Chunk size for whole-space prediction sweeps.
@@ -68,6 +69,7 @@ class PerformanceModel:
         base_factory: Optional[Callable[[], object]] = None,
         seed: Optional[int] = None,
         log_transform: bool = True,
+        tracer=None,
     ):
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -76,6 +78,7 @@ class PerformanceModel:
         self.k = k
         self.seed = seed
         self.log_transform = log_transform
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._custom_factory = base_factory is not None
         self._factory = base_factory or default_ann_factory(seed)
         self._model = None
@@ -105,6 +108,7 @@ class PerformanceModel:
             # Default path: the vectorized ensemble trainer (identical
             # leave-one-fold-out semantics, one batched fit).
             self._model = EnsembleMLPRegressor(k=self.k, seed=self.seed)
+            self._model.tracer = self.tracer
         self._model.fit(X, y)
         return self
 
@@ -142,11 +146,15 @@ class PerformanceModel:
             raise RuntimeError("predict before fit")
         indices = np.asarray(indices, dtype=np.int64)
         out = np.empty(indices.shape[0], dtype=np.float64)
-        for start in range(0, indices.shape[0], PREDICT_CHUNK):
-            chunk = indices[start : start + PREDICT_CHUNK]
-            X = self.encoder.encode_indices(chunk)
-            y = self._model.predict(X)
-            out[start : start + chunk.shape[0]] = np.exp(y) if self.log_transform else y
+        with self.tracer.span("model.predict", n=indices.shape[0]):
+            for start in range(0, indices.shape[0], PREDICT_CHUNK):
+                chunk = indices[start : start + PREDICT_CHUNK]
+                X = self.encoder.encode_indices(chunk)
+                y = self._model.predict(X)
+                out[start : start + chunk.shape[0]] = (
+                    np.exp(y) if self.log_transform else y
+                )
+        self.tracer.count("model.configs_predicted", int(indices.shape[0]))
         return out
 
     def predict_all(self) -> np.ndarray:

@@ -50,15 +50,30 @@ def exhaustive_search(
         times_s=np.empty(0, dtype=np.float64),
         invalid_indices=np.empty(0, dtype=np.int64),
     )
+    tracer = measurer.context.tracer
     try:
-        for k, start in enumerate(range(0, idx.size, chunk_size), start=1):
-            result = result.merged_with(
-                measurer.measure_batch(idx[start : start + chunk_size])
-            )
-            if durable and checkpoint_every and k % checkpoint_every == 0:
+        with tracer.span(
+            "search.exhaustive", n=int(idx.size), chunk_size=chunk_size
+        ) as sp:
+            n_checkpoints = 0
+            for k, start in enumerate(range(0, idx.size, chunk_size), start=1):
+                result = result.merged_with(
+                    measurer.measure_batch(idx[start : start + chunk_size])
+                )
+                if durable and checkpoint_every and k % checkpoint_every == 0:
+                    db.save()
+                    n_checkpoints += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            "search.checkpoint",
+                            chunk=k,
+                            measured=result.n_valid + result.n_invalid,
+                        )
+            if durable:
                 db.save()
-        if durable:
-            db.save()
+                n_checkpoints += 1
+            sp.set(checkpoints=n_checkpoints)
+            tracer.count("search.checkpoints", n_checkpoints)
     finally:
         measurer.db = prev_db
     return result
@@ -92,7 +107,8 @@ def coordinate_descent(
     far from the global one.
 
     Returns ``(best_index, best_time_s, n_measured)``; ``best_index`` is
-    ``-1`` if no valid starting point was found.
+    ``-1`` (time NaN) if no valid starting point was found — including a
+    caller-supplied ``start_index`` that turns out to be invalid.
     """
     space = measurer.spec.space
     n_measured = 0
@@ -110,7 +126,11 @@ def coordinate_descent(
     digits = list(space.digits_of(start_index))
     best_time = measurer.measure(start_index)
     n_measured += 1
-    assert best_time is not None
+    if best_time is None:
+        # A caller-supplied start_index may be invalid on this device;
+        # treat it like the no-valid-start path (the probe above is still
+        # counted — it burned a measurement).
+        return -1, float("nan"), n_measured
 
     for _ in range(max_sweeps):
         improved = False

@@ -104,7 +104,10 @@ class MLAutoTuner:
                 "increase n_train"
             )
         self.model = PerformanceModel(
-            self.spec.space, k=self.settings.k_bag, seed=seed
+            self.spec.space,
+            k=self.settings.k_bag,
+            seed=seed,
+            tracer=self.context.tracer,
         )
         self.model.fit_measurements(self.training_set)
         return self.model
@@ -150,17 +153,39 @@ class MLAutoTuner:
         ``best_index = -1`` (the paper's no-prediction failure mode) rather
         than raising — callers aggregate these as missing data points.
         """
-        train = self.collect_training_data(rng)
-        self.train_model(model_seed)
-        candidates = self.propose_candidates(rng)
-        stage2 = self.evaluate_candidates(candidates)
+        tracer = self.context.tracer
+        # The ledger is cumulative over the context's lifetime; snapshot it
+        # so total_cost_s reports *this* run, not every run sharing the
+        # context (a second tuner must not be billed for the first).
+        cost0 = self.context.ledger.total_s
+        with tracer.span(
+            "tune", kernel=self.spec.name, device=self.context.device.name
+        ):
+            with tracer.span("stage1.measure") as sp:
+                train = self.collect_training_data(rng)
+                sp.set(n_valid=train.n_valid, n_invalid=train.n_invalid)
+            tracer.count("tuner.stage1_valid", train.n_valid)
+            tracer.count("tuner.stage1_invalid", train.n_invalid)
+            with tracer.span("stage2.train"):
+                self.train_model(model_seed)
+            with tracer.span("stage2.propose") as sp:
+                candidates = self.propose_candidates(rng)
+                sp.set(m=len(candidates))
+            with tracer.span("stage2.evaluate") as sp:
+                stage2 = self.evaluate_candidates(candidates)
+                sp.set(n_valid=stage2.n_valid, n_invalid=stage2.n_invalid)
+            tracer.count("tuner.stage2_invalid", stage2.n_invalid)
 
-        if stage2.n_valid == 0:
-            best_index, best_time = -1, float("nan")
-        else:
-            best_index, best_time = stage2.best()
+            if stage2.n_valid == 0:
+                best_index, best_time = -1, float("nan")
+            else:
+                best_index, best_time = stage2.best()
 
         measured = train.n_valid + train.n_invalid + stage2.n_valid + stage2.n_invalid
+        total = stage2.n_valid + stage2.n_invalid
+        if total:
+            tracer.gauge("tuner.stage2_invalid_rate", stage2.n_invalid / total)
+        tracer.gauge("tuner.best_index", best_index)
         return TuningResult(
             kernel=self.spec.name,
             device=self.context.device.name,
@@ -170,5 +195,5 @@ class MLAutoTuner:
             n_stage2=len(candidates),
             stage2_invalid=stage2.n_invalid,
             evaluated_fraction=measured / self.spec.space.size,
-            total_cost_s=self.context.ledger.total_s,
+            total_cost_s=self.context.ledger.total_s - cost0,
         )

@@ -16,12 +16,15 @@ This is the trainer the experiment harness uses; the scalar
 
 from __future__ import annotations
 
+import os
+import tempfile
 from typing import Optional
 
 import numpy as np
 
 from repro.ml.activations import get_activation
 from repro.ml.scaling import StandardScaler
+from repro.obs import NULL_TRACER
 
 
 class EnsembleMLPRegressor:
@@ -72,6 +75,9 @@ class EnsembleMLPRegressor:
         self._x_scaler = StandardScaler()
         self._y_scaler = StandardScaler()
         self.loss_curve_: list[float] = []
+        # Assigned by callers that trace (e.g. PerformanceModel); kept out
+        # of the constructor so the hyperparameter signature stays pure.
+        self.tracer = NULL_TRACER
 
     @property
     def n_features(self) -> int:
@@ -136,42 +142,62 @@ class EnsembleMLPRegressor:
         self.loss_curve_ = []
         best = np.inf
         stale = 0
-        for step in range(1, self.epochs + 1):
-            A1, pred = self._forward(Xs)
-            err = pred - ys[None, :]  # (k, n)
-            # Weighted MSE per member, averaged over members.
-            loss = float(np.mean(np.sum(weights * err * err, axis=1)))
-            self.loss_curve_.append(loss)
+        with self.tracer.span(
+            "ensemble.fit", k=self.k, hidden=self.hidden, n_samples=n
+        ) as span:
+            for step in range(1, self.epochs + 1):
+                A1, pred = self._forward(Xs)
+                err = pred - ys[None, :]  # (k, n)
+                # Weighted MSE per member, averaged over members.
+                loss = float(np.mean(np.sum(weights * err * err, axis=1)))
+                self.loss_curve_.append(loss)
 
-            # d loss / d pred, including the member average (1/k).
-            delta2 = 2.0 * weights * err / self.k  # (k, n)
-            gW2 = np.matmul(A1.transpose(0, 2, 1), delta2[:, :, None])[:, :, 0]
-            gb2 = delta2.sum(axis=1)
-            dA1 = delta2[:, :, None] * W2[:, None, :]  # (k, n, h)
-            delta1 = dA1 * self.activation.derivative(A1)
-            gW1 = np.matmul(Xs.T, delta1)  # (d, n) @ (k, n, h) -> (k, d, h)
-            gb1 = delta1.sum(axis=1)
-            grads = [gW1, gb1, gW2, gb2]
-            if self.l2 > 0.0:
-                grads[0] = grads[0] + 2.0 * self.l2 * W1
-                grads[2] = grads[2] + 2.0 * self.l2 * W2
+                # d loss / d pred, including the member average (1/k).
+                delta2 = 2.0 * weights * err / self.k  # (k, n)
+                gW2 = np.matmul(A1.transpose(0, 2, 1), delta2[:, :, None])[:, :, 0]
+                gb2 = delta2.sum(axis=1)
+                dA1 = delta2[:, :, None] * W2[:, None, :]  # (k, n, h)
+                delta1 = dA1 * self.activation.derivative(A1)
+                gW1 = np.matmul(Xs.T, delta1)  # (d, n) @ (k, n, h) -> (k, d, h)
+                gb1 = delta1.sum(axis=1)
+                grads = [gW1, gb1, gW2, gb2]
+                if self.l2 > 0.0:
+                    grads[0] = grads[0] + 2.0 * self.l2 * W1
+                    grads[2] = grads[2] + 2.0 * self.l2 * W2
 
-            c1 = 1.0 - beta1**step
-            c2 = 1.0 - beta2**step
-            for p, g, m, v in zip(self._params, grads, ms, vs):
-                m *= beta1
-                m += (1.0 - beta1) * g
-                v *= beta2
-                v += (1.0 - beta2) * g * g
-                p -= self.lr * (m / c1) / (np.sqrt(v / c2) + eps)
+                c1 = 1.0 - beta1**step
+                c2 = 1.0 - beta2**step
+                for p, g, m, v in zip(self._params, grads, ms, vs):
+                    m *= beta1
+                    m += (1.0 - beta1) * g
+                    v *= beta2
+                    v += (1.0 - beta2) * g * g
+                    p -= self.lr * (m / c1) / (np.sqrt(v / c2) + eps)
 
-            if loss < best * (1.0 - self.tol):
-                best = loss
-                stale = 0
-            else:
-                stale += 1
-                if stale >= self.patience:
-                    break
+                if loss < best * (1.0 - self.tol):
+                    best = loss
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= self.patience:
+                        break
+            stop_reason = "early_stop" if stale >= self.patience else "max_epochs"
+            span.set(
+                epochs_run=len(self.loss_curve_),
+                stop_reason=stop_reason,
+                final_loss=self.loss_curve_[-1],
+                best_loss=float(best),
+            )
+        tracer = self.tracer
+        if tracer.enabled:  # building the curve payload isn't free
+            tracer.count("ml.epochs_run", len(self.loss_curve_))
+            tracer.gauge("ml.early_stop_epoch", len(self.loss_curve_))
+            tracer.gauge("ml.stop_reason", stop_reason)
+            tracer.event(
+                "ensemble.loss_curve",
+                epochs=len(self.loss_curve_),
+                losses=[round(float(l), 8) for l in self.loss_curve_],
+            )
         return self
 
     def _member_predictions(self, X: np.ndarray) -> np.ndarray:
@@ -199,32 +225,93 @@ class EnsembleMLPRegressor:
 
         Gathering training data costs simulated (or real) hours; the model
         itself is a few kilobytes — persisting it lets later sessions
-        re-rank the space without re-measuring anything.
+        re-rank the space without re-measuring anything.  The write is
+        atomic (tempfile + fsync + ``os.replace``, the MeasurementDB.save
+        recipe): a kill mid-save leaves any previous file intact instead
+        of a truncated archive.
         """
         if self._params is None:
             raise RuntimeError("save() before fit()")
+        # Mirror np.savez's path normalization so the atomic rename lands
+        # exactly where a plain np.savez(path) would have written.
+        target = os.fspath(path)
+        if not target.endswith(".npz"):
+            target += ".npz"
         W1, b1, W2, b2 = self._params
-        np.savez(
-            path,
-            W1=W1,
-            b1=b1,
-            W2=W2,
-            b2=b2,
-            x_mean=self._x_scaler.mean_,
-            x_scale=self._x_scaler.scale_,
-            y_mean=self._y_scaler.mean_,
-            y_scale=self._y_scaler.scale_,
-            meta=np.array([self.k, self.hidden], dtype=np.int64),
-            activation=np.array(self.activation.name),
+        parent = os.path.dirname(target) or "."
+        fd, tmp = tempfile.mkstemp(
+            dir=parent, prefix=os.path.basename(target) + ".", suffix=".tmp"
         )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(
+                    fh,
+                    W1=W1,
+                    b1=b1,
+                    W2=W2,
+                    b2=b2,
+                    x_mean=self._x_scaler.mean_,
+                    x_scale=self._x_scaler.scale_,
+                    y_mean=self._y_scaler.mean_,
+                    y_scale=self._y_scaler.scale_,
+                    meta=np.array([self.k, self.hidden], dtype=np.int64),
+                    activation=np.array(self.activation.name),
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path) -> "EnsembleMLPRegressor":
-        """Restore an ensemble saved with :meth:`save`."""
+        """Restore an ensemble saved with :meth:`save`.
+
+        Raises
+        ------
+        ValueError
+            When the archive is missing arrays or their shapes disagree
+            with its own ``meta`` (k, hidden) — a truncated or foreign
+            file would otherwise surface as a cryptic broadcast error
+            deep inside :meth:`_forward`.
+        """
         data = np.load(path, allow_pickle=False)
-        k, hidden = (int(v) for v in data["meta"])
+        required = (
+            "meta", "activation", "W1", "b1", "W2", "b2",
+            "x_mean", "x_scale", "y_mean", "y_scale",
+        )
+        missing = [key for key in required if key not in data.files]
+        if missing:
+            raise ValueError(f"{path}: not an ensemble archive; missing {missing}")
+        meta = data["meta"]
+        if meta.shape != (2,):
+            raise ValueError(f"{path}: malformed meta block {meta.shape}")
+        k, hidden = (int(v) for v in meta)
+        W1, b1, W2, b2 = data["W1"], data["b1"], data["W2"], data["b2"]
+        if W1.ndim != 3 or W1.shape[0] != k or W1.shape[2] != hidden:
+            raise ValueError(
+                f"{path}: W1 shape {W1.shape} inconsistent with "
+                f"meta (k={k}, hidden={hidden})"
+            )
+        d = int(W1.shape[1])
+        expected = {"b1": (k, hidden), "W2": (k, hidden), "b2": (k,)}
+        for name, arr in (("b1", b1), ("W2", W2), ("b2", b2)):
+            if arr.shape != expected[name]:
+                raise ValueError(
+                    f"{path}: {name} shape {arr.shape} != {expected[name]} "
+                    f"implied by meta (k={k}, hidden={hidden})"
+                )
+        if data["x_mean"].shape[-1] != d or data["x_scale"].shape[-1] != d:
+            raise ValueError(
+                f"{path}: x-scaler width {data['x_mean'].shape} does not "
+                f"match the {d}-feature weights"
+            )
         model = cls(k=k, hidden=hidden, activation=str(data["activation"]))
-        model._params = [data["W1"], data["b1"], data["W2"], data["b2"]]
+        model._params = [W1, b1, W2, b2]
         model._x_scaler.mean_ = data["x_mean"]
         model._x_scaler.scale_ = data["x_scale"]
         model._y_scaler.mean_ = data["y_mean"]

@@ -1,0 +1,36 @@
+"""Pipeline observability: spans, counters/gauges, JSONL traces.
+
+Dependency-free (stdlib only, imports nothing from the rest of the
+package), so every layer can instrument itself without cycles.  See
+docs/observability.md for the event schema and the CLI workflow.
+"""
+
+from repro.obs.summary import (
+    TraceSummary,
+    load_trace,
+    render_summary,
+    summarize,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    SCHEMA_VERSION,
+    NullTracer,
+    Span,
+    Tracer,
+    git_revision,
+    run_manifest,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "SCHEMA_VERSION",
+    "git_revision",
+    "run_manifest",
+    "TraceSummary",
+    "load_trace",
+    "summarize",
+    "render_summary",
+]

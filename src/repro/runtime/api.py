@@ -25,6 +25,7 @@ from typing import List, Mapping, Optional
 import numpy as np
 
 from repro.kernels.base import KernelSpec
+from repro.obs import NULL_TRACER
 from repro.runtime.errors import BuildError, LaunchError
 from repro.simulator.device import DeviceSpec
 from repro.simulator.devices import DEVICES
@@ -70,15 +71,26 @@ class Platform:
 
 
 class Context:
-    """Execution context: one device, a seeded noise source, a cost ledger."""
+    """Execution context: one device, a seeded noise source, a cost ledger,
+    and an (optional) tracer the pipeline components report into."""
 
-    def __init__(self, device: Device | DeviceSpec, seed: Optional[int] = None):
+    def __init__(
+        self,
+        device: Device | DeviceSpec,
+        seed: Optional[int] = None,
+        tracer=None,
+    ):
         if isinstance(device, DeviceSpec):
             device = Device(device)
         self.device = device
         self.rng = np.random.default_rng(seed)
         self.measurement = MeasurementModel(device.spec, self.rng)
         self.ledger = CostLedger()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.ledger is None:
+            # Spans record this context's cost deltas; an explicitly
+            # pre-bound ledger (multi-context tracing) is left alone.
+            self.tracer.bind_ledger(self.ledger)
 
     def __repr__(self) -> str:
         return f"Context({self.device.name!r})"

@@ -83,6 +83,24 @@ class TestCoordinateDescent:
         idx, t, _ = coordinate_descent(measurer, rng, max_sweeps=1, start_index=start)
         assert measurer.true_time(idx) <= measurer.true_time(start) * 1.05
 
+    def test_invalid_given_start_returns_failure_not_crash(self, measurer):
+        """Regression: an invalid caller-supplied start_index used to trip
+        ``assert best_time is not None``; it must fail like the
+        no-valid-start path, with the probe counted in the budget."""
+        space = measurer.spec.space
+        invalid = None
+        for i in range(space.size):
+            if not measurer.is_valid(i):
+                invalid = i
+                break
+        assert invalid is not None
+        idx, t, n_measured = coordinate_descent(
+            measurer, np.random.default_rng(0), max_sweeps=1, start_index=invalid
+        )
+        assert idx == -1
+        assert t != t  # NaN
+        assert n_measured == 1  # the probe of the bad start still counts
+
     def test_interactions_trap_it_above_global_optimum(self, measurer):
         """The §5.1 claim: one-at-a-time search cannot find the best
         configuration because parameters interact."""

@@ -39,6 +39,92 @@ class TestEnsemblePersistence:
         with pytest.raises(RuntimeError):
             EnsembleMLPRegressor().save(tmp_path / "x.npz")
 
+    def test_save_appends_npz_like_savez(self, fitted_ensemble, tmp_path):
+        _, _, model = fitted_ensemble
+        model.save(tmp_path / "bare")
+        assert (tmp_path / "bare.npz").exists()
+        EnsembleMLPRegressor.load(tmp_path / "bare.npz")
+
+    def test_save_is_atomic_and_leaves_no_temp_files(
+        self, fitted_ensemble, tmp_path, monkeypatch
+    ):
+        """A kill mid-save must leave the previous on-disk model intact
+        (same tempfile+fsync+os.replace recipe as MeasurementDB.save)."""
+        X, _, model = fitted_ensemble
+        path = tmp_path / "model.npz"
+        model.save(path)
+        good = path.read_bytes()
+
+        import numpy as _np
+
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt("killed mid-save")
+
+        monkeypatch.setattr(_np, "savez", boom)
+        with pytest.raises(KeyboardInterrupt):
+            model.save(path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == good  # previous state untouched
+        assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+        again = EnsembleMLPRegressor.load(path)
+        np.testing.assert_array_equal(model.predict(X), again.predict(X))
+
+
+class TestEnsembleLoadValidation:
+    """Regression: load() used to trust the archive blindly — mismatched
+    shapes surfaced later as cryptic broadcast errors in _forward."""
+
+    def _resave(self, path, **overrides):
+        data = dict(np.load(path, allow_pickle=False))
+        data.update(overrides)
+        np.savez(path, **data)
+
+    def test_mismatched_w1_rejected(self, fitted_ensemble, tmp_path):
+        _, _, model = fitted_ensemble
+        path = tmp_path / "model.npz"
+        model.save(path)
+        self._resave(path, W1=np.zeros((2, 5, 30), dtype=np.float32))
+        with pytest.raises(ValueError, match="W1.*meta"):
+            EnsembleMLPRegressor.load(path)
+
+    def test_mismatched_hidden_rejected(self, fitted_ensemble, tmp_path):
+        _, _, model = fitted_ensemble
+        path = tmp_path / "model.npz"
+        model.save(path)
+        self._resave(path, b1=np.zeros((5, 7), dtype=np.float32))
+        with pytest.raises(ValueError, match=r"b1 shape"):
+            EnsembleMLPRegressor.load(path)
+
+    def test_error_names_the_file(self, fitted_ensemble, tmp_path):
+        _, _, model = fitted_ensemble
+        path = tmp_path / "model.npz"
+        model.save(path)
+        self._resave(path, W2=np.zeros((5, 99), dtype=np.float32))
+        with pytest.raises(ValueError, match="model.npz"):
+            EnsembleMLPRegressor.load(path)
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, unrelated=np.arange(3))
+        with pytest.raises(ValueError, match="missing"):
+            EnsembleMLPRegressor.load(path)
+
+    def test_scaler_width_mismatch_rejected(self, fitted_ensemble, tmp_path):
+        _, _, model = fitted_ensemble
+        path = tmp_path / "model.npz"
+        model.save(path)
+        self._resave(path, x_mean=np.zeros(3))
+        with pytest.raises(ValueError, match="x-scaler"):
+            EnsembleMLPRegressor.load(path)
+
+    def test_valid_archive_still_loads(self, fitted_ensemble, tmp_path):
+        X, _, model = fitted_ensemble
+        path = tmp_path / "model.npz"
+        model.save(path)
+        again = EnsembleMLPRegressor.load(path)
+        np.testing.assert_array_equal(model.predict(X), again.predict(X))
+
 
 class TestPerformanceModelPersistence:
     @pytest.fixture(scope="class")
