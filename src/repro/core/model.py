@@ -10,18 +10,23 @@ Wraps the paper's learning recipe (§5.2):
 * invalid configurations are simply not in the training set ("we deal with
   this issue by simply ignoring these configurations").
 
-``predict_indices`` is chunked so stage two can sweep spaces of millions
-of configurations without materializing giant feature matrices.
+Whole-space sweeps route through the fused
+:class:`~repro.core.sweep.PredictionSweeper` engine whenever the default
+bagged-ANN ensemble is fitted (custom model families fall back to the
+chunked reference path, kept as :meth:`predict_indices_reference` and as
+the benchmark gate's baseline).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.encoding import ConfigEncoder
 from repro.core.measure import MeasurementSet
+from repro.core.sweep import PredictionSweeper, SweepSettings, select_top_m
 from repro.ml.bagging import BaggedRegressor
 from repro.ml.ensemble import EnsembleMLPRegressor
 from repro.ml.metrics import mean_relative_error
@@ -29,7 +34,7 @@ from repro.ml.mlp import MLPRegressor
 from repro.obs import NULL_TRACER
 from repro.params import ParameterSpace
 
-#: Chunk size for whole-space prediction sweeps.
+#: Chunk size for whole-space prediction sweeps (reference path).
 PREDICT_CHUNK = 1 << 17
 
 
@@ -60,6 +65,10 @@ class PerformanceModel:
         ablation to swap in trees/kNN/linear models).
     seed:
         Controls fold assignment and member weight initialization.
+    sweep:
+        :class:`~repro.core.sweep.SweepSettings` for whole-space
+        prediction sweeps (chunking, float32 lane, process sharding;
+        ``enabled=False`` forces the chunked reference path).
     """
 
     def __init__(
@@ -70,6 +79,7 @@ class PerformanceModel:
         seed: Optional[int] = None,
         log_transform: bool = True,
         tracer=None,
+        sweep: Optional[SweepSettings] = None,
     ):
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -78,10 +88,12 @@ class PerformanceModel:
         self.k = k
         self.seed = seed
         self.log_transform = log_transform
+        self.sweep = sweep if sweep is not None else SweepSettings()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._custom_factory = base_factory is not None
         self._factory = base_factory or default_ann_factory(seed)
         self._model = None
+        self._sweeper: Optional[PredictionSweeper] = None
 
     # -- training -----------------------------------------------------------
 
@@ -110,6 +122,7 @@ class PerformanceModel:
             self._model = EnsembleMLPRegressor(k=self.k, seed=self.seed)
             self._model.tracer = self.tracer
         self._model.fit(X, y)
+        self._sweeper = None  # compiled against the previous weights
         return self
 
     def fit_measurements(
@@ -140,13 +153,55 @@ class PerformanceModel:
 
     # -- prediction -----------------------------------------------------------
 
+    def _get_sweeper(self) -> Optional[PredictionSweeper]:
+        """The compiled sweep engine, or None when it does not apply
+        (disabled, or a custom model family with no weights to fold)."""
+        if not self.sweep.enabled or not isinstance(
+            self._model, EnsembleMLPRegressor
+        ):
+            return None
+        if self._sweeper is None:
+            self._sweeper = PredictionSweeper(
+                self.space,
+                self.encoder,
+                self._model,
+                log_transform=self.log_transform,
+                settings=self.sweep,
+                tracer=self.tracer,
+            )
+        return self._sweeper
+
     def predict_indices(self, indices: Sequence[int]) -> np.ndarray:
-        """Predicted seconds for configuration indices (chunked)."""
+        """Predicted seconds for configuration indices.
+
+        Routes through the fused sweep engine for the default ensemble;
+        falls back to :meth:`predict_indices_reference` otherwise."""
+        if self._model is None:
+            raise RuntimeError("predict before fit")
+        sweeper = self._get_sweeper()
+        if sweeper is None:
+            return self.predict_indices_reference(indices)
+        indices = np.asarray(indices, dtype=np.int64)
+        with self.tracer.span(
+            "model.predict", n=indices.shape[0], engine="sweep"
+        ):
+            out = sweeper.predict(indices)
+        self.tracer.count("model.configs_predicted", int(indices.shape[0]))
+        return out
+
+    def predict_indices_reference(self, indices: Sequence[int]) -> np.ndarray:
+        """The chunked float64 reference path (pre-sweeper semantics).
+
+        Kept verbatim as the parity/performance baseline: the sweep
+        engine's float64 lane is gated against it at <= 1e-9 relative
+        (``benchmarks/test_perf_predict_sweep.py``)."""
         if self._model is None:
             raise RuntimeError("predict before fit")
         indices = np.asarray(indices, dtype=np.int64)
         out = np.empty(indices.shape[0], dtype=np.float64)
-        with self.tracer.span("model.predict", n=indices.shape[0]):
+        with self.tracer.span(
+            "model.predict", n=indices.shape[0], engine="reference"
+        ):
             for start in range(0, indices.shape[0], PREDICT_CHUNK):
                 chunk = indices[start : start + PREDICT_CHUNK]
                 X = self.encoder.encode_indices(chunk)
@@ -159,25 +214,48 @@ class PerformanceModel:
 
     def predict_all(self) -> np.ndarray:
         """Predicted seconds for the *entire* space (index-aligned)."""
-        return self.predict_indices(np.arange(self.space.size, dtype=np.int64))
+        sweeper = self._get_sweeper() if self._model is not None else None
+        if sweeper is None:
+            return self.predict_indices(np.arange(self.space.size, dtype=np.int64))
+        with self.tracer.span(
+            "model.predict", n=self.space.size, engine="sweep"
+        ):
+            out = sweeper.predict(None)  # range work: no arange materialized
+        self.tracer.count("model.configs_predicted", self.space.size)
+        return out
 
     def top_m(self, m: int, candidate_indices: Optional[Sequence[int]] = None) -> np.ndarray:
         """Indices of the ``m`` lowest-predicted configurations.
 
         Sweeps the whole space by default (feasible because evaluating the
-        model is orders of magnitude faster than running kernels, §5.3).
+        model is orders of magnitude faster than running kernels, §5.3) —
+        streamingly, so memory stays O(chunk + m) rather than O(space).
+        Prediction ties are broken by smallest configuration index, making
+        the result deterministic and identical across the streaming and
+        reference paths, chunk sizes, and worker counts.
         """
         if m < 1:
             raise ValueError("m must be >= 1")
+        if self._model is None:
+            raise RuntimeError("predict before fit")
+        sweeper = self._get_sweeper()
+        if sweeper is not None:
+            n = (
+                self.space.size
+                if candidate_indices is None
+                else len(candidate_indices)
+            )
+            with self.tracer.span("model.top_m", m=m, n=n, engine="sweep"):
+                out = sweeper.top_m(m, candidate_indices)
+            self.tracer.count("model.configs_predicted", int(n))
+            return out
         if candidate_indices is None:
             candidate_indices = np.arange(self.space.size, dtype=np.int64)
         else:
             candidate_indices = np.asarray(candidate_indices, dtype=np.int64)
         pred = self.predict_indices(candidate_indices)
-        m = min(m, candidate_indices.shape[0])
-        part = np.argpartition(pred, m - 1)[:m]
-        order = part[np.argsort(pred[part], kind="stable")]
-        return candidate_indices[order]
+        _, idx = select_top_m(pred, candidate_indices, min(m, pred.shape[0]))
+        return idx
 
     # -- evaluation -------------------------------------------------------------
 
@@ -191,22 +269,58 @@ class PerformanceModel:
         """Persist a fitted default-ensemble model to an ``.npz`` file.
 
         Only the built-in bagged-ANN path is serializable (custom factory
-        models bring their own persistence).
+        models bring their own persistence).  ``log_transform`` is written
+        into the archive's meta block: a model trained on ``log(time)``
+        loaded without the exp-back step (or vice versa) silently returns
+        garbage, so :meth:`load` must be able to validate it.
         """
         if self._model is None:
             raise RuntimeError("save() before fit()")
         if self._custom_factory or not isinstance(self._model, EnsembleMLPRegressor):
             raise TypeError("only the default bagged-ANN model is serializable")
-        self._model.save(path)
+        self._model.save(path, log_transform=self.log_transform)
 
     @classmethod
-    def load(cls, space: ParameterSpace, path, log_transform: bool = True) -> "PerformanceModel":
+    def load(
+        cls,
+        space: ParameterSpace,
+        path,
+        log_transform: Optional[bool] = None,
+        sweep: Optional[SweepSettings] = None,
+    ) -> "PerformanceModel":
         """Restore a model saved with :meth:`save`, bound to ``space``.
 
         The caller must supply the same parameter space the model was
-        trained against (the weights encode its feature layout)."""
-        model = cls(space, log_transform=log_transform)
+        trained against (the weights encode its feature layout).
+
+        ``log_transform=None`` (the default) trusts the archive's
+        persisted flag.  Passing an explicit bool that *contradicts* a
+        persisted flag raises — loading a ``log_transform=False`` model
+        under ``True`` would silently exponentiate its predictions.
+        Legacy archives without the flag fall back to the caller's value
+        (default True) with a warning.
+        """
         inner = EnsembleMLPRegressor.load(path)
+        persisted = inner.saved_log_transform
+        if persisted is None:
+            if log_transform is None:
+                warnings.warn(
+                    f"{path}: archive predates log_transform persistence; "
+                    "assuming log_transform=True (pass log_transform= "
+                    "explicitly to silence)",
+                    stacklevel=2,
+                )
+                log_transform = True
+        else:
+            if log_transform is not None and bool(log_transform) != persisted:
+                raise ValueError(
+                    f"{path}: archive was saved with log_transform="
+                    f"{persisted} but caller requested {bool(log_transform)}; "
+                    "predictions would be silently "
+                    + ("exponentiated" if log_transform else "left in log space")
+                )
+            log_transform = persisted
+        model = cls(space, log_transform=log_transform, sweep=sweep)
         expected = model.encoder.n_features
         got = inner.n_features
         if got != expected:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -10,6 +10,7 @@ import numpy as np
 from repro.core.measure import MeasurementSet, Measurer
 from repro.core.model import PerformanceModel
 from repro.core.results import TuningResult
+from repro.core.sweep import SweepSettings
 from repro.kernels.base import KernelSpec
 from repro.runtime import Context
 
@@ -40,6 +41,10 @@ class TunerSettings:
         before proposing a candidate (the §7 "better scheme" extension;
         the paper's baseline behaviour is False: invalid candidates waste
         stage-two slots).
+    sweep:
+        Prediction-sweep engine knobs
+        (:class:`~repro.core.sweep.SweepSettings`) passed through to the
+        performance model — chunking, the float32 lane, process sharding.
     """
 
     n_train: int = 2000
@@ -48,6 +53,7 @@ class TunerSettings:
     repeats: int = 3
     candidate_pool: Optional[int] = None
     filter_known_invalid: bool = False
+    sweep: SweepSettings = field(default_factory=SweepSettings)
 
     def __post_init__(self):
         if self.n_train < self.k_bag:
@@ -108,6 +114,7 @@ class MLAutoTuner:
             k=self.settings.k_bag,
             seed=seed,
             tracer=self.context.tracer,
+            sweep=self.settings.sweep,
         )
         self.model.fit_measurements(self.training_set)
         return self.model
@@ -128,16 +135,29 @@ class MLAutoTuner:
         # Extension (§7 future work): over-propose, keep the best M that
         # pass the device's validity check, escalating the window until M
         # valid candidates are found (a model that ranks a large invalid
-        # region first would otherwise still starve stage two).
+        # region first would otherwise still starve stage two).  Each
+        # escalation used to re-predict the entire space; now the sorted
+        # order is computed at most twice (an optimistic 4M prefix, then —
+        # only if the model really did rank a huge invalid region first —
+        # the full order once), and each round merely widens the
+        # validity-filter window over it.  Deterministic tie-breaking
+        # makes the optimistic prefix an exact prefix of the full order.
         m = self.settings.m_candidates
         limit = self.spec.space.size if pool is None else len(pool)
-        factor = 4
-        while True:
-            raw = self.model.top_m(min(m * factor, limit), pool)
-            keep = [i for i in raw if self.measurer.is_valid(int(i))]
-            if len(keep) >= m or m * factor >= limit:
-                return np.asarray(keep[:m], dtype=np.int64)
-            factor *= 4
+        checked = min(m * 4, limit)
+        order = self.model.top_m(checked, pool)
+        keep = [int(i) for i in order if self.measurer.is_valid(int(i))]
+        while len(keep) < m and checked < limit:
+            if len(order) < limit:
+                order = self.model.top_m(limit, pool)
+            widened = min(checked * 4, limit)
+            keep.extend(
+                int(i)
+                for i in order[checked:widened]
+                if self.measurer.is_valid(int(i))
+            )
+            checked = widened
+        return np.asarray(keep[:m], dtype=np.int64)
 
     def evaluate_candidates(self, candidates: np.ndarray) -> MeasurementSet:
         """Stage two, part two: measure the proposed configurations."""

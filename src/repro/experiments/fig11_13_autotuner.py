@@ -17,11 +17,12 @@ shows, at a fraction of the cost.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.core.model import PerformanceModel
+from repro.core.sweep import SweepSettings
 from repro.experiments.oracle import TrueTimeOracle
 from repro.experiments.presets import get_preset
 from repro.experiments.reporting import header, table
@@ -45,6 +46,7 @@ def tuner_grid_for_device(
     repeats: int,
     seed: int,
     min_valid_train: int = 30,
+    sweep: Optional[SweepSettings] = None,
 ) -> Dict:
     spec = ConvolutionKernel()
     oracle = TrueTimeOracle(spec, DEVICES[device_key])
@@ -65,8 +67,9 @@ def tuner_grid_for_device(
                 for m in m_values:
                     failures[(n, m)] += 1
                 continue
-            model = PerformanceModel(spec.space, seed=seed + r)
+            model = PerformanceModel(spec.space, seed=seed + r, sweep=sweep)
             model.fit(train_idx[ok], measured[ok])
+            # One fused whole-space sweep serves every M (tops are nested).
             top = model.top_m(m_max)
             stage2 = oracle.measure(top, rng)
             for m in m_values:
@@ -91,14 +94,19 @@ def tuner_grid_for_device(
     }
 
 
-def run(preset=None, devices=MAIN_DEVICES, seed: int = 0) -> Dict:
+def run(
+    preset=None,
+    devices=MAIN_DEVICES,
+    seed: int = 0,
+    sweep: Optional[SweepSettings] = None,
+) -> Dict:
     p = get_preset(preset)
     # Single tuning runs are high-variance (one random sample, one model);
     # always average at least two, as the paper averages several networks.
     repeats = max(p.repeats, 2)
     grids = {
         d: tuner_grid_for_device(
-            d, p.tuner_sizes, p.tuner_m, repeats=repeats, seed=seed
+            d, p.tuner_sizes, p.tuner_m, repeats=repeats, seed=seed, sweep=sweep
         )
         for d in devices
     }

@@ -11,11 +11,12 @@ model predicted almost only invalid configurations there.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.core.model import PerformanceModel
+from repro.core.sweep import SweepSettings
 from repro.experiments.oracle import TrueTimeOracle
 from repro.experiments.presets import get_preset
 from repro.experiments.reporting import header, table
@@ -32,6 +33,7 @@ def tune_large_space(
     m_candidates: int,
     random_budget: int,
     seed: int = 0,
+    sweep: Optional[SweepSettings] = None,
 ) -> Dict:
     spec = get_benchmark(benchmark)
     oracle = TrueTimeOracle(spec, DEVICES[device_key])
@@ -52,10 +54,10 @@ def tune_large_space(
     if ok.sum() < 11:
         result.update(slowdown=float("nan"), failed=True, reason="too few valid samples")
         return result
-    model = PerformanceModel(spec.space, seed=seed)
+    model = PerformanceModel(spec.space, seed=seed, sweep=sweep)
     model.fit(train_idx[ok], measured[ok])
 
-    # Stage two.
+    # Stage two: one fused streaming sweep of the whole space.
     top = model.top_m(m_candidates)
     stage2 = oracle.measure(top, rng)
     stage2_invalid = int(np.isnan(stage2).sum())
@@ -82,7 +84,12 @@ def tune_large_space(
     return result
 
 
-def run(preset=None, devices=MAIN_DEVICES, seed: int = 0) -> Dict:
+def run(
+    preset=None,
+    devices=MAIN_DEVICES,
+    seed: int = 0,
+    sweep: Optional[SweepSettings] = None,
+) -> Dict:
     p = get_preset(preset)
     cells = {}
     for benchmark in BENCHMARKS:
@@ -94,6 +101,7 @@ def run(preset=None, devices=MAIN_DEVICES, seed: int = 0) -> Dict:
                 m_candidates=p.fig14_m,
                 random_budget=p.fig14_random_budget,
                 seed=seed,
+                sweep=sweep,
             )
     return {
         "preset": p.name,

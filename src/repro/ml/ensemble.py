@@ -75,6 +75,12 @@ class EnsembleMLPRegressor:
         self._x_scaler = StandardScaler()
         self._y_scaler = StandardScaler()
         self.loss_curve_: list[float] = []
+        #: Target-transform flag recovered from an archive's meta block by
+        #: :meth:`load` (None when the archive predates it, or when the
+        #: model was not loaded from disk).  The ensemble itself never
+        #: transforms targets — the flag travels with the weights so
+        #: PerformanceModel.load can validate the caller's assumption.
+        self.saved_log_transform: Optional[bool] = None
         # Assigned by callers that trace (e.g. PerformanceModel); kept out
         # of the constructor so the hyperparameter signature stays pure.
         self.tracer = NULL_TRACER
@@ -220,7 +226,7 @@ class EnsembleMLPRegressor:
 
     # -- persistence ------------------------------------------------------------
 
-    def save(self, path) -> None:
+    def save(self, path, log_transform: Optional[bool] = None) -> None:
         """Serialize the fitted ensemble to an ``.npz`` file.
 
         Gathering training data costs simulated (or real) hours; the model
@@ -229,9 +235,18 @@ class EnsembleMLPRegressor:
         atomic (tempfile + fsync + ``os.replace``, the MeasurementDB.save
         recipe): a kill mid-save leaves any previous file intact instead
         of a truncated archive.
+
+        ``log_transform`` records whether the *owner* of this ensemble
+        trained it on log-targets (the meta block's third slot: -1
+        unknown, 0 False, 1 True); :meth:`load` surfaces it as
+        :attr:`saved_log_transform` so callers can validate instead of
+        silently mis-transforming predictions.
         """
         if self._params is None:
             raise RuntimeError("save() before fit()")
+        if log_transform is None:
+            log_transform = self.saved_log_transform
+        lt_flag = -1 if log_transform is None else int(bool(log_transform))
         # Mirror np.savez's path normalization so the atomic rename lands
         # exactly where a plain np.savez(path) would have written.
         target = os.fspath(path)
@@ -254,7 +269,7 @@ class EnsembleMLPRegressor:
                     x_scale=self._x_scaler.scale_,
                     y_mean=self._y_scaler.mean_,
                     y_scale=self._y_scaler.scale_,
-                    meta=np.array([self.k, self.hidden], dtype=np.int64),
+                    meta=np.array([self.k, self.hidden, lt_flag], dtype=np.int64),
                     activation=np.array(self.activation.name),
                 )
                 fh.flush()
@@ -288,9 +303,16 @@ class EnsembleMLPRegressor:
         if missing:
             raise ValueError(f"{path}: not an ensemble archive; missing {missing}")
         meta = data["meta"]
-        if meta.shape != (2,):
+        # Legacy archives carry (k, hidden); current ones append the
+        # owner's log_transform flag (-1 unknown / 0 False / 1 True).
+        if meta.shape not in ((2,), (3,)):
             raise ValueError(f"{path}: malformed meta block {meta.shape}")
-        k, hidden = (int(v) for v in meta)
+        k, hidden = int(meta[0]), int(meta[1])
+        lt_flag = int(meta[2]) if meta.shape == (3,) else -1
+        if lt_flag not in (-1, 0, 1):
+            raise ValueError(
+                f"{path}: log_transform flag must be -1/0/1, got {lt_flag}"
+            )
         W1, b1, W2, b2 = data["W1"], data["b1"], data["W2"], data["b2"]
         if W1.ndim != 3 or W1.shape[0] != k or W1.shape[2] != hidden:
             raise ValueError(
@@ -311,6 +333,7 @@ class EnsembleMLPRegressor:
                 f"match the {d}-feature weights"
             )
         model = cls(k=k, hidden=hidden, activation=str(data["activation"]))
+        model.saved_log_transform = None if lt_flag == -1 else bool(lt_flag)
         model._params = [W1, b1, W2, b2]
         model._x_scaler.mean_ = data["x_mean"]
         model._x_scaler.scale_ = data["x_scale"]

@@ -153,6 +153,37 @@ class TestMLAutoTuner:
         stage2 = tuner.evaluate_candidates(cands)
         assert stage2.n_invalid == 0
 
+    def test_filter_known_invalid_predicts_at_most_twice(self, spec):
+        """Regression: each escalation round used to re-predict the whole
+        space.  Now the sorted order is computed at most twice — an
+        optimistic 4M prefix, then (only if needed) the full order — and
+        rounds merely widen the validity window over it."""
+        ctx = Context(NVIDIA_K40, seed=5)
+        settings = TunerSettings(
+            n_train=300, m_candidates=20, filter_known_invalid=True
+        )
+        tuner = MLAutoTuner(ctx, spec, settings)
+        rng = np.random.default_rng(5)
+        tuner.collect_training_data(rng)
+        tuner.train_model(0)
+
+        calls = []
+        real_top_m = tuner.model.top_m
+
+        def counting_top_m(m, pool=None):
+            calls.append(m)
+            return real_top_m(m, pool)
+
+        tuner.model.top_m = counting_top_m
+        cands = tuner.propose_candidates(rng)
+        assert len(calls) <= 2
+        assert len(cands) == 20
+        assert all(tuner.measurer.is_valid(int(i)) for i in cands)
+        # The kept candidates are exactly the M best-ranked valid ones.
+        full = real_top_m(spec.space.size)
+        want = [int(i) for i in full if tuner.measurer.is_valid(int(i))][:20]
+        np.testing.assert_array_equal(cands, want)
+
     def test_slowdown_vs(self, spec):
         ctx = Context(INTEL_I7_3770, seed=11)
         tuner = MLAutoTuner(ctx, spec, TunerSettings(n_train=400, m_candidates=40))

@@ -181,3 +181,94 @@ class TestPerformanceModelPersistence:
         spec, _ = fitted
         with pytest.raises(RuntimeError):
             PerformanceModel(spec.space).save(tmp_path / "y.npz")
+
+
+class TestLogTransformPersistence:
+    """Regression: save() used to drop log_transform, so a model trained
+    on raw seconds reloaded as log-space (or vice versa) silently returned
+    garbage predictions."""
+
+    def _fit(self, spec, log_transform):
+        from repro.experiments.oracle import TrueTimeOracle
+        from repro.simulator import NVIDIA_K40
+
+        oracle = TrueTimeOracle(spec, NVIDIA_K40)
+        rng = np.random.default_rng(2)
+        idx = spec.space.sample_indices(300, rng)
+        t = oracle.measure(idx, rng)
+        ok = ~np.isnan(t)
+        return PerformanceModel(
+            spec.space, seed=2, log_transform=log_transform
+        ).fit(idx[ok], t[ok])
+
+    @pytest.mark.parametrize("flag", [True, False])
+    def test_roundtrip_preserves_flag(self, tmp_path, flag):
+        spec = ConvolutionKernel()
+        model = self._fit(spec, flag)
+        path = tmp_path / "m.npz"
+        model.save(path)
+        again = PerformanceModel.load(spec.space, path)
+        assert again.log_transform is flag
+        idx = np.arange(200)
+        np.testing.assert_array_equal(
+            model.predict_indices(idx), again.predict_indices(idx)
+        )
+
+    def test_contradicting_caller_rejected(self, tmp_path):
+        spec = ConvolutionKernel()
+        model = self._fit(spec, False)
+        path = tmp_path / "m.npz"
+        model.save(path)
+        with pytest.raises(ValueError, match="log_transform"):
+            PerformanceModel.load(spec.space, path, log_transform=True)
+
+    def test_matching_caller_accepted(self, tmp_path):
+        spec = ConvolutionKernel()
+        model = self._fit(spec, False)
+        path = tmp_path / "m.npz"
+        model.save(path)
+        again = PerformanceModel.load(spec.space, path, log_transform=False)
+        assert again.log_transform is False
+
+    def test_legacy_archive_warns_and_assumes_true(self, tmp_path):
+        """Archives written before the flag existed carry a (2,) meta
+        block; loading one without an explicit caller value must warn."""
+        spec = ConvolutionKernel()
+        model = self._fit(spec, True)
+        path = tmp_path / "m.npz"
+        model.save(path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["meta"] = data["meta"][:2]  # strip the lt flag
+        np.savez(path, **data)
+        with pytest.warns(UserWarning, match="log_transform"):
+            again = PerformanceModel.load(spec.space, path)
+        assert again.log_transform is True
+        # An explicit caller value silences the warning.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            again = PerformanceModel.load(spec.space, path, log_transform=False)
+        assert again.log_transform is False
+
+    def test_corrupt_flag_rejected(self, tmp_path):
+        spec = ConvolutionKernel()
+        model = self._fit(spec, True)
+        path = tmp_path / "m.npz"
+        model.save(path)
+        data = dict(np.load(path, allow_pickle=False))
+        meta = data["meta"].copy()
+        meta[2] = 7
+        data["meta"] = meta
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="log_transform"):
+            PerformanceModel.load(spec.space, path)
+
+    def test_bare_ensemble_save_defaults_to_unknown(self, fitted_ensemble, tmp_path):
+        """EnsembleMLPRegressor.save without a flag records 'unknown',
+        not a guessed value."""
+        _, _, model = fitted_ensemble
+        path = tmp_path / "e.npz"
+        model.save(path)
+        again = EnsembleMLPRegressor.load(path)
+        assert again.saved_log_transform is None
