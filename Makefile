@@ -1,0 +1,23 @@
+# Convenience targets for the reproduction harness.
+#
+#   make test        - the full tier-1 suite (tests/)
+#   make test-fast   - tier-1 minus the multi-second 'slow' tests
+#   make bench       - the benchmark suite (figures, ablations, perf gates)
+#   make experiments - regenerate EXPERIMENTS.md with a warm oracle store
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast bench experiments
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest .
+
+experiments:
+	$(PYTHON) -m repro.experiments.run_all --oracle-store .oracle --out EXPERIMENTS.md

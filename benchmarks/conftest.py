@@ -13,6 +13,13 @@ import pytest
 
 from repro.experiments.presets import Preset
 
+
+def pytest_collection_modifyitems(items):
+    """Every test in this directory is a benchmark: tag it ``bench`` so
+    ``pytest -m bench`` / ``-m 'not bench'`` select the suite as a whole."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
 #: Reduced grids so the whole benchmark suite finishes in minutes while
 #: still exercising every axis of every figure.
 BENCH_PRESET = Preset(

@@ -1,0 +1,181 @@
+"""Acceptance gate for the parallel scheduler + persistent oracle store.
+
+Pins the ``run_all`` contract from the scheduler/store PR:
+
+* each (kernel, device) full ground-truth table is computed exactly once
+  per store lifetime (hit/miss counters, asserted cold and warm);
+* a warm-store parallel run (``jobs=2``) of the oracle-dominated fig01
+  experiment is >= 3x faster than the pre-PR behaviour (serial, no store,
+  tables recomputed in-run);
+* the mixed fig01 + fig11-13 + sec7 subset still beats the sum of
+  separate per-experiment runs (the pre-PR ``run_all`` loop) warm;
+* parallel rendered output is bit-identical to serial.
+
+Each run appends a trajectory point (walls, speedups, counters) to
+``benchmarks/BENCH_run_all.json`` so regressions show up as a series.
+"""
+
+import json
+import subprocess
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.oracle_store import OracleStore
+from repro.experiments.presets import Preset
+from repro.experiments.run_all import run_all
+from repro.obs import Tracer
+from repro.obs.summary import summarize
+
+from conftest import emit
+
+ARTIFACT = Path(__file__).parent / "BENCH_run_all.json"
+
+#: Acceptance gates (ISSUE: parallel scheduler + oracle store).
+MIN_WARM_SPEEDUP = 3.0  # warm store + jobs=2, oracle-dominated subset
+MIN_MIXED_SPEEDUP = 1.25  # warm store + jobs=2 vs per-experiment serial
+
+#: Tiny but axis-complete preset: the timed quantity is scheduling and
+#: table (re)computation, not grid size.
+MICRO = Preset(
+    name="micro",
+    training_sizes=(100,),
+    holdout=80,
+    repeats=1,
+    tuner_sizes=(100,),
+    tuner_m=(10,),
+    fig14_train=200,
+    fig14_m=30,
+    fig14_random_budget=500,
+    sec7_n_train=150,
+    sec7_holdout=100,
+    sec7_n_base=40,
+    sec7_invalid_n=800,
+)
+
+MIXED = ["fig01", "fig11-13", "sec7"]
+
+
+def _append_trajectory(point: dict) -> None:
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=Path(__file__).parent,
+            timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:
+        rev = "unknown"
+    point = {"git_rev": rev, **point}
+    history = []
+    if ARTIFACT.exists():
+        try:
+            history = json.loads(ARTIFACT.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(point)
+    ARTIFACT.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _timed_run(**kw):
+    t0 = time.perf_counter()
+    rendered = run_all(preset=MICRO, seed=0, stream=None, **kw)
+    return rendered, time.perf_counter() - t0
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory):
+    """A store populated by one cold serial run of the mixed subset.
+
+    Asserts the cold half of the exactly-once contract on the way: three
+    (convolution, device) tables missed, computed, and saved — once each,
+    no matter how many of the three experiments read them.
+    """
+    root = tmp_path_factory.mktemp("oracle-store")
+    store = OracleStore(root)
+    rendered, cold_wall = _timed_run(only=MIXED, oracle_store=store)
+    assert store.stats["full_miss"] == 3, store.stats
+    assert store.stats["full_saved"] == 3, store.stats
+    return root, rendered, cold_wall
+
+
+def test_warm_store_parallel_speedup(warm_store, tmp_path):
+    """Headline gate: warm store + 2 workers >= 3x over pre-PR serial."""
+    root, _, _ = warm_store
+    _, base_wall = _timed_run(only=["fig01"])  # pre-PR: no store, serial
+
+    trace = tmp_path / "warm.trace.jsonl"
+    tracer = Tracer(trace)
+    try:
+        _, warm_wall = _timed_run(
+            only=["fig01"], jobs=2, oracle_store=OracleStore(root),
+            tracer=tracer,
+        )
+    finally:
+        tracer.close()
+    counters = summarize(trace).counters
+    # Warm half of the exactly-once contract: zero recomputes, all hits.
+    assert counters.get("oracle_store.full_miss", 0) == 0, counters
+    assert counters.get("oracle_store.full_saved", 0) == 0, counters
+    assert counters.get("oracle_store.full_hit", 0) >= 3, counters
+
+    speedup = base_wall / warm_wall
+    emit(
+        f"run_all --only fig01 (micro preset):\n"
+        f"  serial, no store   : {base_wall:8.3f} s\n"
+        f"  warm store, jobs=2 : {warm_wall:8.3f} s\n"
+        f"  speedup            : {speedup:8.2f}x"
+    )
+    _append_trajectory(
+        {
+            "bench": "warm_store_parallel_fig01",
+            "baseline_s": round(base_wall, 3),
+            "warm_s": round(warm_wall, 3),
+            "speedup": round(speedup, 2),
+            "full_hits": int(counters.get("oracle_store.full_hit", 0)),
+        }
+    )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm parallel run only {speedup:.2f}x faster than pre-PR serial"
+    )
+
+
+def test_mixed_subset_beats_per_experiment_runs(warm_store):
+    """The pre-PR run_all ran experiments one by one, each recomputing its
+    own tables; warm scheduling must beat the sum of those runs."""
+    root, _, cold_wall = warm_store
+    base_wall = 0.0
+    for exp in MIXED:
+        _, wall = _timed_run(only=[exp])
+        base_wall += wall
+    _, warm_wall = _timed_run(
+        only=MIXED, jobs=2, oracle_store=OracleStore(root)
+    )
+    speedup = base_wall / warm_wall
+    emit(
+        f"run_all --only {','.join(MIXED)} (micro preset):\n"
+        f"  per-experiment serial, no store : {base_wall:8.3f} s\n"
+        f"  cold store, serial (one run)    : {cold_wall:8.3f} s\n"
+        f"  warm store, jobs=2              : {warm_wall:8.3f} s\n"
+        f"  warm speedup                    : {speedup:8.2f}x"
+    )
+    _append_trajectory(
+        {
+            "bench": "warm_store_parallel_mixed",
+            "baseline_s": round(base_wall, 3),
+            "cold_s": round(cold_wall, 3),
+            "warm_s": round(warm_wall, 3),
+            "speedup": round(speedup, 2),
+        }
+    )
+    assert speedup >= MIN_MIXED_SPEEDUP, (
+        f"warm mixed run only {speedup:.2f}x faster than per-experiment runs"
+    )
+
+
+def test_parallel_output_bit_identical_to_serial(warm_store):
+    root, cold_rendered, _ = warm_store
+    parallel, _ = _timed_run(
+        only=MIXED, jobs=2, oracle_store=OracleStore(root)
+    )
+    assert parallel == cold_rendered

@@ -297,6 +297,14 @@ def cmd_experiments(args) -> int:
         forwarded += ["--only", args.only]
     if args.out:
         forwarded += ["--out", args.out]
+    if args.jobs is not None:
+        forwarded += ["--jobs", str(args.jobs)]
+    if args.serial:
+        forwarded += ["--serial"]
+    if args.oracle_store:
+        forwarded += ["--oracle-store", args.oracle_store]
+    if args.trace:
+        forwarded += ["--trace", args.trace]
     run_all_main(forwarded)
     return 0
 
@@ -390,6 +398,16 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--preset", default=None)
     exp.add_argument("--only", default=None)
     exp.add_argument("--out", default=None)
+    exp.add_argument("--jobs", type=int, default=None,
+                     help="run experiment units on this many worker processes")
+    exp.add_argument("--serial", action="store_true",
+                     help="force inline execution (overrides --jobs)")
+    exp.add_argument("--oracle-store", default=None,
+                     help="directory of persistent ground-truth tables "
+                          "(default: $REPRO_ORACLE_STORE if set)")
+    exp.add_argument("--trace", default=None,
+                     help="write a JSONL trace of the run "
+                          "(inspect with 'repro trace-summary')")
     exp.set_defaults(fn=cmd_experiments)
     return ap
 

@@ -13,6 +13,14 @@ writes EXPERIMENTS.md.
 """
 
 from repro.experiments.oracle import TrueTimeOracle
+from repro.experiments.oracle_store import OracleProvider, OracleStore
 from repro.experiments.presets import FAST, FULL, get_preset
 
-__all__ = ["TrueTimeOracle", "FAST", "FULL", "get_preset"]
+__all__ = [
+    "TrueTimeOracle",
+    "OracleProvider",
+    "OracleStore",
+    "FAST",
+    "FULL",
+    "get_preset",
+]

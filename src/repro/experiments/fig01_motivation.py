@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments.ascii_plot import bar_chart
-from repro.experiments.oracle import TrueTimeOracle
+from repro.experiments.oracle_store import OracleProvider
 from repro.experiments.reporting import header, ms, table
 from repro.kernels import ConvolutionKernel
 from repro.simulator.devices import DEVICES, MAIN_DEVICES
@@ -28,16 +28,20 @@ PAPER_NVIDIA_ON_INTEL = 17.1
 PAPER_GPU_GPU = 3.0
 
 
-def run(devices=MAIN_DEVICES, seed: int = 0) -> Dict:
+def run(devices=MAIN_DEVICES, seed: int = 0, oracles: OracleProvider | None = None) -> Dict:
     """Exhaustive per-device optima + the cross-evaluation matrix.
+
+    ``oracles`` shares ground-truth tables with the rest of a run (and,
+    when store-backed, across processes and sessions).
 
     Returns
     -------
     dict with ``best`` (device -> (index, time, config dict)) and
     ``matrix`` (target -> source -> slowdown or None-if-invalid).
     """
+    provider = oracles if oracles is not None else OracleProvider()
     spec = ConvolutionKernel()
-    oracles = {d: TrueTimeOracle(spec, DEVICES[d]) for d in devices}
+    oracles = {d: provider.oracle(spec, DEVICES[d]) for d in devices}
     best = {}
     for d, oracle in oracles.items():
         idx, t = oracle.global_optimum()

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.model import PerformanceModel
 from repro.core.sweep import SweepSettings
-from repro.experiments.oracle import TrueTimeOracle
+from repro.experiments.oracle_store import OracleProvider
 from repro.experiments.presets import get_preset
 from repro.experiments.reporting import header, table
 from repro.kernels import ConvolutionKernel
@@ -47,9 +47,11 @@ def tuner_grid_for_device(
     seed: int,
     min_valid_train: int = 30,
     sweep: Optional[SweepSettings] = None,
+    oracles: Optional[OracleProvider] = None,
 ) -> Dict:
+    provider = oracles if oracles is not None else OracleProvider()
     spec = ConvolutionKernel()
-    oracle = TrueTimeOracle(spec, DEVICES[device_key])
+    oracle = provider.oracle(spec, DEVICES[device_key])
     _, opt_time = oracle.global_optimum()
 
     m_values = sorted(m_values)
@@ -99,6 +101,7 @@ def run(
     devices=MAIN_DEVICES,
     seed: int = 0,
     sweep: Optional[SweepSettings] = None,
+    oracles: Optional[OracleProvider] = None,
 ) -> Dict:
     p = get_preset(preset)
     # Single tuning runs are high-variance (one random sample, one model);
@@ -106,7 +109,8 @@ def run(
     repeats = max(p.repeats, 2)
     grids = {
         d: tuner_grid_for_device(
-            d, p.tuner_sizes, p.tuner_m, repeats=repeats, seed=seed, sweep=sweep
+            d, p.tuner_sizes, p.tuner_m, repeats=repeats, seed=seed, sweep=sweep,
+            oracles=oracles,
         )
         for d in devices
     }

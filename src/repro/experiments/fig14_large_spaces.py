@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.model import PerformanceModel
 from repro.core.sweep import SweepSettings
-from repro.experiments.oracle import TrueTimeOracle
+from repro.experiments.oracle_store import OracleProvider
 from repro.experiments.presets import get_preset
 from repro.experiments.reporting import header, table
 from repro.kernels import get_benchmark
@@ -34,9 +34,11 @@ def tune_large_space(
     random_budget: int,
     seed: int = 0,
     sweep: Optional[SweepSettings] = None,
+    oracles: Optional[OracleProvider] = None,
 ) -> Dict:
+    provider = oracles if oracles is not None else OracleProvider()
     spec = get_benchmark(benchmark)
-    oracle = TrueTimeOracle(spec, DEVICES[device_key])
+    oracle = provider.oracle(spec, DEVICES[device_key])
     rng = np.random.default_rng(seed)
 
     # Stage one + model.
@@ -89,6 +91,7 @@ def run(
     devices=MAIN_DEVICES,
     seed: int = 0,
     sweep: Optional[SweepSettings] = None,
+    oracles: Optional[OracleProvider] = None,
 ) -> Dict:
     p = get_preset(preset)
     cells = {}
@@ -102,6 +105,7 @@ def run(
                 random_budget=p.fig14_random_budget,
                 seed=seed,
                 sweep=sweep,
+                oracles=oracles,
             )
     return {
         "preset": p.name,

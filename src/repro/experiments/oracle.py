@@ -6,11 +6,19 @@ thousands of configurations.  Going through Program/Kernel objects would
 only add object churn, so the oracle calls the pure simulator functions
 directly and memoizes.  This is evaluation machinery: the auto-tuner itself
 never sees true times, only noisy measurements through the runtime.
+
+Memoization is fully vectorized: a dense value array plus a boolean
+presence mask over the space (instead of a per-int Python dict), so
+``times_for`` on fig14-scale index sets is a couple of numpy gathers.
+When a :class:`~repro.experiments.oracle_store.OracleStore` is attached,
+full tables load as read-only memory maps computed once *ever* and partial
+tables persist across processes and sessions (see ``oracle_store``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+import sys
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,20 +30,82 @@ from repro.simulator.validity import validate
 #: Chunk size for vectorized true-time sweeps.
 ORACLE_CHUNK = 1 << 15
 
+# -- keyed measurement noise ---------------------------------------------------
+#
+# ``measure`` draws its noise from a counter-based generator keyed on
+# (call key, index, repeat) rather than consuming ``rng`` positionally.
+# Positional draws made the noise depend on where an index sat in the
+# request: measure([a, b]) and measure([b, a]) from identical generator
+# states disagreed on both entries.  With keyed noise the contract is:
+#
+# * one ``rng`` draw per call (the call key), so successive calls stay
+#   independent;
+# * within a call, noise is a pure function of (call key, index, repeat):
+#   permuting the index set permutes the results, and duplicate indices
+#   receive identical values.
+
+_U64 = np.uint64
+_GAMMA = _U64(0x9E3779B97F4A7C15)
+_MIX_A = _U64(0xBF58476D1CE4E5B9)
+_MIX_B = _U64(0x94D049BB133111EB)
+
+
+def _splitmix64(z: np.ndarray) -> np.ndarray:
+    z = (z ^ (z >> _U64(30))) * _MIX_A
+    z = (z ^ (z >> _U64(27))) * _MIX_B
+    return z ^ (z >> _U64(31))
+
+
+def _unit_open(h: np.ndarray) -> np.ndarray:
+    """uint64 hash -> float64 uniform on the *open* interval (0, 1)."""
+    return ((h >> _U64(11)).astype(np.float64) + 0.5) * (2.0 ** -53)
+
+
+def keyed_standard_normal(
+    call_key: int, indices: np.ndarray, repeats: int
+) -> np.ndarray:
+    """(repeats, n) standard normals, a pure function of (key, index, repeat).
+
+    splitmix64 streams turned Gaussian via Box-Muller; vectorized over
+    both axes.  Equal indices get equal columns.
+    """
+    idx = np.asarray(indices, dtype=np.int64).astype(np.uint64)
+    key = _U64(int(call_key) & 0xFFFFFFFFFFFFFFFF)
+    lanes = (np.arange(repeats, dtype=np.uint64) + _U64(1)) * _GAMMA
+    seed = _splitmix64(_splitmix64(idx ^ key)[None, :] ^ lanes[:, None])
+    u1 = _unit_open(_splitmix64(seed ^ _MIX_A))
+    u2 = _unit_open(_splitmix64(seed ^ _MIX_B))
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+
 
 class TrueTimeOracle:
     """Noise-free times of one (kernel, device) pair, lazily memoized.
 
     ``times_for`` computes on demand; ``full_table`` materializes the whole
     space (only sensible for convolution-sized spaces).  Invalid
-    configurations are NaN.
+    configurations are NaN.  ``store`` (an
+    :class:`~repro.experiments.oracle_store.OracleStore`) makes both layers
+    persistent.
     """
 
-    def __init__(self, spec: KernelSpec, device: DeviceSpec):
+    def __init__(
+        self, spec: KernelSpec, device: DeviceSpec, store=None
+    ):
         self.spec = spec
         self.device = device
-        self._cache: Dict[int, float] = {}
+        self.store = store
+        self._key = None
+        if store is not None:
+            from repro.experiments.oracle_store import OracleKey
+
+            self._key = OracleKey.for_pair(spec, device)
         self._full: Optional[np.ndarray] = None
+        # Vectorized partial cache: dense values + presence mask, allocated
+        # lazily (the stereo space is 2.36M entries = 21 MB of float64).
+        self._times: Optional[np.ndarray] = None
+        self._mask: Optional[np.ndarray] = None
+        self._dirty = 0  # partial entries computed since the last save
+        self._probed_full = False
 
     def _compute(self, index: int) -> float:
         config = self.spec.space[index]
@@ -53,9 +123,7 @@ class TrueTimeOracle:
         index = int(index)
         if self._full is not None:
             return float(self._full[index])
-        if index not in self._cache:
-            self._cache[index] = self._compute(index)
-        return self._cache[index]
+        return float(self.times_for(np.array([index], dtype=np.int64))[0])
 
     def _compute_batch(self, indices: np.ndarray) -> np.ndarray:
         """True times of many configurations via the batch executor.
@@ -75,27 +143,72 @@ class TrueTimeOracle:
             out[start : start + chunk.shape[0]] = be.times
         return out
 
+    def _maybe_adopt_stored_full(self) -> None:
+        """Opportunistically memory-map a persisted full table.
+
+        A sampled-times request is cheaper served from an existing full
+        table than by computing a partial one; the probe is a pair of
+        stat calls plus an mmap open, and an absent table costs nothing
+        (``count_miss=False`` — no recompute obligation was implied).
+        """
+        if (
+            self._probed_full
+            or self.store is None
+            or self.spec.space.size > 1_000_000
+        ):
+            return
+        self._probed_full = True
+        from repro.experiments.oracle_store import OracleStoreError
+
+        try:
+            self._full = self.store.load_full(self._key, count_miss=False)
+        except OracleStoreError as exc:
+            print(f"[oracle] ignoring bad archive: {exc}", file=sys.stderr)
+
+    def _ensure_partial(self) -> None:
+        """Allocate the mask/value arrays; pre-seed them from the store."""
+        if self._times is not None:
+            return
+        size = self.spec.space.size
+        self._times = np.empty(size, dtype=np.float64)
+        self._mask = np.zeros(size, dtype=bool)
+        if self.store is not None:
+            from repro.experiments.oracle_store import OracleStoreError
+
+            try:
+                persisted = self.store.load_partial(self._key)
+            except OracleStoreError as exc:
+                print(f"[oracle] ignoring bad archive: {exc}", file=sys.stderr)
+                persisted = None
+            if persisted is not None:
+                idx, times = persisted
+                self._times[idx] = times
+                self._mask[idx] = True
+
     def times_for(self, indices: Sequence[int]) -> np.ndarray:
         """True times for many configurations (NaN where invalid)."""
         idx = np.asarray(indices, dtype=np.int64)
+        if self._full is None and self._times is None:
+            self._maybe_adopt_stored_full()
         if self._full is not None:
-            return self._full[idx]
-        missing = np.asarray(
-            sorted({int(i) for i in idx.tolist() if int(i) not in self._cache}),
-            dtype=np.int64,
-        )
-        if missing.size:
-            computed = self._compute_batch(missing)
-            for i, t in zip(missing.tolist(), computed.tolist()):
-                self._cache[i] = t
-        return np.array([self._cache[int(i)] for i in idx], dtype=np.float64)
+            return np.asarray(self._full[idx], dtype=np.float64)
+        self._ensure_partial()
+        unknown = idx[~self._mask[idx]]
+        if unknown.size:
+            missing = np.unique(unknown)
+            self._times[missing] = self._compute_batch(missing)
+            self._mask[missing] = True
+            self._dirty += int(missing.size)
+        return self._times[idx].astype(np.float64, copy=True)
 
     def full_table(self) -> np.ndarray:
         """True times of the *entire* space.
 
         Feasible for convolution (131K) in seconds; refuses spaces past a
         million points — use ``times_for`` / ``global_optimum_sampled``
-        there, as the paper itself resorts to sampling for those.
+        there, as the paper itself resorts to sampling for those.  With a
+        store attached the table is computed at most once per store
+        lifetime and served as a read-only memory map afterwards.
         """
         if self._full is None:
             size = self.spec.space.size
@@ -104,8 +217,35 @@ class TrueTimeOracle:
                     f"space of {size} too large to exhaust; the paper also "
                     "could not ('time constraints prevented us', §6)"
                 )
-            self._full = self._compute_batch(np.arange(size, dtype=np.int64))
+            table = None
+            if self.store is not None:
+                from repro.experiments.oracle_store import OracleStoreError
+
+                try:
+                    table = self.store.load_full(self._key)
+                except OracleStoreError as exc:
+                    print(
+                        f"[oracle] ignoring bad archive: {exc}", file=sys.stderr
+                    )
+            if table is None:
+                table = self._compute_batch(np.arange(size, dtype=np.int64))
+                if self.store is not None:
+                    self.store.save_full(self._key, table)
+            self._full = table
         return self._full
+
+    def save_partial(self) -> int:
+        """Persist un-saved partial entries to the store; returns how many.
+
+        A no-op without a store, with nothing new, or once the full table
+        exists (``full_table`` already persisted the superset).
+        """
+        if self.store is None or self._dirty == 0 or self._full is not None:
+            return 0
+        idx = np.nonzero(self._mask)[0]
+        self.store.save_partial(self._key, idx, self._times[idx])
+        saved, self._dirty = self._dirty, 0
+        return saved
 
     def global_optimum(self) -> Tuple[int, float]:
         """(index, true time) of the global optimum via full enumeration."""
@@ -126,10 +266,17 @@ class TrueTimeOracle:
     def measure(
         self, indices: Sequence[int], rng: np.random.Generator, repeats: int = 3
     ) -> np.ndarray:
-        """Vectorized best-of-``repeats`` noisy measurements (NaN invalid)."""
-        true = self.times_for(indices)
+        """Vectorized best-of-``repeats`` noisy measurements (NaN invalid).
+
+        The noise is keyed, not positional: ``rng`` is consumed exactly
+        once per call (a 64-bit call key), and each entry's noise is a
+        pure function of (call key, configuration index, repeat).  Calling
+        with a permuted index set therefore returns permuted results, and
+        duplicate indices within one call measure identically.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        true = self.times_for(idx)
         sigma = self.device.timing_noise_sigma
-        noise = np.exp(
-            sigma * rng.standard_normal((repeats, true.shape[0]))
-        ).min(axis=0)
-        return true * noise
+        call_key = int(rng.integers(0, np.iinfo(np.int64).max, dtype=np.int64))
+        z = keyed_standard_normal(call_key, idx, repeats)
+        return true * np.exp(sigma * z).min(axis=0)

@@ -1,0 +1,339 @@
+"""Persistent, memory-mapped ground-truth tables for the experiment suite.
+
+Every experiment that needs exhaustive or sampled *true* times builds a
+:class:`~repro.experiments.oracle.TrueTimeOracle`; before this store, each
+one recomputed the same tables from scratch — the full 131K-configuration
+convolution table was rebuilt per device *per experiment*.  The store makes
+a table a compute-once artifact:
+
+* **full tables** are one ``<slug>.full.npy`` per (kernel, device) plus a
+  ``<slug>.meta.json`` sidecar identifying the table (kernel, device,
+  problem, space size, :data:`~repro.simulator.SIMULATOR_VERSION`).  They
+  are written atomically (the MeasurementDB recipe: tempfile in the target
+  directory + flush + fsync + ``os.replace``) and opened read-only with
+  ``np.load(..., mmap_mode="r")`` so concurrent experiment processes share
+  the pages zero-copy;
+* **partial tables** (sampled subsets of the huge raycasting/stereo
+  spaces) are ``<slug>.partial.npz`` archives of (indices, times) pairs
+  with the same embedded metadata; writers merge with whatever is on disk
+  before replacing, so concurrent warmers lose no entries and a reader
+  never observes a torn file.
+
+Unreadable, truncated or foreign archives raise :class:`OracleStoreError`
+naming the offending file; a *stale* archive (simulator-version mismatch)
+is silently treated as a miss and recomputed — stale true times must never
+leak into results.  ``stats`` counts hits/misses/stale loads per store so
+the scheduler can assert the "each table computed exactly once" contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.simulator import SIMULATOR_VERSION
+
+#: Version of the on-disk layout itself (file naming + sidecar schema).
+STORE_LAYOUT_VERSION = 1
+
+
+class OracleStoreError(RuntimeError):
+    """A persisted table exists but cannot be trusted (corrupt / foreign).
+
+    The message always names the offending file so the fix — delete it or
+    point the store elsewhere — is obvious.  Version *staleness* is not an
+    error: stale archives are treated as misses and recomputed.
+    """
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe fragment of a kernel/device name."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", text).strip("_") or "x"
+
+
+def _atomic_write_bytes(path: Path, write_fn) -> None:
+    """Write a file atomically: tempfile + fsync + ``os.replace``.
+
+    ``write_fn(fh)`` receives the open binary handle.  Concurrent writers
+    of the same path each land a complete file; the last replace wins and
+    readers only ever see a fully written archive.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            write_fn(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class OracleKey:
+    """Identity of one persisted table: (kernel, device, problem, space).
+
+    The simulator version is deliberately *not* part of the identity — a
+    version mismatch means "same table, stale contents" (recompute), while
+    an identity mismatch means "this is not your file" (error).
+    """
+
+    __slots__ = ("kernel", "device", "problem", "space_size")
+
+    def __init__(self, kernel: str, device: str, problem: str, space_size: int):
+        self.kernel = kernel
+        self.device = device
+        self.problem = problem
+        self.space_size = int(space_size)
+
+    @classmethod
+    def for_pair(cls, spec, device) -> "OracleKey":
+        return cls(spec.name, device.name, repr(spec.problem), spec.space.size)
+
+    @property
+    def slug(self) -> str:
+        return f"{_slug(self.kernel)}@{_slug(self.device)}"
+
+    def meta(self) -> Dict:
+        return {
+            "layout": STORE_LAYOUT_VERSION,
+            "kernel": self.kernel,
+            "device": self.device,
+            "problem": self.problem,
+            "space_size": self.space_size,
+            "simulator_version": SIMULATOR_VERSION,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OracleKey({self.kernel}@{self.device}, n={self.space_size})"
+
+
+class OracleStore:
+    """One directory of persisted true-time tables.
+
+    Safe for concurrent readers and writers across processes: reads only
+    ever see complete archives (atomic replace), and partial-table writers
+    merge with the on-disk state before replacing.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: hit/miss/stale accounting, keyed like tracer counters.
+        self.stats: Dict[str, int] = {
+            "full_hit": 0,
+            "full_miss": 0,
+            "full_stale": 0,
+            "full_saved": 0,
+            "partial_hit": 0,
+            "partial_miss": 0,
+            "partial_entries_loaded": 0,
+            "partial_entries_saved": 0,
+        }
+
+    # -- paths -----------------------------------------------------------------
+
+    def full_path(self, key: OracleKey) -> Path:
+        return self.root / f"{key.slug}.full.npy"
+
+    def meta_path(self, key: OracleKey) -> Path:
+        return self.root / f"{key.slug}.meta.json"
+
+    def partial_path(self, key: OracleKey) -> Path:
+        return self.root / f"{key.slug}.partial.npz"
+
+    # -- metadata validation ---------------------------------------------------
+
+    def _check_meta(self, meta: Dict, key: OracleKey, path: Path) -> bool:
+        """True if usable, False if stale; raises on identity mismatch."""
+        for field in ("kernel", "device", "problem", "space_size"):
+            if meta.get(field) != getattr(key, field):
+                raise OracleStoreError(
+                    f"oracle-store archive {path} belongs to "
+                    f"{meta.get('kernel')}@{meta.get('device')} "
+                    f"(space {meta.get('space_size')}), not "
+                    f"{key.kernel}@{key.device} (space {key.space_size}); "
+                    "delete the file or use a different --oracle-store"
+                )
+        return meta.get("simulator_version") == SIMULATOR_VERSION
+
+    # -- full tables -----------------------------------------------------------
+
+    def load_full(
+        self, key: OracleKey, count_miss: bool = True
+    ) -> Optional[np.ndarray]:
+        """The persisted full table as a read-only memory map, or None.
+
+        None means "miss" (absent or stale — recompute and save).  Corrupt
+        or foreign archives raise :class:`OracleStoreError` instead.
+        ``count_miss=False`` makes an absent table free in the stats — for
+        opportunistic probes ("is there a full table I could reuse?") that
+        carry no recompute obligation.
+        """
+        path, meta_path = self.full_path(key), self.meta_path(key)
+        if not path.exists() or not meta_path.exists():
+            if count_miss:
+                self.stats["full_miss"] += 1
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            raise OracleStoreError(
+                f"oracle-store sidecar {meta_path} is unreadable: {exc}"
+            ) from exc
+        if not self._check_meta(meta, key, path):
+            self.stats["full_stale"] += 1
+            self.stats["full_miss"] += 1
+            return None
+        try:
+            table = np.load(path, mmap_mode="r", allow_pickle=False)
+        except Exception as exc:
+            raise OracleStoreError(
+                f"oracle-store archive {path} is corrupt or truncated: {exc}"
+            ) from exc
+        if table.shape != (key.space_size,):
+            raise OracleStoreError(
+                f"oracle-store archive {path} has shape {table.shape}, "
+                f"expected ({key.space_size},)"
+            )
+        self.stats["full_hit"] += 1
+        return table
+
+    def save_full(self, key: OracleKey, times: np.ndarray) -> Path:
+        """Persist a full table atomically (array first, sidecar last)."""
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        if times.shape != (key.space_size,):
+            raise ValueError(
+                f"full table shape {times.shape} != ({key.space_size},)"
+            )
+        path = self.full_path(key)
+        _atomic_write_bytes(path, lambda fh: np.save(fh, times))
+        # The sidecar is the commit point: readers require both files.
+        meta_blob = json.dumps(key.meta(), indent=2).encode()
+        _atomic_write_bytes(self.meta_path(key), lambda fh: fh.write(meta_blob))
+        self.stats["full_saved"] += 1
+        return path
+
+    # -- partial tables --------------------------------------------------------
+
+    def load_partial(
+        self, key: OracleKey
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Persisted (indices, times) of a sampled table, or None."""
+        path = self.partial_path(key)
+        if not path.exists():
+            self.stats["partial_miss"] += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                meta = json.loads(str(npz["meta"]))
+                indices = np.asarray(npz["indices"], dtype=np.int64)
+                times = np.asarray(npz["times"], dtype=np.float64)
+        except OracleStoreError:
+            raise
+        except Exception as exc:
+            raise OracleStoreError(
+                f"oracle-store archive {path} is corrupt or truncated: {exc}"
+            ) from exc
+        if not self._check_meta(meta, key, path):
+            self.stats["partial_miss"] += 1
+            return None
+        if indices.shape != times.shape or indices.ndim != 1:
+            raise OracleStoreError(
+                f"oracle-store archive {path} has mismatched arrays "
+                f"({indices.shape} vs {times.shape})"
+            )
+        if indices.size and (indices.min() < 0 or indices.max() >= key.space_size):
+            raise OracleStoreError(
+                f"oracle-store archive {path} has indices outside "
+                f"[0, {key.space_size})"
+            )
+        self.stats["partial_hit"] += 1
+        self.stats["partial_entries_loaded"] += int(indices.size)
+        return indices, times
+
+    def save_partial(
+        self, key: OracleKey, indices: np.ndarray, times: np.ndarray
+    ) -> Path:
+        """Persist a sampled table, merging with whatever is on disk.
+
+        Concurrent writers each merge-then-replace: the final file is one
+        writer's complete merged view (never torn), so entries from the
+        loser of the race are at worst recomputed later, never corrupted.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        if indices.shape != times.shape or indices.ndim != 1:
+            raise ValueError("indices and times must be 1-D and aligned")
+        try:
+            existing = self.load_partial(key)
+        except OracleStoreError:
+            existing = None  # overwrite a corrupt archive with good data
+        if existing is not None:
+            old_idx, old_t = existing
+            # New entries win on overlap (np.unique keeps first occurrence).
+            indices = np.concatenate([indices, old_idx])
+            times = np.concatenate([times, old_t])
+        uniq, first = np.unique(indices, return_index=True)
+        indices, times = uniq, times[first]
+        path = self.partial_path(key)
+        meta_blob = json.dumps(key.meta())
+        _atomic_write_bytes(
+            path,
+            lambda fh: np.savez(fh, meta=meta_blob, indices=indices, times=times),
+        )
+        self.stats["partial_entries_saved"] += int(indices.size)
+        return path
+
+    # -- accounting ------------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        return dict(self.stats)
+
+
+class OracleProvider:
+    """Shared cache of :class:`TrueTimeOracle` objects, optionally store-backed.
+
+    Experiments used to each build their own oracle; the provider hands out
+    one oracle per (kernel, problem, device) so tables computed by one
+    experiment serve the rest of the run, and — when a store directory is
+    given — persist across processes and sessions.
+    """
+
+    def __init__(self, store=None) -> None:
+        if store is not None and not isinstance(store, OracleStore):
+            store = OracleStore(store)
+        self.store: Optional[OracleStore] = store
+        self._oracles: Dict[Tuple[str, str, str], "TrueTimeOracle"] = {}
+
+    def oracle(self, spec, device) -> "TrueTimeOracle":
+        from repro.experiments.oracle import TrueTimeOracle
+
+        key = (spec.name, repr(spec.problem), device.name)
+        oracle = self._oracles.get(key)
+        if oracle is None:
+            oracle = TrueTimeOracle(spec, device, store=self.store)
+            self._oracles[key] = oracle
+        return oracle
+
+    def flush(self) -> None:
+        """Persist every oracle's un-saved partial entries to the store."""
+        if self.store is None:
+            return
+        for oracle in self._oracles.values():
+            oracle.save_partial()
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        return self.store.stats_snapshot() if self.store is not None else {}

@@ -41,6 +41,12 @@ class Preset:
     fig14_train: int
     fig14_m: int
     fig14_random_budget: int
+    #: §7 discussion budgets (defaulted: both paper presets use the same
+    #: values; the micro presets in benchmarks/tests shrink them).
+    sec7_n_train: int = 2000
+    sec7_holdout: int = 300
+    sec7_n_base: int = 120
+    sec7_invalid_n: int = 3000
 
 
 FAST = Preset(

@@ -6,14 +6,23 @@ Usage::
     python -m repro.experiments.run_all --preset full   # the paper's grids
     python -m repro.experiments.run_all --out EXPERIMENTS.md
     python -m repro.experiments.run_all --only fig01,fig14
+    python -m repro.experiments.run_all --jobs 4 --oracle-store .oracle
+
+Execution goes through :mod:`repro.experiments.scheduler`: experiments
+decompose into independent units (per-device grids, per-cell tuning runs,
+ground-truth warm-ups), which run inline or on a process pool —
+``--jobs``/``--serial`` — with bit-identical output either way.
+``--oracle-store DIR`` persists ground-truth tables across runs, so the
+expensive full tables are computed once ever (see docs/performance.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.experiments import (
     cost_accounting,
@@ -28,6 +37,7 @@ from repro.experiments import (
     tables,
 )
 from repro.experiments.presets import get_preset
+from repro.obs import NULL_TRACER
 
 #: Experiment registry: id -> (title, run(preset, seed) -> results, format).
 EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
@@ -84,34 +94,81 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
 }
 
 
-def run_all(preset=None, seed: int = 0, only=None, stream="stdout") -> Dict[str, str]:
+def run_all(
+    preset=None,
+    seed: int = 0,
+    only=None,
+    stream="stdout",
+    jobs: Optional[int] = None,
+    oracle_store=None,
+    tracer=None,
+) -> Dict[str, str]:
     """Run (a subset of) the experiments; returns id -> rendered text.
 
     ``stream="stdout"`` resolves to the *current* sys.stdout at call time
     (binding it as a default would capture whatever stdout was at import);
     pass None to suppress printing, or any file-like object.
+
+    ``jobs`` >= 2 fans the scheduler's units out over a process pool; the
+    rendered output is bit-identical to serial (``jobs=None``/``1``).
+    ``oracle_store`` (a directory path or :class:`OracleStore`) persists
+    ground-truth tables across runs and processes.  ``tracer`` receives
+    per-unit spans, per-experiment wall gauges and oracle-store counters.
     """
+    from repro.experiments.scheduler import (
+        build_plan,
+        execute_plan,
+        merge_results,
+    )
+
     if stream == "stdout":
         stream = sys.stdout
+    if tracer is None:
+        tracer = NULL_TRACER
     p = get_preset(preset)
     wanted = set(only) if only else set(EXPERIMENTS)
     unknown = wanted - set(EXPERIMENTS)
     if unknown:
         raise KeyError(f"unknown experiment ids {sorted(unknown)}; "
                        f"known: {sorted(EXPERIMENTS)}")
+
+    serial = jobs is None or jobs <= 1
+    # Warm-up units pay off only where a computed table can be shared:
+    # always in serial mode (one provider), only via the store in parallel.
+    units = build_plan(
+        sorted(wanted, key=list(EXPERIMENTS).index),
+        p,
+        seed,
+        warmup=serial or oracle_store is not None,
+    )
+    t0 = time.perf_counter()
+    with tracer.span("run_all", preset=p.name, units=len(units), jobs=jobs or 1):
+        outcomes = execute_plan(
+            units, p, seed, jobs=jobs, store=oracle_store, tracer=tracer,
+            progress=sys.stderr,
+        )
+    total_wall = time.perf_counter() - t0
+
+    unit_walls: Dict[str, float] = {}
+    for u in units:
+        unit_walls[u.exp_id] = unit_walls.get(u.exp_id, 0.0) + outcomes[u.uid].wall_s
+
     rendered = {}
-    for exp_id, (title, run_fn, fmt_fn) in EXPERIMENTS.items():
+    for exp_id, (title, _run_fn, fmt_fn) in EXPERIMENTS.items():
         if exp_id not in wanted:
             continue
-        t0 = time.perf_counter()
-        print(f"[run_all] {exp_id}: {title} ...", file=sys.stderr, flush=True)
-        text = fmt_fn(run_fn(p, seed))
-        dt = time.perf_counter() - t0
-        print(f"[run_all] {exp_id}: done in {dt:.1f}s", file=sys.stderr, flush=True)
+        text = fmt_fn(merge_results(exp_id, outcomes, p))
         rendered[exp_id] = text
+        wall = unit_walls.get(exp_id, 0.0)
+        tracer.gauge(f"runall.{exp_id}.wall_s", round(wall, 6))
+        print(f"[run_all] {exp_id}: {title}: done in {wall:.1f}s",
+              file=sys.stderr, flush=True)
         if stream is not None:
             print(text, file=stream)
             print("", file=stream)
+    if "warmup" in unit_walls:
+        tracer.gauge("runall.warmup.wall_s", round(unit_walls["warmup"], 6))
+    tracer.gauge("runall.total_wall_s", round(total_wall, 6))
     return rendered
 
 
@@ -145,10 +202,44 @@ def main(argv=None) -> None:
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--only", default=None, help="comma-separated experiment ids")
     ap.add_argument("--out", default=None, help="also write a markdown report")
+    ap.add_argument("--jobs", type=int, default=None,
+                    help="run units on this many worker processes (>= 2); "
+                         "default runs inline")
+    ap.add_argument("--serial", action="store_true",
+                    help="force inline execution (overrides --jobs)")
+    ap.add_argument("--oracle-store", default=None,
+                    help="directory of persistent ground-truth tables "
+                         "(default: $REPRO_ORACLE_STORE if set); tables are "
+                         "computed once ever and memory-mapped afterwards")
+    ap.add_argument("--trace", default=None,
+                    help="write a JSONL trace of the run (per-unit spans, "
+                         "per-experiment timings; see 'repro trace-summary')")
     args = ap.parse_args(argv)
     only = args.only.split(",") if args.only else None
     p = get_preset(args.preset)
-    rendered = run_all(preset=p, seed=args.seed, only=only)
+    jobs = 1 if args.serial else args.jobs
+    store = args.oracle_store or os.environ.get("REPRO_ORACLE_STORE") or None
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer, run_manifest
+
+        tracer = Tracer(
+            args.trace,
+            manifest=run_manifest(
+                command="run_all", preset=p.name, seed=args.seed,
+                only=only, jobs=jobs or 1, oracle_store=store,
+            ),
+        )
+    try:
+        rendered = run_all(
+            preset=p, seed=args.seed, only=only, jobs=jobs,
+            oracle_store=store, tracer=tracer,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.trace:
+        print(f"[run_all] trace written to {args.trace}", file=sys.stderr)
     if args.out:
         write_experiments_md(args.out, rendered, p.name)
         print(f"[run_all] wrote {args.out}", file=sys.stderr)

@@ -1,0 +1,467 @@
+"""Parallel experiment scheduler: ``run_all`` decomposed into units.
+
+The paper's evaluation is a grid of independent computations — per-device
+tuner grids (Figs. 11-13), per-(benchmark, device) large-space cells
+(Fig. 14), per-device error curves (Figs. 4-7) — that the harness used to
+run strictly serially inside each experiment's ``run()``.  This module
+turns the grid inside out:
+
+* :func:`build_plan` flattens the requested experiments into
+  :class:`Unit` objects — picklable (kind, payload) pairs plus explicit
+  dependencies.  Ground-truth warm-up (computing a device's full
+  convolution table into the shared
+  :class:`~repro.experiments.oracle_store.OracleStore`) is its own unit,
+  a prerequisite of every unit that reads the table, so each table is
+  computed exactly once per store lifetime no matter how many
+  experiments need it.
+* :func:`execute_plan` runs the units — inline (``jobs <= 1``) against
+  one shared :class:`~repro.experiments.oracle_store.OracleProvider`, or
+  on a :class:`~concurrent.futures.ProcessPoolExecutor` using the
+  campaign-grid worker pattern: a module-level worker function, per-worker
+  JSONL traces merged back into the parent tracer tagged with the unit id,
+  and store hit/miss counters summed across workers.
+* :func:`merge_results` reassembles per-unit results into exactly the
+  dict each experiment's ``run()`` returns.  Every unit seeds its own
+  generators from the explicit (seed, unit) recipe the experiments already
+  use, so the merged output — and hence the rendered text — is
+  bit-identical between serial and parallel execution by construction.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import (
+    fig01_motivation,
+    fig04_06_model_error,
+    fig07_nvidia_generations,
+    fig08_10_scatter,
+    fig11_13_autotuner,
+    fig14_large_spaces,
+    sec7_discussion,
+)
+from repro.experiments.oracle_store import OracleProvider, OracleStore
+from repro.experiments.presets import Preset
+from repro.kernels import BENCHMARKS, get_benchmark
+from repro.obs import NULL_TRACER, Tracer, run_manifest
+from repro.simulator.devices import DEVICES, MAIN_DEVICES
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One independently runnable piece of an experiment.
+
+    ``payload`` must be picklable (it crosses the process boundary);
+    ``deps`` are uids that must complete first (only meaningful when the
+    units share state through an oracle store or an in-process provider).
+    """
+
+    uid: str
+    exp_id: str
+    kind: str
+    payload: tuple
+    deps: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    uid: str
+    result: object
+    wall_s: float
+
+
+# -- unit runners --------------------------------------------------------------
+#
+# Every runner is a module-level function of (payload, preset, seed,
+# provider) so the worker process can resolve it from UNIT_RUNNERS by
+# kind.  Runners must reproduce *exactly* the computation the experiment's
+# own run() performs for that slice, including rng seeding.
+
+
+def _run_warmup(payload, p: Preset, seed: int, provider: OracleProvider):
+    kernel, device_key = payload
+    provider.oracle(get_benchmark(kernel), DEVICES[device_key]).full_table()
+    return None
+
+
+def _run_fig01(payload, p: Preset, seed: int, provider: OracleProvider):
+    (devices,) = payload
+    return fig01_motivation.run(devices=devices, seed=seed, oracles=provider)
+
+
+def _run_fig11_grid(payload, p: Preset, seed: int, provider: OracleProvider):
+    (device,) = payload
+    return fig11_13_autotuner.tuner_grid_for_device(
+        device,
+        p.tuner_sizes,
+        p.tuner_m,
+        repeats=max(p.repeats, 2),
+        seed=seed,
+        oracles=provider,
+    )
+
+
+def _run_fig14_cell(payload, p: Preset, seed: int, provider: OracleProvider):
+    benchmark, device = payload
+    return fig14_large_spaces.tune_large_space(
+        benchmark,
+        device,
+        n_train=p.fig14_train,
+        m_candidates=p.fig14_m,
+        random_budget=p.fig14_random_budget,
+        seed=seed,
+        oracles=provider,
+    )
+
+
+def _run_fig0406_curve(payload, p: Preset, seed: int, provider: OracleProvider):
+    device, benchmark = payload
+    return fig04_06_model_error.error_curve(
+        benchmark, device, p.training_sizes, p.holdout, repeats=p.repeats,
+        seed=seed,
+    )
+
+
+def _run_fig07_curve(payload, p: Preset, seed: int, provider: OracleProvider):
+    (device,) = payload
+    return fig04_06_model_error.error_curve(
+        "convolution", device, p.training_sizes, p.holdout,
+        repeats=p.repeats, seed=seed,
+    )
+
+
+def _run_fig0810_scatter(payload, p: Preset, seed: int, provider: OracleProvider):
+    (device,) = payload
+    return fig08_10_scatter.scatter_for_device(device, seed=seed)
+
+
+def _run_sec7_sensitivity(payload, p: Preset, seed: int, provider: OracleProvider):
+    (device,) = payload
+    return sec7_discussion.memory_sensitivity_for_device(
+        device, seed=seed, n_base=p.sec7_n_base, oracles=provider
+    )
+
+
+def _run_sec7_amd(payload, p: Preset, seed: int, provider: OracleProvider):
+    (benchmark,) = payload
+    return sec7_discussion.amd_unroll_error(
+        benchmark, seed=seed, n_train=p.sec7_n_train, holdout=p.sec7_holdout
+    )
+
+
+def _run_sec7_invalid(payload, p: Preset, seed: int, provider: OracleProvider):
+    return sec7_discussion.invalid_fraction_by_device(
+        seed=seed, n=p.sec7_invalid_n, oracles=provider
+    )
+
+
+def _run_experiment(payload, p: Preset, seed: int, provider: OracleProvider):
+    """Fallback for experiments that run as a single unit."""
+    from repro.experiments.run_all import EXPERIMENTS
+
+    (exp_id,) = payload
+    _, run_fn, _ = EXPERIMENTS[exp_id]
+    return run_fn(p, seed)
+
+
+UNIT_RUNNERS: Dict[str, Callable] = {
+    "warmup": _run_warmup,
+    "fig01": _run_fig01,
+    "fig11-grid": _run_fig11_grid,
+    "fig14-cell": _run_fig14_cell,
+    "fig04-06-curve": _run_fig0406_curve,
+    "fig07-curve": _run_fig07_curve,
+    "fig08-10-scatter": _run_fig0810_scatter,
+    "sec7-sensitivity": _run_sec7_sensitivity,
+    "sec7-amd": _run_sec7_amd,
+    "sec7-invalid": _run_sec7_invalid,
+    "experiment": _run_experiment,
+}
+
+
+# -- planning ------------------------------------------------------------------
+
+
+def build_plan(
+    wanted: Sequence[str], p: Preset, seed: int, warmup: bool = True
+) -> List[Unit]:
+    """Units (in a valid topological order) for the requested experiments.
+
+    ``warmup`` inserts explicit full-table units as prerequisites of the
+    table readers; pass False when units cannot share tables (parallel
+    execution without a store), where a warm-up would just be discarded
+    work in a throwaway process.
+    """
+    from repro.experiments.run_all import EXPERIMENTS
+
+    units: List[Unit] = []
+    warmed: Dict[str, Unit] = {}
+
+    def warm(kernel: str, device: str) -> Tuple[str, ...]:
+        if not warmup:
+            return ()
+        uid = f"warmup/{kernel}@{device}"
+        if uid not in warmed:
+            warmed[uid] = Unit(uid, "warmup", "warmup", (kernel, device))
+            units.append(warmed[uid])
+        return (uid,)
+
+    for exp_id in EXPERIMENTS:
+        if exp_id not in wanted:
+            continue
+        if exp_id == "fig01":
+            deps = sum((warm("convolution", d) for d in MAIN_DEVICES), ())
+            units.append(
+                Unit("fig01/matrix", exp_id, "fig01", (tuple(MAIN_DEVICES),), deps)
+            )
+        elif exp_id == "fig11-13":
+            for d in MAIN_DEVICES:
+                units.append(
+                    Unit(f"fig11-13/{d}", exp_id, "fig11-grid", (d,),
+                         warm("convolution", d))
+                )
+        elif exp_id == "fig14":
+            for b in fig14_large_spaces.BENCHMARKS:
+                for d in MAIN_DEVICES:
+                    units.append(Unit(f"fig14/{b}@{d}", exp_id, "fig14-cell", (b, d)))
+        elif exp_id == "fig04-06":
+            for d in MAIN_DEVICES:
+                for b in BENCHMARKS:
+                    units.append(
+                        Unit(f"fig04-06/{b}@{d}", exp_id, "fig04-06-curve", (d, b))
+                    )
+        elif exp_id == "fig07":
+            for d in fig07_nvidia_generations.NVIDIA_GENERATIONS:
+                units.append(Unit(f"fig07/{d}", exp_id, "fig07-curve", (d,)))
+        elif exp_id == "fig08-10":
+            for d in MAIN_DEVICES:
+                units.append(Unit(f"fig08-10/{d}", exp_id, "fig08-10-scatter", (d,)))
+        elif exp_id == "sec7":
+            for d in sec7_discussion.SENSITIVITY_DEVICES:
+                units.append(
+                    Unit(f"sec7/sensitivity@{d}", exp_id, "sec7-sensitivity", (d,))
+                )
+            for b in sec7_discussion.UNROLL_BENCHMARKS:
+                units.append(Unit(f"sec7/amd@{b}", exp_id, "sec7-amd", (b,)))
+            units.append(Unit("sec7/invalid", exp_id, "sec7-invalid", ()))
+        else:
+            units.append(Unit(f"{exp_id}", exp_id, "experiment", (exp_id,)))
+    return units
+
+
+# -- result merging ------------------------------------------------------------
+
+
+def merge_results(
+    exp_id: str, outcomes: Dict[str, UnitOutcome], p: Preset
+) -> object:
+    """Reassemble one experiment's ``run()`` dict from its unit results.
+
+    Pure bookkeeping over the uid-keyed outcome map — independent of unit
+    completion order, which is what makes parallel output bit-identical to
+    serial.
+    """
+    def part(uid: str):
+        return outcomes[uid].result
+
+    if exp_id == "fig01":
+        return part("fig01/matrix")
+    if exp_id == "fig11-13":
+        return {
+            "preset": p.name,
+            "devices": tuple(MAIN_DEVICES),
+            "grids": {d: part(f"fig11-13/{d}") for d in MAIN_DEVICES},
+        }
+    if exp_id == "fig14":
+        return {
+            "preset": p.name,
+            "devices": tuple(MAIN_DEVICES),
+            "benchmarks": fig14_large_spaces.BENCHMARKS,
+            "cells": {
+                (b, d): part(f"fig14/{b}@{d}")
+                for b in fig14_large_spaces.BENCHMARKS
+                for d in MAIN_DEVICES
+            },
+        }
+    if exp_id == "fig04-06":
+        return {
+            "preset": p.name,
+            "sizes": p.training_sizes,
+            "curves": {
+                (d, b): part(f"fig04-06/{b}@{d}")
+                for d in MAIN_DEVICES
+                for b in BENCHMARKS
+            },
+            "devices": tuple(MAIN_DEVICES),
+            "benchmarks": tuple(BENCHMARKS),
+        }
+    if exp_id == "fig07":
+        return {
+            "preset": p.name,
+            "sizes": p.training_sizes,
+            "curves": {
+                d: part(f"fig07/{d}")
+                for d in fig07_nvidia_generations.NVIDIA_GENERATIONS
+            },
+        }
+    if exp_id == "fig08-10":
+        return {
+            "devices": tuple(MAIN_DEVICES),
+            "scatter": {d: part(f"fig08-10/{d}") for d in MAIN_DEVICES},
+        }
+    if exp_id == "sec7":
+        return {
+            "amd_n_train": p.sec7_n_train,
+            "sensitivity": {
+                d: part(f"sec7/sensitivity@{d}")
+                for d in sec7_discussion.SENSITIVITY_DEVICES
+            },
+            "amd_errors": {
+                b: part(f"sec7/amd@{b}")
+                for b in sec7_discussion.UNROLL_BENCHMARKS
+            },
+            "invalid": part("sec7/invalid"),
+        }
+    return part(exp_id)
+
+
+# -- execution -----------------------------------------------------------------
+
+
+def _record_store_stats(tracer, stats: Dict[str, int]) -> None:
+    for key, value in stats.items():
+        if value:
+            tracer.count(f"oracle_store.{key}", value)
+
+
+def _run_unit_worker(args) -> tuple:
+    """Run one unit in a worker process; module-level so pools can pickle it.
+
+    Builds its own provider (store-backed when a store root is given) and,
+    when tracing, writes a private JSONL trace the parent merges afterwards
+    (a file sink cannot be shared across processes).  Store counters land
+    in the worker trace's closing counters record, which ``merge_file``
+    sums into the parent tracer — so fleet-wide hit/miss totals survive the
+    process boundary.
+    """
+    unit_tuple, preset, seed, store_root, trace_path = args
+    uid, exp_id, kind, payload = unit_tuple
+    provider = OracleProvider(OracleStore(store_root) if store_root else None)
+    if trace_path:
+        tracer = Tracer(
+            trace_path,
+            manifest=run_manifest(unit=uid, experiment=exp_id, seed=seed),
+        )
+    else:
+        tracer = NULL_TRACER
+    t0 = time.perf_counter()
+    try:
+        with tracer.span(f"unit:{uid}", kind=kind, experiment=exp_id):
+            result = UNIT_RUNNERS[kind](payload, preset, seed, provider)
+        provider.flush()
+    finally:
+        _record_store_stats(tracer, provider.stats_snapshot())
+        tracer.close()
+    return uid, result, time.perf_counter() - t0
+
+
+def execute_plan(
+    units: Sequence[Unit],
+    p: Preset,
+    seed: int,
+    jobs: Optional[int] = None,
+    store=None,
+    tracer=NULL_TRACER,
+    progress=None,
+) -> Dict[str, UnitOutcome]:
+    """Run every unit; returns uid -> :class:`UnitOutcome`.
+
+    ``jobs=None`` or ``<= 1`` runs inline against one shared provider
+    (deterministic debugging, zero multiprocessing overhead — the right
+    choice on single-core machines).  ``jobs >= 2`` fans out over a
+    process pool, submitting a unit as soon as its dependencies are done.
+    Either way the outcome map, and anything merged from it, is identical.
+    """
+    if store is not None and not isinstance(store, OracleStore):
+        store = OracleStore(store)
+    known = {u.uid for u in units}
+    for u in units:
+        missing = [d for d in u.deps if d not in known]
+        if missing:
+            raise ValueError(f"unit {u.uid} depends on unknown units {missing}")
+
+    def note(uid: str, wall: float) -> None:
+        tracer.count("runall.units")
+        if progress is not None:
+            print(f"[run_all] unit {uid}: done in {wall:.1f}s",
+                  file=progress, flush=True)
+
+    outcomes: Dict[str, UnitOutcome] = {}
+    if jobs is None or jobs <= 1:
+        provider = OracleProvider(store)
+        for u in units:  # build_plan order is topological
+            t0 = time.perf_counter()
+            with tracer.span(f"unit:{u.uid}", kind=u.kind, experiment=u.exp_id):
+                result = UNIT_RUNNERS[u.kind](u.payload, p, seed, provider)
+            # Persist partial tables eagerly so a crash loses one unit of
+            # work at most, and later processes start warm.
+            provider.flush()
+            wall = time.perf_counter() - t0
+            outcomes[u.uid] = UnitOutcome(u.uid, result, wall)
+            note(u.uid, wall)
+        _record_store_stats(tracer, provider.stats_snapshot())
+        return outcomes
+
+    tmpdir = Path(tempfile.mkdtemp(prefix="repro-runall-"))
+    trace_paths: Dict[str, str] = {}
+    try:
+        args_by_uid = {}
+        for u in units:
+            trace_path = (
+                str(tmpdir / f"{u.uid.replace('/', '_')}.trace.jsonl")
+                if tracer.enabled
+                else None
+            )
+            if trace_path:
+                trace_paths[u.uid] = trace_path
+            args_by_uid[u.uid] = (
+                (u.uid, u.exp_id, u.kind, u.payload),
+                p,
+                seed,
+                str(store.root) if store is not None else None,
+                trace_path,
+            )
+
+        pending: List[Unit] = list(units)
+        in_flight = {}
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            while pending or in_flight:
+                for u in list(pending):
+                    if all(d in outcomes for d in u.deps):
+                        pending.remove(u)
+                        fut = pool.submit(_run_unit_worker, args_by_uid[u.uid])
+                        in_flight[fut] = u
+                if not in_flight:
+                    stuck = [u.uid for u in pending]
+                    raise RuntimeError(f"unit plan deadlocked on {stuck}")
+                ready, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for fut in ready:
+                    in_flight.pop(fut)
+                    uid, result, wall = fut.result()
+                    outcomes[uid] = UnitOutcome(uid, result, wall)
+                    note(uid, wall)
+
+        # Merge worker traces in plan order (deterministic output).
+        for u in units:
+            path = trace_paths.get(u.uid)
+            if path and Path(path).exists():
+                tracer.merge_file(path, worker=u.uid)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return outcomes

@@ -17,60 +17,96 @@ them qualitative; this experiment measures each one:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.core.sensitivity import parameter_sensitivity, sensitivity_report
 from repro.experiments.fig04_06_model_error import error_curve
-from repro.experiments.oracle import TrueTimeOracle
+from repro.experiments.oracle_store import OracleProvider
+from repro.experiments.presets import get_preset
 from repro.experiments.reporting import header, pct, table
 from repro.kernels import ConvolutionKernel
 from repro.simulator.devices import DEVICES
-from repro.simulator.validity import validate
 
 MEMORY_PARAMS = ("use_image", "use_local")
 COMPUTE_PARAMS = ("wg_x", "wg_y", "ppt_x", "ppt_y")
 
+SENSITIVITY_DEVICES = ("intel", "nvidia", "amd")
+UNROLL_BENCHMARKS = ("convolution", "raycasting", "stereo")
 
-def memory_sensitivity_by_device(seed: int = 0, n_base: int = 120) -> Dict:
+
+def memory_sensitivity_for_device(
+    key: str, seed: int = 0, n_base: int = 120,
+    oracles: Optional[OracleProvider] = None,
+) -> Dict:
+    provider = oracles if oracles is not None else OracleProvider()
     spec = ConvolutionKernel()
-    out = {}
-    for key in ("intel", "nvidia", "amd"):
-        oracle = TrueTimeOracle(spec, DEVICES[key])
-        rng = np.random.default_rng(seed)
-        sens = parameter_sensitivity(oracle.times_for, spec.space, rng, n_base=n_base)
-        out[key] = sens
-    return out
+    oracle = provider.oracle(spec, DEVICES[key])
+    rng = np.random.default_rng(seed)
+    return parameter_sensitivity(oracle.times_for, spec.space, rng, n_base=n_base)
+
+
+def memory_sensitivity_by_device(
+    seed: int = 0, n_base: int = 120, oracles: Optional[OracleProvider] = None
+) -> Dict:
+    return {
+        key: memory_sensitivity_for_device(
+            key, seed=seed, n_base=n_base, oracles=oracles
+        )
+        for key in SENSITIVITY_DEVICES
+    }
 
 
 def amd_unroll_gap(seed: int = 0, n_train: int = 2000, holdout: int = 300) -> Dict:
     errors = {}
-    for benchmark in ("convolution", "raycasting", "stereo"):
-        c = error_curve(benchmark, "amd", (n_train,), holdout, repeats=1, seed=seed)
-        errors[benchmark] = c["errors"][n_train]
+    for benchmark in UNROLL_BENCHMARKS:
+        errors[benchmark] = amd_unroll_error(
+            benchmark, seed=seed, n_train=n_train, holdout=holdout
+        )
     return errors
 
 
-def invalid_fraction_by_device(seed: int = 0, n: int = 3000) -> Dict:
+def amd_unroll_error(
+    benchmark: str, seed: int = 0, n_train: int = 2000, holdout: int = 300
+) -> float:
+    c = error_curve(benchmark, "amd", (n_train,), holdout, repeats=1, seed=seed)
+    return c["errors"][n_train]
+
+
+def invalid_fraction_by_device(
+    seed: int = 0, n: int = 3000, oracles: Optional[OracleProvider] = None
+) -> Dict:
+    """Invalid fraction of one random sample, per device.
+
+    An invalid configuration is exactly a NaN true time, so the check
+    rides the oracle's vectorized (and, when store-backed, persistent)
+    ``times_for`` instead of a scalar ``validate`` loop.
+    """
+    provider = oracles if oracles is not None else OracleProvider()
     spec = ConvolutionKernel()
     rng = np.random.default_rng(seed)
     idx = spec.space.sample_indices(n, rng)
     out = {}
-    for key in ("intel", "nvidia", "amd"):
-        dev = DEVICES[key]
-        bad = sum(
-            1 for i in idx if not validate(spec.workload(spec.space[int(i)], dev), dev)
-        )
-        out[key] = bad / len(idx)
+    for key in SENSITIVITY_DEVICES:
+        oracle = provider.oracle(spec, DEVICES[key])
+        out[key] = float(np.isnan(oracle.times_for(idx)).mean())
     return out
 
 
-def run(preset=None, seed: int = 0) -> Dict:
+def run(preset=None, seed: int = 0, oracles: Optional[OracleProvider] = None) -> Dict:
+    p = get_preset(preset)
     return {
-        "sensitivity": memory_sensitivity_by_device(seed=seed),
-        "amd_errors": amd_unroll_gap(seed=seed),
-        "invalid": invalid_fraction_by_device(seed=seed),
+        "amd_n_train": p.sec7_n_train,
+        "sensitivity": memory_sensitivity_by_device(
+            seed=seed, n_base=p.sec7_n_base, oracles=oracles
+        ),
+        "amd_errors": amd_unroll_gap(
+            seed=seed, n_train=p.sec7_n_train, holdout=p.sec7_holdout
+        ),
+        "invalid": invalid_fraction_by_device(
+            seed=seed, n=p.sec7_invalid_n, oracles=oracles
+        ),
     }
 
 
@@ -101,7 +137,9 @@ def format_text(results: Dict) -> str:
     )
 
     lines.append("")
-    lines.append("(2) AMD model error by benchmark (N=2000):")
+    lines.append(
+        f"(2) AMD model error by benchmark (N={results.get('amd_n_train', 2000)}):"
+    )
     lines.append(
         table(
             [(b, pct(e)) for b, e in results["amd_errors"].items()],

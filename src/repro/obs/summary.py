@@ -148,6 +148,46 @@ def render_summary(path_or_records) -> str:
             f"total: {s.total_wall_s:.3f} s wall, "
             f"{s.total_cost_s:.2f} s simulated cost"
         )
+    unit_rows = [
+        agg for name, agg in s.spans.items() if name.startswith("unit:")
+    ]
+    if unit_rows:
+        blocks.append(
+            "per-unit breakdown (run_all scheduler)\n"
+            + table(
+                [
+                    (
+                        agg.name[len("unit:"):],
+                        agg.count,
+                        f"{agg.wall_s:.3f}",
+                        f"{agg.cost_s:.2f}",
+                    )
+                    for agg in sorted(unit_rows, key=lambda a: -a.wall_s)
+                ],
+                headers=("unit", "calls", "wall s", "cost s"),
+            )
+        )
+
+    exp_walls = {
+        key[len("runall."):-len(".wall_s")]: _as_float(value)
+        for key, value in s.gauges.items()
+        if key.startswith("runall.")
+        and key.endswith(".wall_s")
+        and key != "runall.total_wall_s"
+    }
+    if exp_walls:
+        rows = [
+            (exp, f"{wall:.3f}")
+            for exp, wall in sorted(exp_walls.items(), key=lambda kv: -kv[1])
+        ]
+        block = "per-experiment wall clock (run_all)\n" + table(
+            rows, headers=("experiment", "wall s")
+        )
+        total = s.gauges.get("runall.total_wall_s")
+        if total is not None:
+            block += f"\nrun_all total: {_as_float(total):.3f} s wall"
+        blocks.append(block)
+
     if s.counters:
         blocks.append(
             "counters\n"

@@ -217,20 +217,19 @@ class ParameterSpace:
             return rng.integers(0, self._size, size=n)
         if self._size <= 4 * n or self._size <= 1 << 16:
             return rng.permutation(self._size)[:n]
-        seen: set = set()
-        out = np.empty(n, dtype=np.int64)
-        filled = 0
-        while filled < n:
-            batch = rng.integers(0, self._size, size=n - filled)
-            for idx in batch:
-                idx = int(idx)
-                if idx not in seen:
-                    seen.add(idx)
-                    out[filled] = idx
-                    filled += 1
-                    if filled == n:
-                        break
-        return out
+        # Batched rejection: draw the shortfall each round and keep first
+        # occurrences in draw order (np.unique's return_index, re-sorted),
+        # which is exactly the acceptance rule of a sequential rejection
+        # loop — uniform without replacement — minus the per-element
+        # Python set churn.  With size > 4n a round keeps >= 3/4 of its
+        # draws in expectation, so a couple of rounds suffice.
+        out = np.empty(0, dtype=np.int64)
+        while out.shape[0] < n:
+            draw = rng.integers(0, self._size, size=n - out.shape[0])
+            merged = np.concatenate([out, draw])
+            _, first = np.unique(merged, return_index=True)
+            out = merged[np.sort(first)]
+        return out[:n]
 
     def sample(
         self, n: int, rng: np.random.Generator, replace: bool = False

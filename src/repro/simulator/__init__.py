@@ -25,6 +25,13 @@ hash, :mod:`.hashing`) makes the target function hard-but-learnable, giving
 the ANN a realistic error floor.
 """
 
+#: Version stamp of the timing model.  Bump whenever a change to the
+#: simulator alters the ``configuration -> (time | invalid)`` mapping for
+#: any device: persisted ground-truth tables (the experiments' oracle
+#: store) are keyed on it and recomputed on mismatch instead of serving
+#: stale times.
+SIMULATOR_VERSION = 1
+
 from repro.simulator.device import DeviceSpec
 from repro.simulator.devices import (
     AMD_HD7970,
@@ -51,6 +58,7 @@ from repro.simulator.validity import (
 from repro.simulator.workload import WorkloadBatch, WorkloadProfile
 
 __all__ = [
+    "SIMULATOR_VERSION",
     "DeviceSpec",
     "DEVICES",
     "INTEL_I7_3770",

@@ -65,6 +65,58 @@ class TestOracle:
         xs = np.array([oracle.measure([123], rng, repeats=1)[0] for _ in range(300)])
         assert np.abs(np.log(xs / true).mean()) < 0.02
 
+    def test_measure_noise_is_keyed_not_positional(self, oracle):
+        # Permuting the request permutes the results: noise must depend on
+        # the configuration index, not on its position in the call.
+        idx = np.array([5, 10, 123, 200, 321], dtype=np.int64)
+        perm = np.array([3, 0, 4, 1, 2])
+        r1 = oracle.measure(idx, np.random.default_rng(7))
+        r2 = oracle.measure(idx[perm], np.random.default_rng(7))
+        np.testing.assert_array_equal(r1[perm], r2)
+
+    def test_measure_duplicates_identical_within_call(self, oracle):
+        r = oracle.measure([123, 5, 123], np.random.default_rng(3))
+        assert r[0] == r[2]
+
+    def test_measure_successive_calls_independent(self, oracle):
+        rng = np.random.default_rng(11)
+        idx = [5, 10, 123]
+        a = oracle.measure(idx, rng)
+        b = oracle.measure(idx, rng)
+        assert not np.array_equal(a, b)
+
+    def test_measure_consumes_one_rng_draw_per_call(self, oracle):
+        # The call key is the only rng consumption, regardless of batch size.
+        rng1 = np.random.default_rng(9)
+        rng2 = np.random.default_rng(9)
+        oracle.measure(np.arange(100), rng1)
+        oracle.measure([0], rng2)
+        assert rng1.integers(1 << 62) == rng2.integers(1 << 62)
+
+    def test_keyed_normals_look_standard(self):
+        from repro.experiments.oracle import keyed_standard_normal
+
+        z = keyed_standard_normal(42, np.arange(100_000), repeats=2)
+        assert abs(float(z.mean())) < 0.02
+        assert abs(float(z.std()) - 1.0) < 0.02
+
+    def test_times_for_caches_vectorized(self, monkeypatch):
+        oracle = TrueTimeOracle(ConvolutionKernel(), NVIDIA_K40)
+        calls = []
+        real = TrueTimeOracle._compute_batch
+
+        def counting(self, indices):
+            calls.append(np.asarray(indices).copy())
+            return real(self, indices)
+
+        monkeypatch.setattr(TrueTimeOracle, "_compute_batch", counting)
+        idx = np.array([4, 9, 4, 77], dtype=np.int64)
+        first = oracle.times_for(idx)
+        assert calls[0].tolist() == [4, 9, 77]  # deduplicated before compute
+        second = oracle.times_for(idx)
+        assert len(calls) == 1  # fully served from the mask/value cache
+        np.testing.assert_array_equal(first, second)
+
 
 class TestPresets:
     def test_full_matches_paper_grids(self):

@@ -1,0 +1,267 @@
+"""Tests for the persistent oracle store: atomicity, validation, and the
+oracle/provider integration (compute-once, recover-from-corruption)."""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.experiments.oracle import TrueTimeOracle
+from repro.experiments.oracle_store import (
+    OracleKey,
+    OracleProvider,
+    OracleStore,
+    OracleStoreError,
+    _atomic_write_bytes,
+)
+from repro.kernels.convolution import ConvolutionKernel
+from repro.simulator import SIMULATOR_VERSION, NVIDIA_K40
+
+
+def synthetic_key(space_size=1000):
+    return OracleKey("convolution", "dev A", "problem(512)", space_size)
+
+
+def _fake_compute_batch(self, indices):
+    """Cheap deterministic stand-in for the simulator sweep."""
+    return np.asarray(indices, dtype=np.float64) + 1.0
+
+
+@pytest.fixture
+def store(tmp_path):
+    return OracleStore(tmp_path / "store")
+
+
+class TestAtomicWrite:
+    def test_failed_write_leaves_nothing(self, tmp_path):
+        target = tmp_path / "out.bin"
+
+        def boom(fh):
+            fh.write(b"partial")
+            raise RuntimeError("disk on fire")
+
+        with pytest.raises(RuntimeError):
+            _atomic_write_bytes(target, boom)
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_replace_is_complete(self, tmp_path):
+        target = tmp_path / "out.bin"
+        _atomic_write_bytes(target, lambda fh: fh.write(b"first"))
+        _atomic_write_bytes(target, lambda fh: fh.write(b"second"))
+        assert target.read_bytes() == b"second"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]
+
+
+class TestFullTables:
+    def test_round_trip_is_mmap_and_bit_equal(self, store):
+        key = synthetic_key()
+        times = np.linspace(0.0, 1.0, key.space_size)
+        times[7] = np.nan
+        store.save_full(key, times)
+        loaded = store.load_full(key)
+        assert isinstance(loaded, np.memmap)
+        assert not loaded.flags.writeable
+        np.testing.assert_array_equal(np.asarray(loaded), times)
+        assert store.stats["full_saved"] == 1
+        assert store.stats["full_hit"] == 1
+
+    def test_absent_is_a_counted_miss(self, store):
+        assert store.load_full(synthetic_key()) is None
+        assert store.stats["full_miss"] == 1
+        # Opportunistic probes are free.
+        assert store.load_full(synthetic_key(), count_miss=False) is None
+        assert store.stats["full_miss"] == 1
+
+    def test_truncated_archive_raises_naming_file(self, store):
+        key = synthetic_key()
+        store.save_full(key, np.zeros(key.space_size))
+        path = store.full_path(key)
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(OracleStoreError, match=str(path)):
+            store.load_full(key)
+
+    def test_unreadable_sidecar_raises_naming_file(self, store):
+        key = synthetic_key()
+        store.save_full(key, np.zeros(key.space_size))
+        store.meta_path(key).write_text("{not json")
+        with pytest.raises(OracleStoreError, match=str(store.meta_path(key))):
+            store.load_full(key)
+
+    def test_foreign_archive_raises_naming_file(self, store):
+        key = synthetic_key()
+        store.save_full(key, np.zeros(key.space_size))
+        foreign = synthetic_key(space_size=2000)  # same slug, other identity
+        with pytest.raises(OracleStoreError, match=str(store.full_path(key))):
+            store.load_full(foreign)
+
+    def test_wrong_shape_raises(self, store):
+        key = synthetic_key()
+        store.save_full(key, np.zeros(key.space_size))
+        meta = json.loads(store.meta_path(key).read_text())
+        np.save(store.full_path(key), np.zeros(key.space_size + 5))
+        store.meta_path(key).write_text(json.dumps(meta))
+        with pytest.raises(OracleStoreError, match="shape"):
+            store.load_full(key)
+
+    def test_stale_version_is_a_silent_miss(self, store):
+        key = synthetic_key()
+        store.save_full(key, np.zeros(key.space_size))
+        meta = json.loads(store.meta_path(key).read_text())
+        assert meta["simulator_version"] == SIMULATOR_VERSION
+        meta["simulator_version"] = SIMULATOR_VERSION + 999
+        store.meta_path(key).write_text(json.dumps(meta))
+        assert store.load_full(key) is None
+        assert store.stats["full_stale"] == 1
+        # Recompute-and-save makes it loadable again.
+        store.save_full(key, np.ones(key.space_size))
+        assert float(store.load_full(key)[0]) == 1.0
+
+
+class TestPartialTables:
+    def test_round_trip(self, store):
+        key = synthetic_key()
+        idx = np.array([3, 7, 11], dtype=np.int64)
+        store.save_partial(key, idx, idx * 2.0)
+        got_idx, got_t = store.load_partial(key)
+        np.testing.assert_array_equal(got_idx, idx)
+        np.testing.assert_array_equal(got_t, idx * 2.0)
+
+    def test_merge_new_entries_win(self, store):
+        key = synthetic_key()
+        store.save_partial(key, np.array([1, 2]), np.array([10.0, 20.0]))
+        store.save_partial(key, np.array([2, 3]), np.array([99.0, 30.0]))
+        idx, t = store.load_partial(key)
+        assert idx.tolist() == [1, 2, 3]
+        assert t.tolist() == [10.0, 99.0, 30.0]
+
+    def test_corrupt_archive_raises_then_is_overwritten(self, store):
+        key = synthetic_key()
+        store.partial_path(key).parent.mkdir(parents=True, exist_ok=True)
+        store.partial_path(key).write_bytes(b"not an npz archive")
+        with pytest.raises(OracleStoreError, match=str(store.partial_path(key))):
+            store.load_partial(key)
+        store.save_partial(key, np.array([5]), np.array([50.0]))
+        idx, t = store.load_partial(key)
+        assert idx.tolist() == [5] and t.tolist() == [50.0]
+
+    def test_out_of_range_indices_rejected(self, store):
+        key = synthetic_key()
+        meta_blob = json.dumps(key.meta())
+        store.partial_path(key).parent.mkdir(parents=True, exist_ok=True)
+        with open(store.partial_path(key), "wb") as fh:
+            np.savez(
+                fh,
+                meta=meta_blob,
+                indices=np.array([key.space_size], dtype=np.int64),
+                times=np.array([1.0]),
+            )
+        with pytest.raises(OracleStoreError, match="outside"):
+            store.load_partial(key)
+
+
+def _partial_writer(args):
+    """Worker for the concurrent-writer test (module-level: pools pickle it).
+
+    Mirrors real oracle flushes: each save persists the writer's whole
+    cumulative set, so whichever writer replaces last lands its full view.
+    """
+    root, start = args
+    store = OracleStore(root)
+    key = synthetic_key()
+    for i in range(5):
+        idx = np.arange(start, start + (i + 1) * 10, dtype=np.int64)
+        store.save_partial(key, idx, idx.astype(np.float64))
+    return start
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_land_safely(self, store):
+        starts = [0, 500]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            assert sorted(pool.map(_partial_writer, [(str(store.root), s) for s in starts])) == starts
+        idx, times = store.load_partial(synthetic_key())
+        got = set(idx.tolist())
+        writer_sets = [set(range(s, s + 50)) for s in starts]
+        # The final archive is one writer's merged view: always loadable,
+        # a subset of the union, and a superset of at least one writer.
+        assert got <= writer_sets[0] | writer_sets[1]
+        assert any(w <= got for w in writer_sets)
+        np.testing.assert_array_equal(times, idx.astype(np.float64))
+
+
+class TestOracleIntegration:
+    @pytest.fixture(autouse=True)
+    def cheap_compute(self, monkeypatch):
+        monkeypatch.setattr(TrueTimeOracle, "_compute_batch", _fake_compute_batch)
+
+    def test_full_table_computed_once_per_store(self, store):
+        spec, dev = ConvolutionKernel(), NVIDIA_K40
+        first = TrueTimeOracle(spec, dev, store=store)
+        t1 = first.full_table()
+        assert store.stats["full_miss"] == 1 and store.stats["full_saved"] == 1
+        second = TrueTimeOracle(spec, dev, store=store)
+        t2 = second.full_table()
+        assert store.stats["full_hit"] == 1 and store.stats["full_saved"] == 1
+        np.testing.assert_array_equal(np.asarray(t1), np.asarray(t2))
+
+    def test_oracle_recovers_from_truncated_archive(self, store, capsys):
+        spec, dev = ConvolutionKernel(), NVIDIA_K40
+        TrueTimeOracle(spec, dev, store=store).full_table()
+        key = OracleKey.for_pair(spec, dev)
+        path = store.full_path(key)
+        path.write_bytes(path.read_bytes()[:40])
+        fresh = TrueTimeOracle(spec, dev, store=store)
+        table = fresh.full_table()  # warns, recomputes, re-saves
+        assert table.shape == (spec.space.size,)
+        assert str(path) in capsys.readouterr().err
+        assert store.stats["full_saved"] == 2
+
+    def test_partial_entries_persist_across_oracles(self, store):
+        spec, dev = ConvolutionKernel(), NVIDIA_K40
+        first = TrueTimeOracle(spec, dev, store=store)
+        idx = np.array([10, 20, 30], dtype=np.int64)
+        want = first.times_for(idx)
+        assert first.save_partial() == 3
+
+        calls = []
+
+        def counting(self, indices):
+            calls.append(np.asarray(indices))
+            return _fake_compute_batch(self, indices)
+
+        second = TrueTimeOracle(spec, dev, store=store)
+        second._compute_batch = counting.__get__(second)
+        np.testing.assert_array_equal(second.times_for(idx), want)
+        assert calls == []  # served entirely from the persisted partial
+
+    def test_times_for_adopts_persisted_full_table(self, store):
+        spec, dev = ConvolutionKernel(), NVIDIA_K40
+        TrueTimeOracle(spec, dev, store=store).full_table()
+        fresh = TrueTimeOracle(spec, dev, store=store)
+        times = fresh.times_for(np.array([0, 1, 2], dtype=np.int64))
+        np.testing.assert_array_equal(times, [1.0, 2.0, 3.0])
+        assert fresh._full is not None  # mmap adopted, no partial allocated
+        assert fresh._times is None
+
+
+class TestProvider:
+    def test_caches_equivalent_specs(self):
+        provider = OracleProvider()
+        a = provider.oracle(ConvolutionKernel(), NVIDIA_K40)
+        b = provider.oracle(ConvolutionKernel(), NVIDIA_K40)
+        assert a is b
+
+    def test_coerces_path_to_store(self, tmp_path):
+        provider = OracleProvider(tmp_path / "store")
+        assert isinstance(provider.store, OracleStore)
+
+    def test_flush_persists_partials(self, store, monkeypatch):
+        monkeypatch.setattr(TrueTimeOracle, "_compute_batch", _fake_compute_batch)
+        provider = OracleProvider(store)
+        oracle = provider.oracle(ConvolutionKernel(), NVIDIA_K40)
+        oracle.times_for(np.array([1, 2], dtype=np.int64))
+        provider.flush()
+        assert store.stats["partial_entries_saved"] == 2
+        assert provider.stats_snapshot()["partial_entries_saved"] == 2

@@ -134,6 +134,36 @@ class TestSampling:
         assert len(set(int(i) for i in idx)) == 5000
         assert idx.max() < space.size
 
+    def test_rejection_path_deterministic(self):
+        from repro.kernels import StereoKernel
+
+        space = StereoKernel().space
+        a = space.sample_indices(5000, np.random.default_rng(3))
+        b = space.sample_indices(5000, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+        assert a.dtype == np.int64
+
+    def test_rejection_path_with_collisions(self):
+        # n large enough (vs 2.36M stereo configs) that the top-up loop
+        # re-draws after collisions; the result must still be exactly n
+        # unique in-range indices.
+        from repro.kernels import StereoKernel
+
+        space = StereoKernel().space
+        idx = space.sample_indices(400_000, np.random.default_rng(5))
+        assert idx.shape == (400_000,)
+        assert np.unique(idx).size == idx.size
+        assert idx.min() >= 0 and idx.max() < space.size
+
+    def test_rejection_path_roughly_uniform(self):
+        from repro.kernels import StereoKernel
+
+        space = StereoKernel().space
+        idx = space.sample_indices(50_000, np.random.default_rng(8))
+        deciles = np.histogram(idx, bins=10, range=(0, space.size))[0]
+        assert deciles.min() > 0.85 * idx.size / 10
+        assert deciles.max() < 1.15 * idx.size / 10
+
     def test_sample_returns_configurations(self, small_space):
         configs = small_space.sample(5, np.random.default_rng(0))
         assert all(isinstance(c, Configuration) for c in configs)

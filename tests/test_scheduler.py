@@ -1,0 +1,114 @@
+"""Tests for the experiment scheduler: plan structure, serial/parallel
+equivalence, and the compute-once oracle-store contract."""
+
+import pytest
+
+from repro.experiments.oracle_store import OracleStore
+from repro.experiments.presets import Preset
+from repro.experiments.run_all import EXPERIMENTS, run_all
+from repro.experiments.scheduler import (
+    Unit,
+    build_plan,
+    execute_plan,
+    merge_results,
+)
+
+#: Tiny but axis-complete preset so scheduler tests stay in seconds.
+MICRO = Preset(
+    name="micro",
+    training_sizes=(100,),
+    holdout=80,
+    repeats=1,
+    tuner_sizes=(100,),
+    tuner_m=(10,),
+    fig14_train=200,
+    fig14_m=30,
+    fig14_random_budget=500,
+    sec7_n_train=150,
+    sec7_holdout=100,
+    sec7_n_base=40,
+    sec7_invalid_n=800,
+)
+
+
+class TestBuildPlan:
+    def test_full_plan_is_well_formed(self):
+        units = build_plan(list(EXPERIMENTS), MICRO, 0)
+        uids = [u.uid for u in units]
+        assert len(uids) == len(set(uids)), "unit ids must be unique"
+        seen = set()
+        for u in units:
+            assert set(u.deps) <= seen, f"{u.uid} depends on later units"
+            seen.add(u.uid)
+        # Every registered experiment contributes at least one unit.
+        assert {u.exp_id for u in units} >= set(EXPERIMENTS)
+
+    def test_fig01_waits_for_all_three_warmups(self):
+        units = build_plan(["fig01"], MICRO, 0)
+        fig01 = next(u for u in units if u.exp_id == "fig01")
+        assert len(fig01.deps) == 3
+        assert all(d.startswith("warmup/convolution@") for d in fig01.deps)
+
+    def test_warmups_shared_across_experiments(self):
+        units = build_plan(["fig01", "fig11-13"], MICRO, 0)
+        warmups = [u for u in units if u.kind == "warmup"]
+        assert len(warmups) == 3  # one per device, not per experiment
+
+    def test_no_warmups_when_disabled(self):
+        units = build_plan(["fig01", "fig11-13"], MICRO, 0, warmup=False)
+        assert all(u.kind != "warmup" for u in units)
+        assert all(u.deps == () for u in units)
+
+    def test_per_device_decomposition(self):
+        units = build_plan(["fig11-13", "sec7"], MICRO, 0, warmup=False)
+        assert sum(u.exp_id == "fig11-13" for u in units) == 3
+        sec7 = [u.uid for u in units if u.exp_id == "sec7"]
+        assert "sec7/invalid" in sec7 and len(sec7) == 7
+
+
+class TestExecutePlan:
+    def test_unknown_dependency_rejected(self):
+        bad = [Unit("a", "tables", "experiment", ("tables",), deps=("ghost",))]
+        with pytest.raises(ValueError, match="ghost"):
+            execute_plan(bad, MICRO, 0)
+
+    def test_serial_matches_direct_run(self):
+        from repro.experiments import sec7_discussion
+
+        units = build_plan(["sec7"], MICRO, 0)
+        outcomes = execute_plan(units, MICRO, 0)
+        merged = merge_results("sec7", outcomes, MICRO)
+        direct = sec7_discussion.run(preset=MICRO, seed=0)
+        assert sec7_discussion.format_text(merged) == sec7_discussion.format_text(direct)
+
+    def test_parallel_matches_serial(self):
+        serial = run_all(preset=MICRO, only=["tables", "fig02"], stream=None)
+        parallel = run_all(
+            preset=MICRO, only=["tables", "fig02"], stream=None, jobs=2
+        )
+        assert serial == parallel
+
+
+@pytest.mark.slow
+class TestStoreContract:
+    def test_full_tables_computed_exactly_once(self, tmp_path):
+        from repro.experiments import fig01_motivation
+
+        units = build_plan(["fig01"], MICRO, 0)
+        cold = OracleStore(tmp_path / "store")
+        out1 = execute_plan(units, MICRO, 0, store=cold)
+        assert cold.stats["full_miss"] == 3
+        assert cold.stats["full_saved"] == 3
+
+        warm = OracleStore(tmp_path / "store")
+        out2 = execute_plan(units, MICRO, 0, store=warm)
+        assert warm.stats["full_miss"] == 0
+        assert warm.stats["full_saved"] == 0
+        assert warm.stats["full_hit"] >= 3
+
+        r1 = merge_results("fig01", out1, MICRO)
+        r2 = merge_results("fig01", out2, MICRO)
+        assert fig01_motivation.format_text(r1) == fig01_motivation.format_text(r2)
+        for d in r1["devices"]:
+            assert r1["best"][d] == r2["best"][d]
+            assert r1["matrix"][d] == r2["matrix"][d]
