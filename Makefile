@@ -2,19 +2,23 @@
 #
 #   make test        - the full tier-1 suite (tests/)
 #   make test-fast   - tier-1 minus the multi-second 'slow' tests
+#   make test-fault  - fault-injection / resilience tests only
 #   make bench       - the benchmark suite (figures, ablations, perf gates)
 #   make experiments - regenerate EXPERIMENTS.md with a warm oracle store
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench experiments
+.PHONY: test test-fast test-fault bench experiments
 
 test:
 	$(PYTHON) -m pytest tests/
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+test-fault:
+	$(PYTHON) -m pytest tests/ -m fault
 
 bench:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest .

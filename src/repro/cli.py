@@ -26,6 +26,7 @@ from repro.core.iterative import IterativeSettings, IterativeTuner
 from repro.core.measure import Measurer
 from repro.kernels import BENCHMARKS, get_benchmark
 from repro.simulator.devices import DEVICES, get_device
+from repro.simulator.faults import FAULT_PROFILES, get_fault_profile
 
 
 def _parse_config(text: str, space) -> dict:
@@ -98,11 +99,13 @@ def cmd_tune(args) -> int:
                 settings=asdict(settings),
                 seed=args.seed,
                 iterative=bool(args.iterative),
+                faults=args.faults,
             ),
         )
     else:
         tracer = NULL_TRACER
-    ctx = Context(device, seed=args.seed, tracer=tracer)
+    faults = get_fault_profile(args.faults) if args.faults else None
+    ctx = Context(device, seed=args.seed, tracer=tracer, faults=faults)
     db = MeasurementDB(Path(args.db)) if args.db else None
     measurer = Measurer(ctx, spec, db=db) if db is not None else None
 
@@ -121,7 +124,7 @@ def cmd_tune(args) -> int:
         print(f"trace written to {args.trace}")
 
     if result.failed:
-        print("tuning FAILED: every stage-two candidate was invalid "
+        print("tuning FAILED: not a single valid measurement "
               "(the paper's §7 failure mode); raise -n / -m or use --iterative")
         return 1
     best = spec.space[result.best_index]
@@ -131,6 +134,13 @@ def cmd_tune(args) -> int:
     print(f"measured time     : {result.best_time_s * 1e3:.3f} ms")
     print(f"evaluated         : {result.evaluated_fraction:.2%} of the space")
     print(f"simulated cost    : {result.total_cost_s / 60:.1f} min")
+    if result.degraded:
+        print(f"degraded          : yes ({result.degraded_reason})")
+    if result.failure_breakdown:
+        parts = ", ".join(
+            f"{k}={v}" for k, v in result.failure_breakdown.items()
+        )
+        print(f"failure breakdown : {parts}")
     print("engine stats")
     print(engine_stats_block(tuner.measurer.stats, ctx.ledger))
     return 0
@@ -151,6 +161,7 @@ def cmd_campaign(args) -> int:
         get_device(d)  # fail fast on typos before forking workers
     db = MeasurementDB(Path(args.db)) if args.db else None
     settings = TunerSettings(n_train=args.n_train, m_candidates=args.m_candidates)
+    faults = get_fault_profile(args.faults) if args.faults else None
     tracer = None
     if args.trace:
         tracer = Tracer(
@@ -161,6 +172,7 @@ def cmd_campaign(args) -> int:
                 devices=devices,
                 settings=asdict(settings),
                 seed=args.seed,
+                faults=args.faults,
             ),
         )
     try:
@@ -172,6 +184,7 @@ def cmd_campaign(args) -> int:
             max_workers=args.workers,
             seed=args.seed,
             tracer=tracer,
+            faults=faults,
         )
     finally:
         if tracer is not None:
@@ -341,6 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--trace", default=None,
                       help="write a JSONL pipeline trace to this path "
                            "(inspect with 'repro trace-summary')")
+    tune.add_argument("--faults", default=None,
+                      help="fault-injection profile, e.g. "
+                           f"{', '.join(sorted(FAULT_PROFILES))}; "
+                           "fields can be overridden as "
+                           "'flaky-gpu:p_hang=0.02,hang_duration_s=4'")
     tune.set_defaults(fn=cmd_tune)
 
     camp = sub.add_parser(
@@ -359,6 +377,9 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--trace", default=None,
                       help="write a merged per-worker JSONL trace to this "
                            "path (inspect with 'repro trace-summary')")
+    camp.add_argument("--faults", default=None,
+                      help="fault-injection profile applied to every cell "
+                           f"({', '.join(sorted(FAULT_PROFILES))})")
     camp.add_argument("--seed", type=int, default=0)
     camp.set_defaults(fn=cmd_campaign)
 

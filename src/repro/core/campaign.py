@@ -69,12 +69,13 @@ class CampaignResult:
         lines = [f"portability campaign: {self.kernel}"]
         for device, r in self.results.items():
             if r.failed:
-                lines.append(f"  {device}: tuning FAILED (all stage-2 invalid)")
+                lines.append(f"  {device}: tuning FAILED (no valid measurement)")
             else:
+                note = f" [degraded: {r.degraded_reason}]" if r.degraded else ""
                 lines.append(
                     f"  {device}: {r.best_time_s * 1e3:.3f} ms "
                     f"({r.evaluated_fraction:.2%} of space measured, "
-                    f"{r.total_cost_s / 60:.0f} min simulated cost)"
+                    f"{r.total_cost_s / 60:.0f} min simulated cost){note}"
                 )
         lines.append("")
         devices = list(self.results)
@@ -105,6 +106,10 @@ class PortabilityCampaign:
     db:
         Optional measurement store; every measurement of the campaign is
         recorded under (kernel, device).
+    faults:
+        Optional :class:`~repro.simulator.faults.FaultProfile` (or profile
+        name) applied to every device's runtime — the campaign then
+        exercises the resilient measurement path on all of them.
     """
 
     def __init__(
@@ -113,6 +118,7 @@ class PortabilityCampaign:
         devices: Sequence[str],
         settings: Optional[TunerSettings] = None,
         db: Optional[MeasurementDB] = None,
+        faults=None,
     ):
         if not devices:
             raise ValueError("need at least one device")
@@ -124,13 +130,14 @@ class PortabilityCampaign:
             else TunerSettings(n_train=800, m_candidates=80)
         )
         self.db = db
+        self.faults = faults
 
     def run(self, seed: int = 0) -> CampaignResult:
         results: Dict[str, TuningResult] = {}
         measurers: Dict[str, Measurer] = {}
         for key in self.devices:
             device = get_device(key)
-            ctx = Context(device, seed=seed)
+            ctx = Context(device, seed=seed, faults=self.faults)
             # The measurer writes straight through to the campaign DB, so
             # every stage-one/stage-two measurement is durable and a
             # re-run against the same DB serves them back without cost.
@@ -208,6 +215,8 @@ class GridReport:
                 if r.failed
                 else f"{r.best_time_s * 1e3:.3f} ms"
             )
+            if r.degraded:
+                outcome += f" [degraded: {r.degraded_reason}]"
             lines.append(
                 f"  {cell.kernel} @ {cell.device}: {outcome}  "
                 f"[{cell.stats.n_requested} measurements, "
@@ -224,6 +233,11 @@ class GridReport:
             f"{total.configs_per_sec:,.0f} configs/s, "
             f"{self.total_cost_s / 60:.0f} min simulated cost"
         )
+        if total.n_faults:
+            parts = ", ".join(
+                f"{k} {v}" for k, v in total.failure_breakdown().items()
+            )
+            lines.append(f"  faults survived: {parts}")
         return "\n".join(lines)
 
 
@@ -236,7 +250,7 @@ def _run_grid_cell(payload) -> tuple:
     writes its own JSONL trace there (processes cannot share a sink); the
     parent merges the per-worker files afterwards.
     """
-    spec, device_key, settings, seed, shard_path, trace_path = payload
+    spec, device_key, settings, seed, shard_path, trace_path, faults = payload
     device = get_device(device_key)
     shard = MeasurementDB(Path(shard_path)) if shard_path else MeasurementDB()
     if trace_path:
@@ -251,7 +265,7 @@ def _run_grid_cell(payload) -> tuple:
         )
     else:
         tracer = NULL_TRACER
-    ctx = Context(device, seed=seed, tracer=tracer)
+    ctx = Context(device, seed=seed, tracer=tracer, faults=faults)
     measurer = Measurer(ctx, spec, repeats=settings.repeats, db=shard)
     tuner = MLAutoTuner(ctx, spec, settings, measurer=measurer)
     try:
@@ -271,6 +285,7 @@ def run_campaign_grid(
     max_workers: Optional[int] = None,
     seed: int = 0,
     tracer=None,
+    faults=None,
 ) -> GridReport:
     """Tune every kernel on every device, cells in parallel processes.
 
@@ -288,6 +303,11 @@ def run_campaign_grid(
     trace shard (a file sink cannot be shared across processes) and the
     shards are merged into ``tracer`` afterwards, each record tagged with
     its ``worker="kernel@device"`` cell.
+
+    ``faults`` (a :class:`~repro.simulator.faults.FaultProfile` or profile
+    name — picklable, so it crosses the process boundary) arms every
+    worker's runtime with the same fault injector; cells then tune through
+    the resilient path and their stats carry the fault counters.
     """
     specs = list(specs)
     devices = list(devices)
@@ -316,7 +336,7 @@ def run_campaign_grid(
                 else None
             )
             payloads.append(
-                (spec, key, settings, seed, str(shard_path), trace_path)
+                (spec, key, settings, seed, str(shard_path), trace_path, faults)
             )
 
         with tracer.span("campaign.grid", cells=len(cells)):

@@ -97,6 +97,8 @@ class IterativeTuner:
         # Per-run cost: the ledger is cumulative across the context's
         # lifetime, so report the delta (same contract as MLAutoTuner).
         cost0 = self.context.ledger.total_s
+        stats0 = self.measurer.stats
+        self.measurer.stats = type(stats0)()
 
         with tracer.span(
             "tune.iterative", kernel=self.spec.name, device=self.context.device.name
@@ -140,19 +142,34 @@ class IterativeTuner:
                     self.history.append(self.measurer.measure_batch(batch))
 
         final = self._all_measurements()
+        degraded, reason = False, ""
         if final.n_valid == 0:
             best_index, best_time = -1, float("nan")
+            degraded, reason = True, "no_valid_measurements"
         else:
             best_index, best_time = final.best()
-        measured = final.n_valid + final.n_invalid
+        run_stats = self.measurer.stats
+        self.measurer.stats = stats0.merge(run_stats)
+        breakdown = run_stats.failure_breakdown()
+        if degraded:
+            tracer.count("tuner.degraded")
+            tracer.event("tuner.degraded", reason=reason)
+        measured = final.n_valid + final.n_invalid + final.n_quarantined
         return TuningResult(
             kernel=self.spec.name,
             device=self.context.device.name,
             best_index=best_index,
             best_time_s=best_time,
             n_trained=final.n_valid,
-            n_stage2=measured - (self.history[0].n_valid + self.history[0].n_invalid),
+            n_stage2=measured - (
+                self.history[0].n_valid
+                + self.history[0].n_invalid
+                + self.history[0].n_quarantined
+            ),
             stage2_invalid=sum(ms.n_invalid for ms in self.history[1:]),
             evaluated_fraction=measured / space.size,
             total_cost_s=self.context.ledger.total_s - cost0,
+            degraded=degraded,
+            degraded_reason=reason,
+            failure_breakdown=breakdown,
         )

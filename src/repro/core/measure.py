@@ -24,17 +24,29 @@ Two layers sit on top of the single-config path:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.results import MeasurementDB
 from repro.kernels.base import KernelSpec
-from repro.runtime import BuildError, Context, LaunchError, Program
+from repro.runtime import (
+    BuildError,
+    Context,
+    DeviceResetError,
+    LaunchError,
+    Program,
+    TimeoutError,
+    TransientError,
+)
 from repro.simulator.executor import execute_batch
 from repro.simulator.noise import FAILED_BUILD_COST_S, FAILED_LAUNCH_COST_S
-from repro.simulator.validity import STAGE_BUILD_CODE, STAGE_OK_CODE
+from repro.simulator.validity import STAGE_BUILD_CODE, STAGE_OK_CODE, validate
+
+
+def _empty_idx() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
 
 
 @dataclass
@@ -42,12 +54,18 @@ class MeasurementSet:
     """Outcome of measuring a batch of configurations.
 
     ``indices``/``times_s`` hold the *valid* measurements (aligned);
-    ``invalid_indices`` the configurations that failed to build or launch.
+    ``invalid_indices`` the configurations that failed to build or launch
+    *deterministically* (resource limits — re-running cannot help);
+    ``quarantined_indices`` the configurations given up on after repeated
+    transient failures or hangs (no measurement, but not provably invalid
+    — they are missing data, reported separately so the invalid-fraction
+    statistics of §5.2 stay about the configuration space, not the rig).
     """
 
     indices: np.ndarray
     times_s: np.ndarray
     invalid_indices: np.ndarray
+    quarantined_indices: np.ndarray = field(default_factory=_empty_idx)
 
     @property
     def n_valid(self) -> int:
@@ -56,6 +74,10 @@ class MeasurementSet:
     @property
     def n_invalid(self) -> int:
         return int(self.invalid_indices.shape[0])
+
+    @property
+    def n_quarantined(self) -> int:
+        return int(self.quarantined_indices.shape[0])
 
     @property
     def invalid_fraction(self) -> float:
@@ -76,6 +98,9 @@ class MeasurementSet:
             invalid_indices=np.concatenate(
                 [self.invalid_indices, other.invalid_indices]
             ),
+            quarantined_indices=np.concatenate(
+                [self.quarantined_indices, other.quarantined_indices]
+            ),
         )
 
 
@@ -87,6 +112,14 @@ class EngineStats:
     in-memory cache hits (``n_cache_hits``) and durable-DB hits
     (``n_db_hits``); ``n_invalid`` counts returned invalids across all
     three.  ``elapsed_s`` is harness wall-clock (not simulated seconds).
+
+    The failure-breakdown counters are only ever non-zero under a fault
+    profile: ``n_transient`` transient build/launch failures (device
+    resets included), ``n_timeouts`` watchdog-killed hangs, ``n_retries``
+    backoff-then-retry cycles the policy spent recovering, and
+    ``n_quarantined`` configurations given up on (failed every attempt)
+    — reported separately from ``n_invalid``, which stays a statement
+    about the configuration space.
     """
 
     n_requested: int = 0
@@ -94,6 +127,10 @@ class EngineStats:
     n_cache_hits: int = 0
     n_db_hits: int = 0
     n_invalid: int = 0
+    n_transient: int = 0
+    n_retries: int = 0
+    n_timeouts: int = 0
+    n_quarantined: int = 0
     elapsed_s: float = 0.0
 
     @property
@@ -110,6 +147,22 @@ class EngineStats:
             return 0.0
         return self.n_requested / self.elapsed_s
 
+    @property
+    def n_faults(self) -> int:
+        """Total injected failures recovered from or given up on."""
+        return self.n_transient + self.n_timeouts
+
+    def failure_breakdown(self) -> dict:
+        """The fault counters as a dict; empty when no faults were seen
+        (so fault-free reports and results carry no breakdown at all)."""
+        pairs = {
+            "transient": self.n_transient,
+            "timeouts": self.n_timeouts,
+            "retries": self.n_retries,
+            "quarantined": self.n_quarantined,
+        }
+        return {k: v for k, v in pairs.items() if v}
+
     def merge(self, other: "EngineStats") -> "EngineStats":
         return EngineStats(
             n_requested=self.n_requested + other.n_requested,
@@ -117,6 +170,10 @@ class EngineStats:
             n_cache_hits=self.n_cache_hits + other.n_cache_hits,
             n_db_hits=self.n_db_hits + other.n_db_hits,
             n_invalid=self.n_invalid + other.n_invalid,
+            n_transient=self.n_transient + other.n_transient,
+            n_retries=self.n_retries + other.n_retries,
+            n_timeouts=self.n_timeouts + other.n_timeouts,
+            n_quarantined=self.n_quarantined + other.n_quarantined,
             elapsed_s=self.elapsed_s + other.elapsed_s,
         )
 
@@ -127,6 +184,10 @@ class EngineStats:
             "n_cache_hits": self.n_cache_hits,
             "n_db_hits": self.n_db_hits,
             "n_invalid": self.n_invalid,
+            "n_transient": self.n_transient,
+            "n_retries": self.n_retries,
+            "n_timeouts": self.n_timeouts,
+            "n_quarantined": self.n_quarantined,
             "elapsed_s": self.elapsed_s,
             "cache_hit_rate": self.cache_hit_rate,
             "configs_per_sec": self.configs_per_sec,
@@ -149,6 +210,52 @@ def _sequential_sum(start: float, contributions: np.ndarray) -> float:
 _FRESH, _CACHED, _DB, _DUP = 0, 1, 2, 3
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the measurer handles injected (transient) failures.
+
+    Attributes
+    ----------
+    max_attempts:
+        Probe attempts per configuration before giving up.  A
+        configuration whose every attempt fails transiently (or hangs) is
+        *quarantined*: it yields no measurement, is excluded from all
+        future attempts, and is reported separately from statically
+        invalid configurations.
+    backoff_base_s / backoff_multiplier:
+        Exponential backoff slept between attempts —
+        ``base * multiplier**(attempt - 1)`` — charged to the cost
+        ledger's ``retry_s`` bucket (waiting for a flaky driver is real
+        tuning-budget time).
+    launch_timeout_s:
+        Watchdog budget per launch, passed to ``Kernel.enqueue``; a hung
+        kernel burns at most this much simulated time per attempt.
+    config_budget_s:
+        Total simulated seconds (failures + backoff + probes) one
+        configuration may consume across attempts; exceeding it
+        quarantines the configuration even with attempts left, so a
+        pathological hang-always config cannot eat the campaign budget.
+    """
+
+    max_attempts: int = 4
+    backoff_base_s: float = 0.1
+    backoff_multiplier: float = 2.0
+    launch_timeout_s: float = 2.0
+    config_budget_s: float = 30.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_multiplier < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+        if self.launch_timeout_s <= 0 or self.config_budget_s <= 0:
+            raise ValueError("timeout budgets must be positive")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff slept after failed attempt number ``attempt`` (1-based)."""
+        return self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+
+
 class Measurer:
     """Measures configurations of one kernel on one context.
 
@@ -166,6 +273,11 @@ class Measurer:
         returned as-is — no simulation, no noise draws, no ledger charges —
         and new measurements are written through, which is what lets a
         killed campaign resume where it stopped.
+    retry:
+        :class:`RetryPolicy` applied when the context carries a fault
+        injector (``Context(faults=...)``); defaults to ``RetryPolicy()``.
+        Without an injector the policy is never consulted and the
+        measurement path is byte-for-byte the fault-free one.
     """
 
     def __init__(
@@ -174,6 +286,7 @@ class Measurer:
         spec: KernelSpec,
         repeats: int = 3,
         db: Optional[MeasurementDB] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
@@ -181,18 +294,28 @@ class Measurer:
         self.spec = spec
         self.repeats = repeats
         self.db = db
+        self.retry = retry if retry is not None else RetryPolicy()
         self.stats = EngineStats()
         # index -> true time (seconds), or None for invalid.
         self._cache: Dict[int, Optional[float]] = {}
+        # index -> static validity (is_valid fast path; no ledger charges).
+        self._valid_cache: Dict[int, bool] = {}
+        #: Configurations given up on after repeated transient failures.
+        self.quarantine: set = set()
 
     # -- single configuration ------------------------------------------------
 
-    def true_time(self, index: int) -> Optional[float]:
+    def true_time(
+        self, index: int, timeout_s: Optional[float] = None
+    ) -> Optional[float]:
         """Noise-free time of a configuration, or None if invalid.
 
         First call per configuration pays build cost in the ledger (and
         failure cost for invalid ones), as a compile-cache-equipped real
-        harness would.
+        harness would.  Deterministic failures are cached as None;
+        injected transient failures (:class:`TransientError`,
+        :class:`TimeoutError`) propagate *uncached* — a retry may succeed.
+        ``timeout_s`` is the per-launch watchdog forwarded to the runtime.
         """
         index = int(index)
         if index in self._cache:
@@ -200,7 +323,7 @@ class Measurer:
         config = self.spec.space[index]
         try:
             kernel = Program(self.context, self.spec, config).build()
-            event = kernel.enqueue()
+            event = kernel.enqueue(timeout_s=timeout_s)
         except (BuildError, LaunchError):
             self._cache[index] = None
             return None
@@ -215,7 +338,18 @@ class Measurer:
         its observed time, so only ``repeats - 1`` re-runs are added here;
         a cache-served re-measurement launches all ``repeats`` again.
         A DB hit is served stored — no launches, no charges.
+
+        With a fault injector on the context, probes are wrapped in the
+        :class:`RetryPolicy` (retry transients with backoff, watchdog
+        hangs, quarantine configurations that never succeed); quarantined
+        configurations return None like invalid ones — use
+        :meth:`measure_outcome` or :attr:`quarantine` to tell them apart.
         """
+        return self.measure_outcome(index)[0]
+
+    def measure_outcome(self, index: int) -> tuple:
+        """Like :meth:`measure` but returns ``(value, outcome)`` with
+        outcome one of ``'ok' | 'invalid' | 'quarantined'``."""
         t0 = time.perf_counter()
         index = int(index)
         self.stats.n_requested += 1
@@ -227,9 +361,22 @@ class Measurer:
             if value is None:
                 self.stats.n_invalid += 1
             self.stats.elapsed_s += time.perf_counter() - t0
-            return value
+            return value, ("invalid" if value is None else "ok")
+        faults = self.context.faults
+        if faults is not None and index in self.quarantine:
+            # Already written off; do not burn budget on it again.
+            self.stats.elapsed_s += time.perf_counter() - t0
+            return None, "quarantined"
         fresh = index not in self._cache
-        true = self.true_time(index)
+        if faults is None or not fresh:
+            # Fault-free path, or a cached re-measure (no probe launch, so
+            # no fault surface beyond the outlier roll below).
+            true = self.true_time(index)
+        else:
+            true = self._probe_with_retry(index)
+            if isinstance(true, str):  # the _QUARANTINED sentinel
+                self.stats.elapsed_s += time.perf_counter() - t0
+                return None, "quarantined"
         if fresh:
             self.stats.n_simulated += 1
         else:
@@ -239,18 +386,75 @@ class Measurer:
             if self.db is not None:
                 self.db.put(kernel, device, index, None)
             self.stats.elapsed_s += time.perf_counter() - t0
-            return None
+            return None, "invalid"
         self.context.ledger.run_s += true * (
             self.repeats - 1 if fresh else self.repeats
         )
         value = self.context.measurement.best_of(true, self.repeats)
+        if faults is not None:
+            value = faults.on_measurement((kernel, index), value)
         if self.db is not None:
             self.db.put(kernel, device, index, value)
         self.stats.elapsed_s += time.perf_counter() - t0
-        return value
+        return value, "ok"
+
+    _QUARANTINED = "quarantined"
+
+    def _probe_with_retry(self, index: int):
+        """First probe of a configuration under fault injection.
+
+        Returns the true time (float), None for a deterministic invalid,
+        or the :data:`_QUARANTINED` sentinel when the retry policy gave
+        up.  Transient failures are retried with exponential backoff
+        (charged to ``ledger.retry_s``); a device reset additionally
+        invalidates the compile cache (every cached binary is gone, as on
+        a real rig).  A per-configuration simulated-seconds budget caps
+        the total spend even when attempts remain.
+        """
+        policy = self.retry
+        ledger = self.context.ledger
+        stats = self.stats
+        spent0 = ledger.total_s
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return self.true_time(index, timeout_s=policy.launch_timeout_s)
+            except TimeoutError:
+                stats.n_timeouts += 1
+            except DeviceResetError:
+                stats.n_transient += 1
+                # Compiled binaries do not survive a reset: forget probed
+                # true times so later re-measures rebuild (and re-bill).
+                self._cache.clear()
+            except TransientError:
+                stats.n_transient += 1
+            if ledger.total_s - spent0 > policy.config_budget_s:
+                break
+            if attempt < policy.max_attempts:
+                ledger.retry_s += policy.backoff_s(attempt)
+                stats.n_retries += 1
+        self.quarantine.add(index)
+        stats.n_quarantined += 1
+        return self._QUARANTINED
 
     def is_valid(self, index: int) -> bool:
-        return self.true_time(index) is not None
+        """*Static* validity of a configuration — resource-limit rules
+        only, no build, no launch, no ledger charges, no RNG draws.
+
+        Candidate filtering (``TunerSettings.filter_known_invalid``) and
+        search warm-starts call this in bulk; it used to route through
+        :meth:`true_time`, billing a full build + probe launch per query —
+        a validity check must never bill a launch.
+        """
+        index = int(index)
+        if index in self._cache:
+            return self._cache[index] is not None
+        valid = self._valid_cache.get(index)
+        if valid is None:
+            device = self.context.device.spec
+            profile = self.spec.workload(self.spec.space[index], device)
+            valid = validate(profile, device).valid
+            self._valid_cache[index] = valid
+        return valid
 
     # -- batches ---------------------------------------------------------------
 
@@ -270,9 +474,65 @@ class Measurer:
            observations and best-of-``repeats`` minima by gather;
         4. accumulate the ledger from per-position contribution arrays in
            input order.
+
+        With a fault injector attached the vectorized fast path is
+        bypassed: the batch degrades to the serial resilient loop (retry,
+        backoff, quarantine per configuration), trading the order of
+        magnitude of throughput for correctness under failure — and
+        making ``measure_batch`` equal the serial loop *by construction*,
+        fault profile or not.
         """
+        if self.context.faults is not None:
+            with self.context.tracer.span("measure.batch.resilient") as span:
+                return self._measure_batch_resilient(indices, span)
         with self.context.tracer.span("measure.batch") as span:
             return self._measure_batch(indices, span)
+
+    def _measure_batch_resilient(
+        self, indices: Sequence[int], span
+    ) -> MeasurementSet:
+        stats0 = EngineStats(**{
+            k: getattr(self.stats, k)
+            for k in ("n_transient", "n_retries", "n_timeouts", "n_quarantined")
+        })
+        idx = [int(i) for i in indices]
+        ok_idx: List[int] = []
+        ok_times: List[float] = []
+        bad_idx: List[int] = []
+        quarantined_idx: List[int] = []
+        for i in idx:
+            value, outcome = self.measure_outcome(i)
+            if outcome == "ok":
+                ok_idx.append(i)
+                ok_times.append(float(value))
+            elif outcome == "quarantined":
+                quarantined_idx.append(i)
+            else:
+                bad_idx.append(i)
+        tracer = self.context.tracer
+        if tracer.enabled:
+            s = self.stats
+            tracer.count("measure.requested", len(idx))
+            tracer.count("fault.transient", s.n_transient - stats0.n_transient)
+            tracer.count("fault.timeouts", s.n_timeouts - stats0.n_timeouts)
+            tracer.count("fault.retries", s.n_retries - stats0.n_retries)
+            tracer.count(
+                "fault.quarantined", s.n_quarantined - stats0.n_quarantined
+            )
+            span.set(
+                n=len(ok_idx) + len(bad_idx) + len(quarantined_idx),
+                invalid=len(bad_idx),
+                quarantined=len(quarantined_idx),
+                transient=s.n_transient - stats0.n_transient,
+                timeouts=s.n_timeouts - stats0.n_timeouts,
+                retries=s.n_retries - stats0.n_retries,
+            )
+        return MeasurementSet(
+            indices=np.asarray(ok_idx, dtype=np.int64),
+            times_s=np.asarray(ok_times, dtype=np.float64),
+            invalid_indices=np.asarray(bad_idx, dtype=np.int64),
+            quarantined_indices=np.asarray(quarantined_idx, dtype=np.int64),
+        )
 
     def _measure_batch(self, indices: Sequence[int], span) -> MeasurementSet:
         t0 = time.perf_counter()

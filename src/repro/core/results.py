@@ -6,7 +6,7 @@ import json
 import math
 import os
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional
 
@@ -30,7 +30,20 @@ class TuningResult:
         Measured configurations / space size (the paper quotes 1.7%,
         0.5%, 0.1%).
     total_cost_s:
-        Simulated wall-clock spent measuring (compiles + runs + failures).
+        Simulated wall-clock spent measuring (compiles + runs + failures
+        + retry backoff).
+    degraded / degraded_reason:
+        True when the tuner had to fall back from its nominal pipeline to
+        still produce a pick — every stage-two candidate failed (pick is
+        the best *stage-one* measurement), or stage one had to replenish
+        samples after invalids/transients starved the training set.  A
+        degraded result is usable but earned less evidence than asked for.
+    failure_breakdown:
+        Fault counters of the measurement engine (transient / timeouts /
+        retries / quarantined; see
+        :meth:`~repro.core.measure.EngineStats.failure_breakdown`), plus
+        degradation events.  Empty when the run saw no faults and no
+        degradation — the fault-free result payload is unchanged.
     """
 
     kernel: str
@@ -42,10 +55,14 @@ class TuningResult:
     stage2_invalid: int
     evaluated_fraction: float
     total_cost_s: float
+    degraded: bool = False
+    degraded_reason: str = ""
+    failure_breakdown: Mapping = field(default_factory=dict)
 
     @property
     def failed(self) -> bool:
-        """True when stage two produced no valid candidate."""
+        """True when no valid measurement exists at all (not even a
+        degraded stage-one fallback)."""
         return self.best_index < 0
 
     def slowdown_vs(self, optimum_time_s: float) -> float:

@@ -41,6 +41,13 @@ class TunerSettings:
         before proposing a candidate (the §7 "better scheme" extension;
         the paper's baseline behaviour is False: invalid candidates waste
         stage-two slots).
+    replenish_rounds:
+        Stage-one resilience: when invalid (or quarantined) draws leave
+        fewer valid measurements than the model needs (``max(2, k_bag)``),
+        up to this many extra batches of ``n_train`` random
+        configurations are measured — bounded, and charged to the ledger
+        like any measurement (§5.2 drops invalids but still trains on
+        real samples).  A run that replenished is marked ``degraded``.
     sweep:
         Prediction-sweep engine knobs
         (:class:`~repro.core.sweep.SweepSettings`) passed through to the
@@ -53,6 +60,7 @@ class TunerSettings:
     repeats: int = 3
     candidate_pool: Optional[int] = None
     filter_known_invalid: bool = False
+    replenish_rounds: int = 4
     sweep: SweepSettings = field(default_factory=SweepSettings)
 
     def __post_init__(self):
@@ -60,6 +68,8 @@ class TunerSettings:
             raise ValueError("n_train must be >= k_bag")
         if self.m_candidates < 1:
             raise ValueError("m_candidates must be >= 1")
+        if self.replenish_rounds < 0:
+            raise ValueError("replenish_rounds must be >= 0")
 
 
 class MLAutoTuner:
@@ -90,15 +100,37 @@ class MLAutoTuner:
         self.model: Optional[PerformanceModel] = None
         self.training_set: Optional[MeasurementSet] = None
         self.stage2_set: Optional[MeasurementSet] = None
+        #: Extra stage-one batches measured because invalids/quarantines
+        #: left fewer than ``max(2, k_bag)`` valid samples (see tune()).
+        self.replenish_rounds_used: int = 0
 
     # -- stages ------------------------------------------------------------
 
     def collect_training_data(self, rng: np.random.Generator) -> MeasurementSet:
-        """Stage one: measure ``n_train`` uniform random configurations."""
-        self.training_set = self.measurer.sample_and_measure(
-            self.settings.n_train, rng
-        )
-        return self.training_set
+        """Stage one: measure ``n_train`` uniform random configurations.
+
+        When invalid or quarantined draws leave fewer valid measurements
+        than the model can train on (``max(2, k_bag)``), replacement
+        batches are sampled and measured — at most
+        ``settings.replenish_rounds`` of them, every one charged to the
+        ledger — before giving up.  Previously this starvation crashed
+        ``train_model`` with "increase n_train".
+        """
+        need = max(2, self.settings.k_bag)
+        train = self.measurer.sample_and_measure(self.settings.n_train, rng)
+        rounds = 0
+        tracer = self.context.tracer
+        while train.n_valid < need and rounds < self.settings.replenish_rounds:
+            rounds += 1
+            with tracer.span("stage1.replenish", round=rounds) as sp:
+                extra = self.measurer.sample_and_measure(
+                    self.settings.n_train, rng
+                )
+                sp.set(n_valid=extra.n_valid, n_invalid=extra.n_invalid)
+            train = train.merged_with(extra)
+        self.replenish_rounds_used = rounds
+        self.training_set = train
+        return train
 
     def train_model(self, seed: Optional[int] = None) -> PerformanceModel:
         """Fit the bagged-ANN performance model on the stage-one data."""
@@ -106,8 +138,9 @@ class MLAutoTuner:
             raise RuntimeError("collect_training_data() first")
         if self.training_set.n_valid < max(2, self.settings.k_bag):
             raise RuntimeError(
-                f"only {self.training_set.n_valid} valid training samples; "
-                "increase n_train"
+                f"only {self.training_set.n_valid} valid training samples "
+                f"after {self.replenish_rounds_used} replenish rounds; "
+                "increase n_train or replenish_rounds"
             )
         self.model = PerformanceModel(
             self.spec.space,
@@ -169,21 +202,38 @@ class MLAutoTuner:
     def tune(self, rng: np.random.Generator, model_seed: Optional[int] = None) -> TuningResult:
         """Run stages one and two; return the tuner's pick.
 
-        When every stage-two candidate is invalid the result carries
-        ``best_index = -1`` (the paper's no-prediction failure mode) rather
-        than raising — callers aggregate these as missing data points.
+        The pipeline degrades instead of crashing or going silent:
+
+        * stage one replenishes random samples when invalids (or
+          quarantined flaky configurations) starve the training set;
+        * when every stage-two candidate fails, the pick falls back to
+          the best *stage-one* measurement (a real, measured
+          configuration) instead of the paper's "no prediction at all"
+          — ``best_index = -1`` only remains when not a single valid
+          measurement exists anywhere.
+
+        Either fallback marks the result ``degraded`` with a reason, and
+        the fault counters of the measurement engine for *this run* are
+        attached as ``failure_breakdown``.
         """
         tracer = self.context.tracer
         # The ledger is cumulative over the context's lifetime; snapshot it
         # so total_cost_s reports *this* run, not every run sharing the
-        # context (a second tuner must not be billed for the first).
+        # context (a second tuner must not be billed for the first).  The
+        # engine stats get the same treatment for failure_breakdown.
         cost0 = self.context.ledger.total_s
+        stats0 = self.measurer.stats
+        self.measurer.stats = type(stats0)()
         with tracer.span(
             "tune", kernel=self.spec.name, device=self.context.device.name
         ):
             with tracer.span("stage1.measure") as sp:
                 train = self.collect_training_data(rng)
-                sp.set(n_valid=train.n_valid, n_invalid=train.n_invalid)
+                sp.set(
+                    n_valid=train.n_valid,
+                    n_invalid=train.n_invalid,
+                    replenish_rounds=self.replenish_rounds_used,
+                )
             tracer.count("tuner.stage1_valid", train.n_valid)
             tracer.count("tuner.stage1_invalid", train.n_invalid)
             with tracer.span("stage2.train"):
@@ -196,15 +246,40 @@ class MLAutoTuner:
                 sp.set(n_valid=stage2.n_valid, n_invalid=stage2.n_invalid)
             tracer.count("tuner.stage2_invalid", stage2.n_invalid)
 
-            if stage2.n_valid == 0:
-                best_index, best_time = -1, float("nan")
-            else:
+            degraded, reason = False, ""
+            if stage2.n_valid > 0:
                 best_index, best_time = stage2.best()
+            elif train.n_valid > 0:
+                # Every stage-two candidate failed (invalid, or transient
+                # beyond the retry budget).  The best stage-one sample is
+                # a real measurement of this kernel on this device — a
+                # degraded pick beats no pick (used to raise/return -1).
+                best_index, best_time = train.best()
+                degraded, reason = True, "stage2_exhausted"
+            else:
+                best_index, best_time = -1, float("nan")
+                degraded, reason = True, "no_valid_measurements"
+            if self.replenish_rounds_used and not degraded:
+                degraded, reason = True, "stage1_replenished"
 
-        measured = train.n_valid + train.n_invalid + stage2.n_valid + stage2.n_invalid
+        run_stats = self.measurer.stats
+        self.measurer.stats = stats0.merge(run_stats)
+        breakdown = run_stats.failure_breakdown()
+        if self.replenish_rounds_used:
+            breakdown["stage1_replenish_rounds"] = self.replenish_rounds_used
+        if reason == "stage2_exhausted":
+            breakdown["stage2_fallback"] = 1
+
+        measured = (
+            train.n_valid + train.n_invalid + train.n_quarantined
+            + stage2.n_valid + stage2.n_invalid + stage2.n_quarantined
+        )
         total = stage2.n_valid + stage2.n_invalid
         if total:
             tracer.gauge("tuner.stage2_invalid_rate", stage2.n_invalid / total)
+        if degraded:
+            tracer.count("tuner.degraded")
+            tracer.event("tuner.degraded", reason=reason)
         tracer.gauge("tuner.best_index", best_index)
         return TuningResult(
             kernel=self.spec.name,
@@ -216,4 +291,7 @@ class MLAutoTuner:
             stage2_invalid=stage2.n_invalid,
             evaluated_fraction=measured / self.spec.space.size,
             total_cost_s=self.context.ledger.total_s - cost0,
+            degraded=degraded,
+            degraded_reason=reason,
+            failure_breakdown=breakdown,
         )

@@ -67,10 +67,23 @@ def engine_stats_block(stats, ledger=None) -> str:
         "cache hit rate": pct(stats.cache_hit_rate),
         "throughput": f"{stats.configs_per_sec:,.0f} configs/s",
     }
+    # Fault/resilience counters only exist on runs with an armed injector;
+    # the block is unchanged for fault-free runs.
+    for label, n in (
+        ("transient faults", stats.n_transient),
+        ("timeouts", stats.n_timeouts),
+        ("retries", stats.n_retries),
+        ("quarantined", stats.n_quarantined),
+    ):
+        if n:
+            pairs[label] = n
     if ledger is not None:
-        pairs["simulated cost"] = (
+        cost = (
             f"{ledger.total_s:.1f} s "
             f"(compile {ledger.compile_s:.1f}, run {ledger.run_s:.1f}, "
-            f"failed {ledger.failed_s:.1f})"
+            f"failed {ledger.failed_s:.1f}"
         )
+        if ledger.retry_s:
+            cost += f", retry backoff {ledger.retry_s:.1f}"
+        pairs["simulated cost"] = cost + ")"
     return kv_block(pairs)

@@ -188,6 +188,19 @@ def render_summary(path_or_records) -> str:
             block += f"\nrun_all total: {_as_float(total):.3f} s wall"
         blocks.append(block)
 
+    faults = {
+        k[len("fault."):]: s.counters[k]
+        for k in sorted(s.counters)
+        if k.startswith("fault.")
+    }
+    if faults:
+        degraded = s.counters.get("tuner.degraded")
+        if degraded:
+            faults["degraded runs"] = degraded
+        blocks.append(
+            "fault injection survived (resilient measurement path)\n"
+            + kv_block(faults)
+        )
     if s.counters:
         blocks.append(
             "counters\n"

@@ -6,7 +6,14 @@ wall-clock cost accounting for the tuning-budget analysis of §6.
 """
 
 from repro.runtime.api import Context, Device, Event, Kernel, Platform, Program
-from repro.runtime.errors import BuildError, LaunchError, RuntimeAPIError
+from repro.runtime.errors import (
+    BuildError,
+    DeviceResetError,
+    LaunchError,
+    RuntimeAPIError,
+    TimeoutError,
+    TransientError,
+)
 
 __all__ = [
     "Platform",
@@ -17,5 +24,8 @@ __all__ = [
     "Event",
     "BuildError",
     "LaunchError",
+    "TransientError",
+    "DeviceResetError",
+    "TimeoutError",
     "RuntimeAPIError",
 ]

@@ -26,8 +26,15 @@ import numpy as np
 
 from repro.kernels.base import KernelSpec
 from repro.obs import NULL_TRACER
-from repro.runtime.errors import BuildError, LaunchError
+from repro.runtime.errors import (
+    BuildError,
+    DeviceResetError,
+    LaunchError,
+    TimeoutError,
+    TransientError,
+)
 from repro.simulator.device import DeviceSpec
+from repro.simulator.faults import HANG, RESET, TRANSIENT, make_injector
 from repro.simulator.devices import DEVICES
 from repro.simulator.executor import ExecutionBreakdown, execute
 from repro.simulator.noise import (
@@ -72,13 +79,22 @@ class Platform:
 
 class Context:
     """Execution context: one device, a seeded noise source, a cost ledger,
-    and an (optional) tracer the pipeline components report into."""
+    an (optional) tracer the pipeline components report into, and an
+    (optional) fault injector modelling a flaky rig.
+
+    ``faults`` accepts a :class:`~repro.simulator.faults.FaultProfile`, a
+    ready :class:`~repro.simulator.faults.FaultInjector`, a named profile
+    string (``"flaky-gpu"``), or None.  Fault decisions are drawn from
+    their own keyed hash stream — never from this context's RNG — so a
+    fault-free run is bit-identical with or without the argument.
+    """
 
     def __init__(
         self,
         device: Device | DeviceSpec,
         seed: Optional[int] = None,
         tracer=None,
+        faults=None,
     ):
         if isinstance(device, DeviceSpec):
             device = Device(device)
@@ -86,6 +102,7 @@ class Context:
         self.rng = np.random.default_rng(seed)
         self.measurement = MeasurementModel(device.spec, self.rng)
         self.ledger = CostLedger()
+        self.faults = make_injector(faults)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer.ledger is None:
             # Spans record this context's cost deltas; an explicitly
@@ -139,14 +156,31 @@ class Kernel:
         self.config = config
         self.profile = profile
 
-    def enqueue(self) -> Event:
+    def _fault_key(self) -> tuple:
+        return (self.spec.name, self.spec.config_tuple(self.config))
+
+    def enqueue(self, timeout_s: Optional[float] = None) -> Event:
         """Launch once and return the profiled event.
+
+        Parameters
+        ----------
+        timeout_s:
+            Watchdog budget for this launch.  Only consulted when a fault
+            injector hangs the kernel: the hang burns
+            ``min(timeout_s, hang_duration_s)`` simulated seconds before
+            :class:`TimeoutError` is raised.  None means the driver's own
+            watchdog (the profile's full hang duration) applies.
 
         Raises
         ------
         LaunchError
             For dynamically invalid configurations (register pressure);
             the failure's wall-clock cost is charged to the ledger.
+        TransientError / DeviceResetError / TimeoutError
+            Injected run-specific failures (only with a fault profile
+            attached); each charges its wall-clock cost to the ledger
+            *before* any measurement-noise draw, so the noise stream is
+            untouched by faults.
         """
         ctx = self.context
         device = ctx.device.spec
@@ -156,6 +190,20 @@ class Kernel:
             # so any failure at this point is a launch failure.
             ctx.ledger.failed_s += FAILED_LAUNCH_COST_S
             raise LaunchError(check.reason)
+        if ctx.faults is not None:
+            decision = ctx.faults.at_launch(self._fault_key())
+            if decision == RESET:
+                ctx.ledger.failed_s += ctx.faults.profile.reset_cost_s
+                raise DeviceResetError()
+            if decision == HANG:
+                waited = ctx.faults.profile.hang_duration_s
+                if timeout_s is not None:
+                    waited = min(waited, timeout_s)
+                ctx.ledger.failed_s += waited
+                raise TimeoutError("kernel hung", waited)
+            if decision == TRANSIENT:
+                ctx.ledger.failed_s += FAILED_LAUNCH_COST_S
+                raise TransientError("spurious launch failure", stage="launch")
         breakdown = execute(
             self.profile,
             device,
@@ -192,6 +240,13 @@ class Program:
         if not check.valid and check.stage == STAGE_BUILD:
             ctx.ledger.failed_s += FAILED_BUILD_COST_S
             raise BuildError(check.reason)
+        if ctx.faults is not None:
+            key = (self.spec.name, self.spec.config_tuple(self.config))
+            if ctx.faults.at_build(key) == TRANSIENT:
+                # A deterministic failure takes precedence (checked above);
+                # this one is the driver hiccuping on a valid variant.
+                ctx.ledger.failed_s += FAILED_BUILD_COST_S
+                raise TransientError("spurious build failure", stage="build")
         ctx.ledger.compile_s += compile_time(device, self.spec.unroll_of(self.config))
         self._kernel = Kernel(ctx, self.spec, self.config, profile)
         return self._kernel

@@ -1,11 +1,29 @@
-"""Runtime error types, mirroring the two OpenCL failure surfaces.
+"""Runtime error types, mirroring the OpenCL failure surfaces.
 
-``clBuildProgram`` failing (resource limits knowable from source + device
-caps) maps to :class:`BuildError`; ``clEnqueueNDRangeKernel`` failing
-(register allocation discovered by the compiler/driver) maps to
-:class:`LaunchError`.  The auto-tuner treats both as "invalid configuration"
-(§5.2: *"we deal with this issue by simply ignoring these configurations"*)
-but they cost different amounts of wall-clock time in the tuning budget.
+Deterministic failures — properties of the *configuration*:
+
+* ``clBuildProgram`` failing (resource limits knowable from source + device
+  caps) maps to :class:`BuildError`;
+* ``clEnqueueNDRangeKernel`` failing (register allocation discovered by the
+  compiler/driver) maps to :class:`LaunchError`.
+
+The auto-tuner treats both as "invalid configuration" (§5.2: *"we deal with
+this issue by simply ignoring these configurations"*) but they cost
+different amounts of wall-clock time in the tuning budget.
+
+Transient failures — properties of the *run*, injected by a
+:class:`~repro.simulator.faults.FaultInjector`:
+
+* :class:`TransientError` — the driver hiccuped (spurious build or launch
+  failure); the same configuration may well succeed on retry.
+* :class:`DeviceResetError` — the device was lost and reset; compiled
+  binaries are gone, so callers must also drop their compile caches.
+* :class:`TimeoutError` — the kernel hung and a watchdog killed it; the
+  wall-clock burned waiting is charged to the ledger.
+
+The measurement pipeline (:class:`~repro.core.measure.Measurer`) retries
+transient failures with backoff and quarantines configurations that keep
+failing; deterministic failures are never retried.
 """
 
 from __future__ import annotations
@@ -29,3 +47,36 @@ class LaunchError(RuntimeAPIError):
     def __init__(self, reason: str):
         super().__init__(f"CL_OUT_OF_RESOURCES: {reason}")
         self.reason = reason
+
+
+class TransientError(RuntimeAPIError):
+    """A run-specific driver failure; retrying the same configuration may
+    succeed.  ``stage`` records the surface that failed ('build' or
+    'launch')."""
+
+    def __init__(self, reason: str, stage: str = "launch"):
+        super().__init__(f"CL_TRANSIENT_FAILURE({stage}): {reason}")
+        self.reason = reason
+        self.stage = stage
+
+
+class DeviceResetError(TransientError):
+    """The device was lost and reset mid-operation.
+
+    Compiled program binaries do not survive a reset, so a caller holding a
+    compile cache must invalidate it before retrying.
+    """
+
+    def __init__(self, reason: str = "device lost and reset"):
+        super().__init__(reason, stage="reset")
+
+
+class TimeoutError(RuntimeAPIError):  # noqa: A001 - deliberate, scoped name
+    """A kernel hung and the watchdog killed it after ``waited_s`` seconds
+    of (simulated) wall clock.  Distinct from :class:`TransientError` so
+    retry policies can budget hang time separately."""
+
+    def __init__(self, reason: str, waited_s: float):
+        super().__init__(f"CL_WATCHDOG_TIMEOUT: {reason} (after {waited_s:.3f}s)")
+        self.reason = reason
+        self.waited_s = waited_s

@@ -42,6 +42,12 @@ from repro.simulator.devices import (
     NVIDIA_K40,
     get_device,
 )
+from repro.simulator.faults import (
+    FAULT_PROFILES,
+    FaultInjector,
+    FaultProfile,
+    get_fault_profile,
+)
 from repro.simulator.executor import (
     BatchExecution,
     KernelExecutor,
@@ -59,6 +65,10 @@ from repro.simulator.workload import WorkloadBatch, WorkloadProfile
 
 __all__ = [
     "SIMULATOR_VERSION",
+    "FaultProfile",
+    "FaultInjector",
+    "FAULT_PROFILES",
+    "get_fault_profile",
     "DeviceSpec",
     "DEVICES",
     "INTEL_I7_3770",

@@ -40,21 +40,30 @@ def compile_time(device: DeviceSpec, unroll_factor: int = 1) -> float:
 
 @dataclass
 class CostLedger:
-    """Accumulated wall-clock cost of a tuning campaign (seconds)."""
+    """Accumulated wall-clock cost of a tuning campaign (seconds).
+
+    ``failed_s`` covers every *error path* — deterministic build/launch
+    failures and injected transient failures, hangs, device resets.
+    ``retry_s`` is the backoff time a resilient measurer sleeps between
+    attempts; it stays 0.0 unless a fault profile and retry policy are in
+    play, so fault-free ledger totals are unchanged by its existence.
+    """
 
     compile_s: float = 0.0
     run_s: float = 0.0
     failed_s: float = 0.0
+    retry_s: float = 0.0
 
     @property
     def total_s(self) -> float:
-        return self.compile_s + self.run_s + self.failed_s
+        return self.compile_s + self.run_s + self.failed_s + self.retry_s
 
     def merge(self, other: "CostLedger") -> "CostLedger":
         return CostLedger(
             compile_s=self.compile_s + other.compile_s,
             run_s=self.run_s + other.run_s,
             failed_s=self.failed_s + other.failed_s,
+            retry_s=self.retry_s + other.retry_s,
         )
 
 
