@@ -4,12 +4,13 @@
 #   make test-fast   - tier-1 minus the multi-second 'slow' tests
 #   make test-fault  - fault-injection / resilience tests only
 #   make bench       - the benchmark suite (figures, ablations, perf gates)
+#   make serve-smoke - tuning daemon + load generator under flaky-gpu faults
 #   make experiments - regenerate EXPERIMENTS.md with a warm oracle store
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-fault bench experiments
+.PHONY: test test-fast test-fault bench serve-smoke experiments
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -22,6 +23,9 @@ test-fault:
 
 bench:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest .
+
+serve-smoke:
+	$(PYTHON) -m repro.serve.smoke
 
 experiments:
 	$(PYTHON) -m repro.experiments.run_all --oracle-store .oracle --out EXPERIMENTS.md

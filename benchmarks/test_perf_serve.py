@@ -1,0 +1,133 @@
+"""Acceptance gate for the ``repro.serve`` tuning daemon.
+
+The daemon's reason to exist: a fleet of clients asking duplicate-heavy
+questions should not each pay interpreter start-up plus a full campaign.
+This bench pins that win:
+
+* baseline — 8 *sequential cold-start CLI runs* (``python -m repro tune``
+  in a fresh subprocess each time): the pre-daemon workflow;
+* daemon — the same 8 requests from 8 *concurrent* clients against one
+  server, where coalescing and the result cache collapse them into one
+  campaign.
+
+Gate: aggregate daemon throughput >= 2x the sequential-CLI throughput.
+Each run appends requests/sec and p50/p99 client latency to
+``benchmarks/BENCH_serve.json`` so regressions show up as a series.
+"""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.serve.client import run_load
+from repro.serve.server import ServerThread, TuningServer
+
+from conftest import emit
+
+ARTIFACT = Path(__file__).parent / "BENCH_serve.json"
+
+#: Acceptance gate (ISSUE: serve daemon): concurrent duplicate-heavy
+#: clients vs sequential cold-start CLI runs.
+MIN_THROUGHPUT_GAIN = 2.0
+
+N_CLIENTS = 8
+N_TRAIN = 400
+M_CAND = 40
+
+
+def _append_trajectory(point: dict) -> None:
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=Path(__file__).parent,
+            timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:
+        rev = "unknown"
+    point = {"git_rev": rev, **point}
+    history = []
+    if ARTIFACT.exists():
+        try:
+            history = json.loads(ARTIFACT.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(point)
+    ARTIFACT.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _cli_cold_start_baseline(n_runs: int) -> float:
+    """Wall seconds for ``n_runs`` sequential cold CLI tunes (the
+    pre-daemon workflow: fresh interpreter, no shared caches)."""
+    cmd = [
+        sys.executable, "-m", "repro", "tune",
+        "-k", "convolution", "-d", "nvidia",
+        "-n", str(N_TRAIN), "-m", str(M_CAND), "--seed", "0",
+    ]
+    t0 = time.perf_counter()
+    for _ in range(n_runs):
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=600,
+            cwd=Path(__file__).parent.parent, env={
+                **__import__("os").environ, "PYTHONPATH": "src",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+    return time.perf_counter() - t0
+
+
+def test_daemon_throughput_vs_sequential_cli():
+    baseline_wall = _cli_cold_start_baseline(N_CLIENTS)
+    baseline_rps = N_CLIENTS / baseline_wall
+
+    server = TuningServer(max_pending=8, max_workers=4)
+    with ServerThread(server) as port:
+        summary = run_load(
+            "127.0.0.1", port,
+            n_clients=N_CLIENTS, requests_per_client=1,
+            n_train=N_TRAIN, m_candidates=M_CAND,
+        )
+    assert summary["errors"] == []
+    assert summary["completed"] == N_CLIENTS
+    # The duplicate-heavy mix must actually coalesce: one campaign total.
+    assert server.counters["campaigns"] == 1, server.counters
+
+    gain = summary["req_per_s"] / baseline_rps
+    emit(
+        f"serve daemon vs sequential cold-start CLI "
+        f"({N_CLIENTS} duplicate requests, convolution@nvidia, "
+        f"n={N_TRAIN}, m={M_CAND}):\n"
+        f"  CLI   : {baseline_wall:8.3f} s total "
+        f"({baseline_rps:6.3f} req/s)\n"
+        f"  daemon: {summary['wall_s']:8.3f} s total "
+        f"({summary['req_per_s']:6.3f} req/s)\n"
+        f"  p50 / p99 latency : {summary['p50_s']:.3f} s / "
+        f"{summary['p99_s']:.3f} s\n"
+        f"  campaigns run     : {server.counters['campaigns']} "
+        f"(coalesced {server.counters['coalesced']}, "
+        f"cached {server.counters['cache_hits']})\n"
+        f"  throughput gain   : {gain:8.2f}x"
+    )
+    _append_trajectory(
+        {
+            "bench": "daemon_vs_sequential_cli",
+            "clients": N_CLIENTS,
+            "n_train": N_TRAIN,
+            "m_candidates": M_CAND,
+            "baseline_wall_s": round(baseline_wall, 3),
+            "baseline_req_per_s": round(baseline_rps, 3),
+            "daemon_wall_s": summary["wall_s"],
+            "req_per_s": summary["req_per_s"],
+            "p50_s": summary["p50_s"],
+            "p99_s": summary["p99_s"],
+            "campaigns": server.counters["campaigns"],
+            "coalesced": server.counters["coalesced"],
+            "cached": server.counters["cache_hits"],
+            "throughput_gain": round(gain, 2),
+        }
+    )
+    assert gain >= MIN_THROUGHPUT_GAIN, (
+        f"daemon only {gain:.2f}x the sequential-CLI throughput "
+        f"(gate: {MIN_THROUGHPUT_GAIN}x)"
+    )

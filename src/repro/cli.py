@@ -318,8 +318,25 @@ def cmd_experiments(args) -> int:
         forwarded += ["--oracle-store", args.oracle_store]
     if args.trace:
         forwarded += ["--trace", args.trace]
+    if args.faults:
+        forwarded += ["--faults", args.faults]
     run_all_main(forwarded)
     return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve.server import main as serve_main
+
+    forwarded = ["--host", args.host, "--port", str(args.port),
+                 "--max-pending", str(args.max_pending),
+                 "--workers", str(args.workers)]
+    if args.stdio:
+        forwarded += ["--stdio"]
+    if args.client_budget is not None:
+        forwarded += ["--client-budget", str(args.client_budget)]
+    if args.oracle_store:
+        forwarded += ["--oracle-store", args.oracle_store]
+    return serve_main(forwarded)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -429,7 +446,33 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--trace", default=None,
                      help="write a JSONL trace of the run "
                           "(inspect with 'repro trace-summary')")
+    exp.add_argument("--faults", default=None,
+                     help="fault-injection profile applied to runtime-backed "
+                          f"units ({', '.join(sorted(FAULT_PROFILES))}); "
+                          "oracle-backed ground truth stays fault-free")
     exp.set_defaults(fn=cmd_experiments)
+
+    srv = sub.add_parser(
+        "serve", help="line-JSON tuning daemon (see docs/serving.md)"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0,
+                     help="TCP port (0 binds an ephemeral port, printed "
+                          "on startup)")
+    srv.add_argument("--stdio", action="store_true",
+                     help="serve one client over stdin/stdout instead of TCP")
+    srv.add_argument("--max-pending", type=int, default=8,
+                     help="concurrent campaigns admitted before requests "
+                          "are rejected with a retry hint")
+    srv.add_argument("--workers", type=int, default=4,
+                     help="campaign worker threads")
+    srv.add_argument("--client-budget", type=float, default=None,
+                     help="per-client simulated-second allowance "
+                          "(default: unlimited)")
+    srv.add_argument("--oracle-store", default=None,
+                     help="persistent ground-truth table directory shared "
+                          "across requests")
+    srv.set_defaults(fn=cmd_serve)
     return ap
 
 

@@ -222,11 +222,13 @@ class RetryPolicy:
         *quarantined*: it yields no measurement, is excluded from all
         future attempts, and is reported separately from statically
         invalid configurations.
-    backoff_base_s / backoff_multiplier:
+    backoff_base_s / backoff_multiplier / backoff_max_s:
         Exponential backoff slept between attempts —
-        ``base * multiplier**(attempt - 1)`` — charged to the cost
-        ledger's ``retry_s`` bucket (waiting for a flaky driver is real
-        tuning-budget time).
+        ``min(base * multiplier**(attempt - 1), backoff_max_s)`` —
+        charged to the cost ledger's ``retry_s`` bucket (waiting for a
+        flaky driver is real tuning-budget time).  The cap matters:
+        uncapped growth let a long transient streak charge one enormous
+        sleep that blew the per-config budget in a single step.
     launch_timeout_s:
         Watchdog budget per launch, passed to ``Kernel.enqueue``; a hung
         kernel burns at most this much simulated time per attempt.
@@ -240,6 +242,7 @@ class RetryPolicy:
     max_attempts: int = 4
     backoff_base_s: float = 0.1
     backoff_multiplier: float = 2.0
+    backoff_max_s: float = 5.0
     launch_timeout_s: float = 2.0
     config_budget_s: float = 30.0
 
@@ -248,12 +251,17 @@ class RetryPolicy:
             raise ValueError("max_attempts must be >= 1")
         if self.backoff_base_s < 0 or self.backoff_multiplier < 1.0:
             raise ValueError("backoff must be non-negative and non-shrinking")
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ValueError("backoff_max_s must be >= backoff_base_s")
         if self.launch_timeout_s <= 0 or self.config_budget_s <= 0:
             raise ValueError("timeout budgets must be positive")
 
     def backoff_s(self, attempt: int) -> float:
         """Backoff slept after failed attempt number ``attempt`` (1-based)."""
-        return self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        return min(
+            self.backoff_base_s * self.backoff_multiplier ** (attempt - 1),
+            self.backoff_max_s,
+        )
 
 
 class Measurer:
@@ -278,6 +286,16 @@ class Measurer:
         injector (``Context(faults=...)``); defaults to ``RetryPolicy()``.
         Without an injector the policy is never consulted and the
         measurement path is byte-for-byte the fault-free one.
+    batcher:
+        Optional measurement broker (anything with a
+        ``submit(measurer, indices) -> MeasurementSet`` method).  When
+        set, :meth:`measure_batch` hands the whole batch to the broker
+        instead of executing it inline — the hook the ``repro.serve``
+        daemon uses to funnel batches from concurrent campaigns through
+        one measurement pipeline.  The broker calls back into
+        :meth:`measure_batch_direct`, and because batches against one
+        measurer are bit-identical to the serial loop in submission
+        order, brokered results equal inline ones by construction.
     """
 
     def __init__(
@@ -287,6 +305,7 @@ class Measurer:
         repeats: int = 3,
         db: Optional[MeasurementDB] = None,
         retry: Optional[RetryPolicy] = None,
+        batcher=None,
     ):
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
@@ -295,6 +314,7 @@ class Measurer:
         self.repeats = repeats
         self.db = db
         self.retry = retry if retry is not None else RetryPolicy()
+        self.batcher = batcher
         self.stats = EngineStats()
         # index -> true time (seconds), or None for invalid.
         self._cache: Dict[int, Optional[float]] = {}
@@ -481,7 +501,18 @@ class Measurer:
         magnitude of throughput for correctness under failure — and
         making ``measure_batch`` equal the serial loop *by construction*,
         fault profile or not.
+
+        With a ``batcher`` attached the batch is submitted to it instead
+        (see the constructor); the broker executes it through
+        :meth:`measure_batch_direct` on its own schedule.
         """
+        if self.batcher is not None:
+            return self.batcher.submit(self, indices)
+        return self.measure_batch_direct(indices)
+
+    def measure_batch_direct(self, indices: Sequence[int]) -> MeasurementSet:
+        """:meth:`measure_batch` without broker indirection — the entry
+        point measurement brokers use to execute submitted batches."""
         if self.context.faults is not None:
             with self.context.tracer.span("measure.batch.resilient") as span:
                 return self._measure_batch_resilient(indices, span)

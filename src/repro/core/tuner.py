@@ -52,6 +52,14 @@ class TunerSettings:
         Prediction-sweep engine knobs
         (:class:`~repro.core.sweep.SweepSettings`) passed through to the
         performance model — chunking, the float32 lane, process sharding.
+    max_cost_s:
+        Optional cap on the *simulated* seconds (ledger spend) this run
+        may consume.  ``None`` (the default) reproduces the paper's
+        uncapped pipeline.  A capped run never crashes: once the ledger
+        delta crosses the cap, remaining stages are skipped and the best
+        measurement gathered so far is returned as a ``degraded`` result
+        (reason ``budget_exhausted``).  This is the mechanism the
+        ``repro.serve`` daemon uses to enforce per-client budgets.
     """
 
     n_train: int = 2000
@@ -62,6 +70,7 @@ class TunerSettings:
     filter_known_invalid: bool = False
     replenish_rounds: int = 4
     sweep: SweepSettings = field(default_factory=SweepSettings)
+    max_cost_s: Optional[float] = None
 
     def __post_init__(self):
         if self.n_train < self.k_bag:
@@ -70,6 +79,8 @@ class TunerSettings:
             raise ValueError("m_candidates must be >= 1")
         if self.replenish_rounds < 0:
             raise ValueError("replenish_rounds must be >= 0")
+        if self.max_cost_s is not None and self.max_cost_s <= 0:
+            raise ValueError("max_cost_s must be positive (or None)")
 
 
 class MLAutoTuner:
@@ -106,7 +117,9 @@ class MLAutoTuner:
 
     # -- stages ------------------------------------------------------------
 
-    def collect_training_data(self, rng: np.random.Generator) -> MeasurementSet:
+    def collect_training_data(
+        self, rng: np.random.Generator, cost0: Optional[float] = None
+    ) -> MeasurementSet:
         """Stage one: measure ``n_train`` uniform random configurations.
 
         When invalid or quarantined draws leave fewer valid measurements
@@ -115,12 +128,21 @@ class MLAutoTuner:
         ``settings.replenish_rounds`` of them, every one charged to the
         ledger — before giving up.  Previously this starvation crashed
         ``train_model`` with "increase n_train".
+
+        ``cost0`` is the ledger snapshot the run's budget
+        (``settings.max_cost_s``) is measured against; replenish rounds
+        stop once the budget is spent (the batch already measured stays —
+        its cost is charged either way).
         """
         need = max(2, self.settings.k_bag)
         train = self.measurer.sample_and_measure(self.settings.n_train, rng)
         rounds = 0
         tracer = self.context.tracer
-        while train.n_valid < need and rounds < self.settings.replenish_rounds:
+        while (
+            train.n_valid < need
+            and rounds < self.settings.replenish_rounds
+            and not self._budget_spent(cost0)
+        ):
             rounds += 1
             with tracer.span("stage1.replenish", round=rounds) as sp:
                 extra = self.measurer.sample_and_measure(
@@ -131,6 +153,13 @@ class MLAutoTuner:
         self.replenish_rounds_used = rounds
         self.training_set = train
         return train
+
+    def _budget_spent(self, cost0: Optional[float]) -> bool:
+        """True when this run's ledger spend has crossed ``max_cost_s``."""
+        budget = self.settings.max_cost_s
+        if budget is None or cost0 is None:
+            return False
+        return self.context.ledger.total_s - cost0 >= budget
 
     def train_model(self, seed: Optional[int] = None) -> PerformanceModel:
         """Fit the bagged-ANN performance model on the stage-one data."""
@@ -228,7 +257,7 @@ class MLAutoTuner:
             "tune", kernel=self.spec.name, device=self.context.device.name
         ):
             with tracer.span("stage1.measure") as sp:
-                train = self.collect_training_data(rng)
+                train = self.collect_training_data(rng, cost0=cost0)
                 sp.set(
                     n_valid=train.n_valid,
                     n_invalid=train.n_invalid,
@@ -236,18 +265,39 @@ class MLAutoTuner:
                 )
             tracer.count("tuner.stage1_valid", train.n_valid)
             tracer.count("tuner.stage1_invalid", train.n_invalid)
-            with tracer.span("stage2.train"):
-                self.train_model(model_seed)
-            with tracer.span("stage2.propose") as sp:
-                candidates = self.propose_candidates(rng)
-                sp.set(m=len(candidates))
-            with tracer.span("stage2.evaluate") as sp:
-                stage2 = self.evaluate_candidates(candidates)
-                sp.set(n_valid=stage2.n_valid, n_invalid=stage2.n_invalid)
+            budget_spent = self._budget_spent(cost0)
+            if budget_spent:
+                # The budget died in stage one: stop measuring, return the
+                # best sample already paid for.  Training a model whose
+                # candidates we cannot afford to measure would be wasted
+                # wall-clock — and a capped request must never crash.
+                tracer.event("tuner.budget_exhausted", stage="stage1")
+                candidates = np.empty(0, dtype=np.int64)
+                stage2 = self.stage2_set = MeasurementSet(
+                    indices=np.empty(0, dtype=np.int64),
+                    times_s=np.empty(0, dtype=np.float64),
+                    invalid_indices=np.empty(0, dtype=np.int64),
+                )
+            else:
+                with tracer.span("stage2.train"):
+                    self.train_model(model_seed)
+                with tracer.span("stage2.propose") as sp:
+                    candidates = self.propose_candidates(rng)
+                    sp.set(m=len(candidates))
+                with tracer.span("stage2.evaluate") as sp:
+                    stage2 = self.evaluate_candidates(candidates)
+                    sp.set(n_valid=stage2.n_valid, n_invalid=stage2.n_invalid)
             tracer.count("tuner.stage2_invalid", stage2.n_invalid)
 
             degraded, reason = False, ""
-            if stage2.n_valid > 0:
+            if budget_spent:
+                if train.n_valid > 0:
+                    best_index, best_time = train.best()
+                    degraded, reason = True, "budget_exhausted"
+                else:
+                    best_index, best_time = -1, float("nan")
+                    degraded, reason = True, "no_valid_measurements"
+            elif stage2.n_valid > 0:
                 best_index, best_time = stage2.best()
             elif train.n_valid > 0:
                 # Every stage-two candidate failed (invalid, or transient
@@ -269,6 +319,8 @@ class MLAutoTuner:
             breakdown["stage1_replenish_rounds"] = self.replenish_rounds_used
         if reason == "stage2_exhausted":
             breakdown["stage2_fallback"] = 1
+        if reason == "budget_exhausted":
+            breakdown["budget_exhausted"] = 1
 
         measured = (
             train.n_valid + train.n_invalid + train.n_quarantined

@@ -28,9 +28,11 @@ PAPER_GATHER_MIN = 30.0
 PAPER_TRAIN_MIN = 1.0
 
 
-def run(device_key: str = "nvidia", n_train: int = 2000, seed: int = 0) -> Dict:
+def run(
+    device_key: str = "nvidia", n_train: int = 2000, seed: int = 0, faults=None
+) -> Dict:
     spec = ConvolutionKernel()
-    ctx = Context(DEVICES[device_key], seed=seed)
+    ctx = Context(DEVICES[device_key], seed=seed, faults=faults)
     measurer = Measurer(ctx, spec, repeats=3)
     ms = measurer.sample_and_measure(n_train, np.random.default_rng(seed))
 

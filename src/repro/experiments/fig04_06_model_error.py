@@ -43,6 +43,7 @@ def error_curve(
     holdout: int,
     repeats: int = 1,
     seed: int = 0,
+    faults=None,
 ) -> Dict:
     """Mean relative error at each training size for one (benchmark, device).
 
@@ -50,13 +51,18 @@ def error_curve(
     samples form each training prefix (the paper: "we built several neural
     networks using different configurations for each training size and
     report the mean").
+
+    ``faults`` (a profile spec/instance, as ``Context`` accepts) runs the
+    measurement pool through the resilient pipeline — the error curve of
+    a flaky rig instead of a perfect one.  None is bit-identical to the
+    fault-free path.
     """
     spec = get_benchmark(benchmark)
     device = DEVICES[device_key]
     max_n = max(training_sizes)
     rng = np.random.default_rng(seed)
 
-    ctx = Context(device, seed=seed)
+    ctx = Context(device, seed=seed, faults=faults)
     measurer = Measurer(ctx, spec)
     # Oversample: invalid configurations are dropped, and the holdout must
     # stay disjoint from every training prefix.
@@ -92,6 +98,7 @@ def run(
     devices=MAIN_DEVICES,
     benchmarks=tuple(BENCHMARKS),
     seed: int = 0,
+    faults=None,
 ) -> Dict:
     p = get_preset(preset)
     curves = {}
@@ -104,6 +111,7 @@ def run(
                 p.holdout,
                 repeats=p.repeats,
                 seed=seed,
+                faults=faults,
             )
     return {
         "preset": p.name,

@@ -17,12 +17,12 @@ NVIDIA_GENERATIONS = ("c2070", "nvidia", "gtx980")  # Fermi, Kepler, Maxwell
 LABELS = {"c2070": "C2070", "nvidia": "K40", "gtx980": "GTX980"}
 
 
-def run(preset=None, seed: int = 0) -> Dict:
+def run(preset=None, seed: int = 0, faults=None) -> Dict:
     p = get_preset(preset)
     curves = {
         dev: error_curve(
             "convolution", dev, p.training_sizes, p.holdout, repeats=p.repeats,
-            seed=seed,
+            seed=seed, faults=faults,
         )
         for dev in NVIDIA_GENERATIONS
     }

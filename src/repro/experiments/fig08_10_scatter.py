@@ -28,12 +28,15 @@ FIGURE_BY_DEVICE = {"intel": "Figure 8", "nvidia": "Figure 9", "amd": "Figure 10
 
 
 def scatter_for_device(
-    device_key: str, n_train: int = 2000, n_points: int = 100, seed: int = 0
+    device_key: str, n_train: int = 2000, n_points: int = 100, seed: int = 0,
+    faults=None,
 ) -> Dict:
     """Train one model (no averaging, as in the paper's scatter figures)
-    and predict ``n_points`` held-out configurations."""
+    and predict ``n_points`` held-out configurations.  ``faults`` routes
+    the measurement pool through the resilient pipeline (None is the
+    fault-free path, bit-identical to omitting the argument)."""
     spec = ConvolutionKernel()
-    ctx = Context(DEVICES[device_key], seed=seed)
+    ctx = Context(DEVICES[device_key], seed=seed, faults=faults)
     measurer = Measurer(ctx, spec)
     rng = np.random.default_rng(seed)
     pool = measurer.sample_and_measure(int((n_train + n_points) * 1.9) + 100, rng)
@@ -70,10 +73,13 @@ def scatter_for_device(
     }
 
 
-def run(devices=MAIN_DEVICES, n_train: int = 2000, seed: int = 0) -> Dict:
+def run(devices=MAIN_DEVICES, n_train: int = 2000, seed: int = 0, faults=None) -> Dict:
     return {
         "devices": tuple(devices),
-        "scatter": {d: scatter_for_device(d, n_train=n_train, seed=seed) for d in devices},
+        "scatter": {
+            d: scatter_for_device(d, n_train=n_train, seed=seed, faults=faults)
+            for d in devices
+        },
     }
 
 

@@ -32,6 +32,7 @@ import json
 import os
 import re
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
@@ -131,6 +132,9 @@ class OracleStore:
     def __init__(self, root) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Serializes stat updates; file-level safety comes from atomic
+        # replace, but the counters are plain dict arithmetic.
+        self._lock = threading.Lock()
         #: hit/miss/stale accounting, keyed like tracer counters.
         self.stats: Dict[str, int] = {
             "full_hit": 0,
@@ -142,6 +146,10 @@ class OracleStore:
             "partial_entries_loaded": 0,
             "partial_entries_saved": 0,
         }
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        with self._lock:
+            self.stats[key] += n
 
     # -- paths -----------------------------------------------------------------
 
@@ -185,7 +193,7 @@ class OracleStore:
         path, meta_path = self.full_path(key), self.meta_path(key)
         if not path.exists() or not meta_path.exists():
             if count_miss:
-                self.stats["full_miss"] += 1
+                self._bump("full_miss")
             return None
         try:
             meta = json.loads(meta_path.read_text())
@@ -194,8 +202,8 @@ class OracleStore:
                 f"oracle-store sidecar {meta_path} is unreadable: {exc}"
             ) from exc
         if not self._check_meta(meta, key, path):
-            self.stats["full_stale"] += 1
-            self.stats["full_miss"] += 1
+            self._bump("full_stale")
+            self._bump("full_miss")
             return None
         try:
             table = np.load(path, mmap_mode="r", allow_pickle=False)
@@ -208,7 +216,7 @@ class OracleStore:
                 f"oracle-store archive {path} has shape {table.shape}, "
                 f"expected ({key.space_size},)"
             )
-        self.stats["full_hit"] += 1
+        self._bump("full_hit")
         return table
 
     def save_full(self, key: OracleKey, times: np.ndarray) -> Path:
@@ -223,7 +231,7 @@ class OracleStore:
         # The sidecar is the commit point: readers require both files.
         meta_blob = json.dumps(key.meta(), indent=2).encode()
         _atomic_write_bytes(self.meta_path(key), lambda fh: fh.write(meta_blob))
-        self.stats["full_saved"] += 1
+        self._bump("full_saved")
         return path
 
     # -- partial tables --------------------------------------------------------
@@ -234,7 +242,7 @@ class OracleStore:
         """Persisted (indices, times) of a sampled table, or None."""
         path = self.partial_path(key)
         if not path.exists():
-            self.stats["partial_miss"] += 1
+            self._bump("partial_miss")
             return None
         try:
             with np.load(path, allow_pickle=False) as npz:
@@ -248,7 +256,7 @@ class OracleStore:
                 f"oracle-store archive {path} is corrupt or truncated: {exc}"
             ) from exc
         if not self._check_meta(meta, key, path):
-            self.stats["partial_miss"] += 1
+            self._bump("partial_miss")
             return None
         if indices.shape != times.shape or indices.ndim != 1:
             raise OracleStoreError(
@@ -260,8 +268,8 @@ class OracleStore:
                 f"oracle-store archive {path} has indices outside "
                 f"[0, {key.space_size})"
             )
-        self.stats["partial_hit"] += 1
-        self.stats["partial_entries_loaded"] += int(indices.size)
+        self._bump("partial_hit")
+        self._bump("partial_entries_loaded", int(indices.size))
         return indices, times
 
     def save_partial(
@@ -294,13 +302,14 @@ class OracleStore:
             path,
             lambda fh: np.savez(fh, meta=meta_blob, indices=indices, times=times),
         )
-        self.stats["partial_entries_saved"] += int(indices.size)
+        self._bump("partial_entries_saved", int(indices.size))
         return path
 
     # -- accounting ------------------------------------------------------------
 
     def stats_snapshot(self) -> Dict[str, int]:
-        return dict(self.stats)
+        with self._lock:
+            return dict(self.stats)
 
 
 class OracleProvider:

@@ -39,56 +39,72 @@ from repro.experiments import (
 from repro.experiments.presets import get_preset
 from repro.obs import NULL_TRACER
 
-#: Experiment registry: id -> (title, run(preset, seed) -> results, format).
+#: Experiment registry: id -> (title, run(preset, seed, faults) -> results,
+#: format).  ``faults`` only reaches the experiments that measure through
+#: ``Context``/``Measurer``; oracle-backed ground truth stays fault-free.
 EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
     "tables": (
         "Tables 1-2: benchmarks and parameter spaces",
-        lambda preset, seed: tables.run(),
+        lambda preset, seed, faults=None: tables.run(),
         tables.format_text,
     ),
     "fig01": (
         "Figure 1: cross-device slowdowns",
-        lambda preset, seed: fig01_motivation.run(seed=seed),
+        lambda preset, seed, faults=None: fig01_motivation.run(seed=seed),
         fig01_motivation.format_text,
     ),
     "fig02": (
         "Figure 2: network topology",
-        lambda preset, seed: fig02_ann.run(),
+        lambda preset, seed, faults=None: fig02_ann.run(),
         fig02_ann.format_text,
     ),
     "fig04-06": (
         "Figures 4-6: model error vs training size",
-        lambda preset, seed: fig04_06_model_error.run(preset=preset, seed=seed),
+        lambda preset, seed, faults=None: fig04_06_model_error.run(
+            preset=preset, seed=seed, faults=faults
+        ),
         fig04_06_model_error.format_text,
     ),
     "fig07": (
         "Figure 7: Nvidia generations",
-        lambda preset, seed: fig07_nvidia_generations.run(preset=preset, seed=seed),
+        lambda preset, seed, faults=None: fig07_nvidia_generations.run(
+            preset=preset, seed=seed, faults=faults
+        ),
         fig07_nvidia_generations.format_text,
     ),
     "fig08-10": (
         "Figures 8-10: predicted vs actual scatter",
-        lambda preset, seed: fig08_10_scatter.run(seed=seed),
+        lambda preset, seed, faults=None: fig08_10_scatter.run(
+            seed=seed, faults=faults
+        ),
         fig08_10_scatter.format_text,
     ),
     "fig11-13": (
         "Figures 11-13: tuner slowdown grid",
-        lambda preset, seed: fig11_13_autotuner.run(preset=preset, seed=seed),
+        lambda preset, seed, faults=None: fig11_13_autotuner.run(
+            preset=preset, seed=seed
+        ),
         fig11_13_autotuner.format_text,
     ),
     "fig14": (
         "Figure 14: large spaces",
-        lambda preset, seed: fig14_large_spaces.run(preset=preset, seed=seed),
+        lambda preset, seed, faults=None: fig14_large_spaces.run(
+            preset=preset, seed=seed
+        ),
         fig14_large_spaces.format_text,
     ),
     "cost": (
         "S6: tuning-cost accounting",
-        lambda preset, seed: cost_accounting.run(seed=seed),
+        lambda preset, seed, faults=None: cost_accounting.run(
+            seed=seed, faults=faults
+        ),
         cost_accounting.format_text,
     ),
     "sec7": (
         "S7: discussion mechanisms quantified",
-        lambda preset, seed: sec7_discussion.run(preset=preset, seed=seed),
+        lambda preset, seed, faults=None: sec7_discussion.run(
+            preset=preset, seed=seed
+        ),
         sec7_discussion.format_text,
     ),
 }
@@ -102,6 +118,7 @@ def run_all(
     jobs: Optional[int] = None,
     oracle_store=None,
     tracer=None,
+    faults=None,
 ) -> Dict[str, str]:
     """Run (a subset of) the experiments; returns id -> rendered text.
 
@@ -114,6 +131,9 @@ def run_all(
     ``oracle_store`` (a directory path or :class:`OracleStore`) persists
     ground-truth tables across runs and processes.  ``tracer`` receives
     per-unit spans, per-experiment wall gauges and oracle-store counters.
+    ``faults`` (a fault-profile spec, e.g. ``"flaky-gpu"``) is stamped
+    onto every runtime-backed unit so the measurement paths exercise the
+    resilient pipeline; oracle-backed ground truth ignores it.
     """
     from repro.experiments.scheduler import (
         build_plan,
@@ -140,6 +160,7 @@ def run_all(
         p,
         seed,
         warmup=serial or oracle_store is not None,
+        faults=faults,
     )
     t0 = time.perf_counter()
     with tracer.span("run_all", preset=p.name, units=len(units), jobs=jobs or 1):
@@ -211,6 +232,11 @@ def main(argv=None) -> None:
                     help="directory of persistent ground-truth tables "
                          "(default: $REPRO_ORACLE_STORE if set); tables are "
                          "computed once ever and memory-mapped afterwards")
+    ap.add_argument("--faults", default=None,
+                    help="fault-profile spec applied to runtime-backed "
+                         "units (e.g. flaky-gpu or "
+                         "'noisy-rig:p_outlier=0.2'); ground-truth oracle "
+                         "units always stay fault-free")
     ap.add_argument("--trace", default=None,
                     help="write a JSONL trace of the run (per-unit spans, "
                          "per-experiment timings; see 'repro trace-summary')")
@@ -228,12 +254,13 @@ def main(argv=None) -> None:
             manifest=run_manifest(
                 command="run_all", preset=p.name, seed=args.seed,
                 only=only, jobs=jobs or 1, oracle_store=store,
+                faults=args.faults,
             ),
         )
     try:
         rendered = run_all(
             preset=p, seed=args.seed, only=only, jobs=jobs,
-            oracle_store=store, tracer=tracer,
+            oracle_store=store, tracer=tracer, faults=args.faults,
         )
     finally:
         if tracer is not None:

@@ -33,7 +33,7 @@ import shutil
 import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -67,6 +67,11 @@ class Unit:
     kind: str
     payload: tuple
     deps: Tuple[str, ...] = ()
+    #: Fault-profile spec string applied to runtime-backed units (the ones
+    #: that measure through ``Context``/``Measurer``).  Oracle-backed
+    #: ground-truth units ignore it: the oracle is evaluation machinery and
+    #: must stay noise- and fault-free.  None (default) = fault-free.
+    faults: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -84,18 +89,18 @@ class UnitOutcome:
 # own run() performs for that slice, including rng seeding.
 
 
-def _run_warmup(payload, p: Preset, seed: int, provider: OracleProvider):
+def _run_warmup(payload, p: Preset, seed: int, provider: OracleProvider, faults=None):
     kernel, device_key = payload
     provider.oracle(get_benchmark(kernel), DEVICES[device_key]).full_table()
     return None
 
 
-def _run_fig01(payload, p: Preset, seed: int, provider: OracleProvider):
+def _run_fig01(payload, p: Preset, seed: int, provider: OracleProvider, faults=None):
     (devices,) = payload
     return fig01_motivation.run(devices=devices, seed=seed, oracles=provider)
 
 
-def _run_fig11_grid(payload, p: Preset, seed: int, provider: OracleProvider):
+def _run_fig11_grid(payload, p: Preset, seed: int, provider: OracleProvider, faults=None):
     (device,) = payload
     return fig11_13_autotuner.tuner_grid_for_device(
         device,
@@ -107,7 +112,7 @@ def _run_fig11_grid(payload, p: Preset, seed: int, provider: OracleProvider):
     )
 
 
-def _run_fig14_cell(payload, p: Preset, seed: int, provider: OracleProvider):
+def _run_fig14_cell(payload, p: Preset, seed: int, provider: OracleProvider, faults=None):
     benchmark, device = payload
     return fig14_large_spaces.tune_large_space(
         benchmark,
@@ -120,54 +125,54 @@ def _run_fig14_cell(payload, p: Preset, seed: int, provider: OracleProvider):
     )
 
 
-def _run_fig0406_curve(payload, p: Preset, seed: int, provider: OracleProvider):
+def _run_fig0406_curve(payload, p: Preset, seed: int, provider: OracleProvider, faults=None):
     device, benchmark = payload
     return fig04_06_model_error.error_curve(
         benchmark, device, p.training_sizes, p.holdout, repeats=p.repeats,
-        seed=seed,
+        seed=seed, faults=faults,
     )
 
 
-def _run_fig07_curve(payload, p: Preset, seed: int, provider: OracleProvider):
+def _run_fig07_curve(payload, p: Preset, seed: int, provider: OracleProvider, faults=None):
     (device,) = payload
     return fig04_06_model_error.error_curve(
         "convolution", device, p.training_sizes, p.holdout,
-        repeats=p.repeats, seed=seed,
+        repeats=p.repeats, seed=seed, faults=faults,
     )
 
 
-def _run_fig0810_scatter(payload, p: Preset, seed: int, provider: OracleProvider):
+def _run_fig0810_scatter(payload, p: Preset, seed: int, provider: OracleProvider, faults=None):
     (device,) = payload
-    return fig08_10_scatter.scatter_for_device(device, seed=seed)
+    return fig08_10_scatter.scatter_for_device(device, seed=seed, faults=faults)
 
 
-def _run_sec7_sensitivity(payload, p: Preset, seed: int, provider: OracleProvider):
+def _run_sec7_sensitivity(payload, p: Preset, seed: int, provider: OracleProvider, faults=None):
     (device,) = payload
     return sec7_discussion.memory_sensitivity_for_device(
         device, seed=seed, n_base=p.sec7_n_base, oracles=provider
     )
 
 
-def _run_sec7_amd(payload, p: Preset, seed: int, provider: OracleProvider):
+def _run_sec7_amd(payload, p: Preset, seed: int, provider: OracleProvider, faults=None):
     (benchmark,) = payload
     return sec7_discussion.amd_unroll_error(
         benchmark, seed=seed, n_train=p.sec7_n_train, holdout=p.sec7_holdout
     )
 
 
-def _run_sec7_invalid(payload, p: Preset, seed: int, provider: OracleProvider):
+def _run_sec7_invalid(payload, p: Preset, seed: int, provider: OracleProvider, faults=None):
     return sec7_discussion.invalid_fraction_by_device(
         seed=seed, n=p.sec7_invalid_n, oracles=provider
     )
 
 
-def _run_experiment(payload, p: Preset, seed: int, provider: OracleProvider):
+def _run_experiment(payload, p: Preset, seed: int, provider: OracleProvider, faults=None):
     """Fallback for experiments that run as a single unit."""
     from repro.experiments.run_all import EXPERIMENTS
 
     (exp_id,) = payload
     _, run_fn, _ = EXPERIMENTS[exp_id]
-    return run_fn(p, seed)
+    return run_fn(p, seed, faults)
 
 
 UNIT_RUNNERS: Dict[str, Callable] = {
@@ -189,7 +194,8 @@ UNIT_RUNNERS: Dict[str, Callable] = {
 
 
 def build_plan(
-    wanted: Sequence[str], p: Preset, seed: int, warmup: bool = True
+    wanted: Sequence[str], p: Preset, seed: int, warmup: bool = True,
+    faults: Optional[str] = None,
 ) -> List[Unit]:
     """Units (in a valid topological order) for the requested experiments.
 
@@ -197,6 +203,12 @@ def build_plan(
     table readers; pass False when units cannot share tables (parallel
     execution without a store), where a warm-up would just be discarded
     work in a throwaway process.
+
+    ``faults`` (a profile spec string, e.g. ``"flaky-gpu"``) is stamped on
+    every unit and applied by the runtime-backed runners; it used to be
+    silently dropped here — ``--faults`` existed only on ``tune`` and
+    ``campaign``, so scheduled experiment campaigns always ran fault-free
+    no matter what the user configured.
     """
     from repro.experiments.run_all import EXPERIMENTS
 
@@ -208,6 +220,7 @@ def build_plan(
             return ()
         uid = f"warmup/{kernel}@{device}"
         if uid not in warmed:
+            # Warm-ups build ground truth: never fault-injected.
             warmed[uid] = Unit(uid, "warmup", "warmup", (kernel, device))
             units.append(warmed[uid])
         return (uid,)
@@ -252,6 +265,11 @@ def build_plan(
             units.append(Unit("sec7/invalid", exp_id, "sec7-invalid", ()))
         else:
             units.append(Unit(f"{exp_id}", exp_id, "experiment", (exp_id,)))
+    if faults:
+        units = [
+            u if u.kind == "warmup" else replace(u, faults=faults)
+            for u in units
+        ]
     return units
 
 
@@ -351,7 +369,7 @@ def _run_unit_worker(args) -> tuple:
     process boundary.
     """
     unit_tuple, preset, seed, store_root, trace_path = args
-    uid, exp_id, kind, payload = unit_tuple
+    uid, exp_id, kind, payload, faults = unit_tuple
     provider = OracleProvider(OracleStore(store_root) if store_root else None)
     if trace_path:
         tracer = Tracer(
@@ -363,7 +381,7 @@ def _run_unit_worker(args) -> tuple:
     t0 = time.perf_counter()
     try:
         with tracer.span(f"unit:{uid}", kind=kind, experiment=exp_id):
-            result = UNIT_RUNNERS[kind](payload, preset, seed, provider)
+            result = UNIT_RUNNERS[kind](payload, preset, seed, provider, faults)
         provider.flush()
     finally:
         _record_store_stats(tracer, provider.stats_snapshot())
@@ -408,7 +426,7 @@ def execute_plan(
         for u in units:  # build_plan order is topological
             t0 = time.perf_counter()
             with tracer.span(f"unit:{u.uid}", kind=u.kind, experiment=u.exp_id):
-                result = UNIT_RUNNERS[u.kind](u.payload, p, seed, provider)
+                result = UNIT_RUNNERS[u.kind](u.payload, p, seed, provider, u.faults)
             # Persist partial tables eagerly so a crash loses one unit of
             # work at most, and later processes start warm.
             provider.flush()
@@ -431,7 +449,7 @@ def execute_plan(
             if trace_path:
                 trace_paths[u.uid] = trace_path
             args_by_uid[u.uid] = (
-                (u.uid, u.exp_id, u.kind, u.payload),
+                (u.uid, u.exp_id, u.kind, u.payload, u.faults),
                 p,
                 seed,
                 str(store.root) if store is not None else None,

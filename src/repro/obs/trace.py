@@ -29,10 +29,12 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import sys
+import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 #: Version stamp of the JSONL event schema (see docs/observability.md).
 SCHEMA_VERSION = 1
@@ -201,6 +203,18 @@ class Tracer:
         Cost ledger snapshotted around every span (``cost_s`` deltas).
         ``Context`` binds its own ledger on construction when the tracer
         has none yet.
+    sink:
+        Optional callable invoked with every emitted record (after JSON
+        coercion).  The ``repro.serve`` daemon streams progress to a
+        client by pointing a per-request tracer's sink at the client's
+        event queue.  A sink-only tracer (no path) does *not* accumulate
+        records in memory — a long-lived server must not grow without
+        bound.
+
+    Writes are serialized under an internal lock, so one tracer may be
+    shared by concurrent threads without interleaving half-written lines;
+    a span that exits on an exception path flushes and fsyncs the file
+    immediately, so a crashed (or killed) run keeps the spans it paid for.
     """
 
     enabled = True
@@ -210,16 +224,20 @@ class Tracer:
         path=None,
         manifest: Optional[Mapping[str, Any]] = None,
         ledger=None,
+        sink: Optional[Callable[[Dict[str, Any]], None]] = None,
     ):
         self.path = Path(path) if path is not None else None
         self.ledger = ledger
+        self.sink = sink
         self.records: List[dict] = []
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, Any] = {}
         self._fh = None
+        self._lock = threading.Lock()
         self._stack: List[Span] = []
         self._t0 = time.perf_counter()
         self._closed = False
+        self._closing = False
         if manifest is not None:
             self.emit(
                 {"type": "manifest", "schema": SCHEMA_VERSION, **dict(manifest)}
@@ -228,17 +246,27 @@ class Tracer:
     # -- record sink -----------------------------------------------------------
 
     def emit(self, record: Mapping[str, Any]) -> None:
-        """Append one record to the trace (file or memory)."""
-        if self._closed:
-            raise RuntimeError("tracer already closed")
+        """Append one record to the trace (file, sink and/or memory)."""
         record = _jsonable(record)
-        if self.path is not None:
-            if self._fh is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._fh = open(self.path, "w")
-            self._fh.write(json.dumps(record, allow_nan=False) + "\n")
-        else:
-            self.records.append(record)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("tracer already closed")
+            if self.path is not None:
+                if self._fh is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._fh = open(self.path, "w")
+                self._fh.write(json.dumps(record, allow_nan=False) + "\n")
+            elif self.sink is None:
+                self.records.append(record)
+        if self.sink is not None:
+            self.sink(record)
+
+    def flush(self) -> None:
+        """Push buffered records to durable storage (flush + fsync)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
 
     def _now(self) -> float:
         return time.perf_counter() - self._t0
@@ -276,16 +304,22 @@ class Tracer:
         if span.attrs:
             record["attrs"] = span.attrs
         self.emit(record)
+        if failed:
+            # Exception path: make the span durable *now* — the process
+            # may be about to die, and buffered spans are the evidence.
+            self.flush()
 
     # -- metrics ---------------------------------------------------------------
 
     def count(self, name: str, n=1) -> None:
         """Add ``n`` to a monotonically accumulating counter."""
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def gauge(self, name: str, value) -> None:
         """Record a last-value-wins measurement."""
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     def event(self, name: str, **attrs) -> None:
         """One point-in-time record (checkpoints, loss curves, notes)."""
@@ -333,19 +367,23 @@ class Tracer:
 
     def close(self) -> None:
         """Flush aggregate counters/gauges and release the file handle."""
-        if self._closed:
-            return
+        with self._lock:
+            if self._closed or self._closing:
+                return
+            self._closing = True
         while self._stack:  # abandoned spans (crash paths) still emit
             self._exit(self._stack[-1], failed=True)
         if self.counters:
             self.emit({"type": "counters", "values": dict(self.counters)})
         if self.gauges:
             self.emit({"type": "gauges", "values": dict(self.gauges)})
-        if self._fh is not None:
-            self._fh.flush()
-            self._fh.close()
-            self._fh = None
-        self._closed = True
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                self._fh.close()
+                self._fh = None
+            self._closed = True
 
     def __enter__(self) -> "Tracer":
         return self

@@ -1,0 +1,105 @@
+"""Campaign execution for the daemon: the CLI ``tune`` path, verbatim.
+
+A fresh campaign must be bit-identical to ``repro tune`` with the same
+``(kernel, device, n_train, m_candidates, seed)``: same ``Context``
+construction, same RNG seeding, same ``tune(rng, model_seed=seed)``
+call.  The only deliberate additions are invisible to the numbers —
+the shared measurement broker (whose FIFO execution through
+``measure_batch_direct`` preserves the engine's serial-equivalence
+invariant) and an optional streaming tracer (observability only).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.measure import Measurer
+from repro.core.tuner import MLAutoTuner, TunerSettings
+from repro.kernels import get_benchmark
+from repro.obs import NULL_TRACER, Tracer
+from repro.runtime import Context
+from repro.simulator.devices import get_device
+
+from repro.serve.state import CampaignKey
+
+
+def result_payload(result, space) -> Dict[str, Any]:
+    """JSON-portable view of a :class:`~repro.core.results.TuningResult`."""
+    best_config = None
+    if not result.failed:
+        best_config = dict(space[result.best_index])
+    return {
+        "kernel": result.kernel,
+        "device": result.device,
+        "best_index": int(result.best_index),
+        "best_config": best_config,
+        "best_time_s": float(result.best_time_s),
+        "n_trained": int(result.n_trained),
+        "n_stage2": int(result.n_stage2),
+        "stage2_invalid": int(result.stage2_invalid),
+        "evaluated_fraction": float(result.evaluated_fraction),
+        "total_cost_s": float(result.total_cost_s),
+        "failed": bool(result.failed),
+        "degraded": bool(result.degraded),
+        "degraded_reason": result.degraded_reason,
+        "failure_breakdown": dict(result.failure_breakdown),
+    }
+
+
+def run_campaign(
+    key: CampaignKey,
+    batcher=None,
+    sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> Dict[str, Any]:
+    """Execute one campaign; returns payload + accounting + the model.
+
+    Runs synchronously (the server dispatches it to a worker thread).
+    ``batcher`` routes every measurement batch through the shared broker;
+    ``sink`` receives the campaign's trace records as they happen.
+    """
+    spec = get_benchmark(key.kernel)
+    device = get_device(key.device)
+    tracer = Tracer(sink=sink) if sink is not None else NULL_TRACER
+    ctx = Context(device, seed=key.seed, tracer=tracer, faults=key.faults)
+    settings = TunerSettings(
+        n_train=key.n_train,
+        m_candidates=key.m_candidates,
+        max_cost_s=key.budget_s,
+    )
+    measurer = Measurer(ctx, spec, repeats=settings.repeats, batcher=batcher)
+    tuner = MLAutoTuner(ctx, spec, settings, measurer=measurer)
+    rng = np.random.default_rng(key.seed)
+    t0 = time.perf_counter()
+    try:
+        result = tuner.tune(rng, model_seed=key.seed)
+    finally:
+        tracer.close()
+    wall_s = time.perf_counter() - t0
+
+    model = tuner.model
+    if model is not None:
+        # The model outlives the campaign in the shared cache; detach the
+        # (now closed) campaign tracer so later predicts don't emit into it.
+        model.tracer = NULL_TRACER
+        if model._model is not None:
+            model._model.tracer = NULL_TRACER
+        model._sweeper = None  # was compiled against the closed tracer
+
+    ledger = ctx.ledger
+    return {
+        "result": result_payload(result, spec.space),
+        "cost": {
+            "compile_s": ledger.compile_s,
+            "run_s": ledger.run_s,
+            "failed_s": ledger.failed_s,
+            "retry_s": ledger.retry_s,
+            "total_s": ledger.total_s,
+        },
+        "wall_s": wall_s,
+        # Fitted stage-one model (None when training was skipped/degraded);
+        # the server parks it in the shared ModelCache for `predict`.
+        "model": model,
+    }

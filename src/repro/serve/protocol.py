@@ -1,0 +1,134 @@
+"""Line-JSON wire protocol of the tuning daemon.
+
+One JSON object per line, both directions.  Requests carry an ``op`` and
+an optional client-chosen ``id`` the server echoes on every response, so
+a client may pipeline requests over one connection.
+
+Requests
+--------
+``{"op": "tune", "id": "r1", "kernel": "convolution", "device": "nvidia",
+"n_train": 1000, "m_candidates": 100, "seed": 0, "budget_s": null,
+"faults": null, "stream": false}``
+    Run (or join, or replay) a tuning campaign.  ``budget_s`` caps the
+    campaign's simulated ledger spend (see ``TunerSettings.max_cost_s``);
+    ``stream: true`` subscribes the client to the campaign's trace events.
+``{"op": "predict", "kernel": ..., "device": ..., "n_train": ..., "seed":
+..., "config": {...name: value...}}``
+    Predict one configuration's time from the shared model cache (a model
+    is cached by every fresh campaign).
+``{"op": "stats"}``, ``{"op": "ping"}``, ``{"op": "shutdown"}``
+    Server counters; liveness; graceful drain (finish in-flight
+    campaigns, then stop accepting).
+
+Responses (``type`` field)
+--------------------------
+``ack``       tune admitted: ``coalesced``/``cached`` say how.
+``event``     one trace record of a streamed campaign (``record``).
+``result``    terminal success: the campaign payload plus accounting.
+``rejected``  admission control: ``reason`` in ``{"queue_full",
+              "client_budget_exhausted", "draining"}``; ``retry_after_s``
+              is the server's backoff hint.
+``error``     malformed/unknown request; the connection stays open.
+
+Every line is strict JSON (non-finite floats are encoded as strings by
+the emitting layer, matching the trace-file convention).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Mapping, Optional
+
+#: Protocol revision, echoed in every hello/stats payload.
+PROTOCOL_VERSION = 1
+
+#: Defaults applied to ``tune`` requests (mirrors ``repro tune`` CLI).
+TUNE_DEFAULTS: Dict[str, Any] = {
+    "n_train": 1000,
+    "m_candidates": 100,
+    "seed": 0,
+    "budget_s": None,
+    "faults": None,
+    "stream": False,
+}
+
+
+class ProtocolError(ValueError):
+    """A request the server cannot interpret (reported, never fatal)."""
+
+
+def _strict(value):
+    """Keep every line strict JSON: non-finite floats become strings."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if isinstance(value, Mapping):
+        return {str(k): _strict(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_strict(v) for v in value]
+    return value
+
+
+def encode(obj: Mapping[str, Any]) -> bytes:
+    """One wire line (newline-terminated UTF-8 JSON)."""
+    return (json.dumps(_strict(obj), allow_nan=False) + "\n").encode("utf-8")
+
+
+def decode(line: bytes | str) -> Dict[str, Any]:
+    """Parse one wire line into a request dict."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty request line")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    if "op" not in obj:
+        raise ProtocolError("request missing 'op'")
+    return obj
+
+
+def validate_tune(req: Mapping[str, Any]) -> Dict[str, Any]:
+    """Canonicalize a ``tune`` request: defaults applied, types checked.
+
+    Kernel/device *existence* is the server's job (it owns the catalogs);
+    this layer only enforces shape so admission control never sees junk.
+    """
+    out = dict(TUNE_DEFAULTS)
+    for field in ("kernel", "device"):
+        value = req.get(field)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(f"tune request needs a string '{field}'")
+        out[field] = value
+    for field in ("n_train", "m_candidates", "seed"):
+        if field in req and req[field] is not None:
+            if not isinstance(req[field], int) or isinstance(req[field], bool):
+                raise ProtocolError(f"'{field}' must be an integer")
+            out[field] = req[field]
+    if out["n_train"] < 1 or out["m_candidates"] < 1:
+        raise ProtocolError("'n_train' and 'm_candidates' must be >= 1")
+    if "budget_s" in req and req["budget_s"] is not None:
+        budget = req["budget_s"]
+        if not isinstance(budget, (int, float)) or isinstance(budget, bool):
+            raise ProtocolError("'budget_s' must be a number")
+        if budget <= 0:
+            raise ProtocolError("'budget_s' must be positive")
+        out["budget_s"] = float(budget)
+    if "faults" in req and req["faults"] is not None:
+        if not isinstance(req["faults"], str):
+            raise ProtocolError("'faults' must be a profile spec string")
+        out["faults"] = req["faults"]
+    out["stream"] = bool(req.get("stream", False))
+    return out
+
+
+def response(type_: str, req_id: Optional[str], **fields) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"type": type_}
+    if req_id is not None:
+        out["id"] = req_id
+    out.update(fields)
+    return out

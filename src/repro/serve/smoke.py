@@ -1,0 +1,78 @@
+"""``make serve-smoke``: daemon + load generator under faults, one shot.
+
+Boots an in-process daemon, drives the duplicate-heavy load mix through
+a *flaky-gpu* fault profile (so retries, backoff and quarantine all run
+under concurrency), asks for a graceful drain, and asserts the daemon
+went down clean: every request answered, no client errors, nothing left
+in flight.  Exit code 0 is the pass signal — wire it into CI as-is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.serve.client import TuningClient, run_load
+from repro.serve.server import ServerThread, TuningServer
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.serve.smoke", description=__doc__
+    )
+    ap.add_argument("--clients", type=int, default=4)
+    ap.add_argument("--requests", type=int, default=3)
+    ap.add_argument("-n", "--n-train", type=int, default=300)
+    ap.add_argument("-m", "--m-candidates", type=int, default=30)
+    ap.add_argument("--faults", default="flaky-gpu")
+    args = ap.parse_args(argv)
+
+    server = TuningServer(max_pending=4, max_workers=4)
+    thread = ServerThread(server)
+    port = thread.start()
+    print(f"[smoke] daemon up on port {port}", file=sys.stderr)
+    try:
+        summary = run_load(
+            "127.0.0.1",
+            port,
+            n_clients=args.clients,
+            requests_per_client=args.requests,
+            n_train=args.n_train,
+            m_candidates=args.m_candidates,
+            faults=args.faults,
+        )
+        with TuningClient("127.0.0.1", port) as client:
+            stats = client.stats()
+            client.shutdown()
+    finally:
+        thread.stop()
+
+    failures = []
+    if summary["errors"]:
+        failures.append(f"client errors: {summary['errors']}")
+    if summary["completed"] != summary["requests"]:
+        failures.append(
+            f"only {summary['completed']}/{summary['requests']} "
+            "requests answered"
+        )
+    if server.inflight:
+        failures.append(f"{len(server.inflight)} campaigns still in flight")
+    if not server.draining:
+        failures.append("daemon never entered drain")
+
+    print(json.dumps({"load": summary, "server": stats}, indent=2))
+    if failures:
+        print(f"[smoke] FAIL: {'; '.join(failures)}", file=sys.stderr)
+        return 1
+    print(
+        f"[smoke] clean drain: {summary['completed']} requests, "
+        f"{stats['counters']['campaigns']} campaigns, "
+        f"{summary['req_per_s']} req/s under {args.faults!r}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -479,3 +479,41 @@ def test_cli_tune_with_faults(capsys):
     assert rc == 0
     assert "failure breakdown" in out
     assert "retries" in out
+
+
+# -- backoff cap ---------------------------------------------------------------
+
+
+def test_backoff_schedule_is_capped():
+    policy = RetryPolicy(
+        backoff_base_s=1.0, backoff_multiplier=10.0, backoff_max_s=3.0
+    )
+    assert policy.backoff_s(1) == 1.0
+    assert policy.backoff_s(2) == 3.0  # 10.0 uncapped
+    assert policy.backoff_s(6) == 3.0  # 1e5 uncapped
+
+
+def test_backoff_cap_below_base_rejected():
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_base_s=2.0, backoff_max_s=1.0)
+
+
+def test_charged_backoff_respects_cap():
+    """Regression: ``backoff_s`` grew without bound, so a transient streak
+    could charge one enormous sleep to ``retry_s``.  The charged total must
+    follow the capped schedule exactly."""
+    spec = get_benchmark("convolution")
+    idx = _valid_index(spec)
+    profile = FaultProfile(seed=0, p_transient_launch=1.0)
+    ctx = Context(NVIDIA_K40, seed=0, faults=profile)
+    policy = RetryPolicy(
+        max_attempts=5,
+        backoff_base_s=1.0,
+        backoff_multiplier=4.0,
+        backoff_max_s=2.0,
+        config_budget_s=1000.0,
+    )
+    measurer = Measurer(ctx, spec, retry=policy)
+    assert measurer.measure_outcome(idx) == (None, "quarantined")
+    # Backoffs after attempts 1-4: min(1,2), min(4,2), min(16,2), min(64,2).
+    assert ctx.ledger.retry_s == pytest.approx(1.0 + 2.0 + 2.0 + 2.0)

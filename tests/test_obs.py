@@ -443,3 +443,91 @@ class TestCLITrace:
 
         assert main(["trace-summary", str(tmp_path / "nope.jsonl")]) == 1
         assert "no such trace" in capsys.readouterr().err
+
+
+class TestSinkAndConcurrency:
+    """The serve-daemon hardening: sink streaming, thread-safe writes, and
+    durable spans on exception paths."""
+
+    def test_sink_receives_every_record(self):
+        got = []
+        tracer = Tracer(sink=got.append, manifest={"command": "t"})
+        with tracer.span("work"):
+            tracer.event("progress", step=1)
+        tracer.close()
+        types = [r["type"] for r in got]
+        assert types[0] == "manifest"
+        assert "event" in types and "span" in types
+
+    def test_sink_only_tracer_does_not_accumulate(self):
+        tracer = Tracer(sink=lambda r: None)
+        for _ in range(100):
+            tracer.event("tick")
+        assert tracer.records == []  # a long-lived server must not grow
+
+    def test_sink_and_path_both_served(self, tmp_path):
+        got = []
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path, sink=got.append)
+        tracer.event("x")
+        tracer.close()
+        assert len(got) == 1
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["name"] == "x"
+
+    def test_concurrent_emits_never_interleave(self, tmp_path):
+        import threading
+
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        n_threads, per_thread = 8, 200
+
+        def worker(k):
+            for i in range(per_thread):
+                tracer.event(f"w{k}", i=i, pad="x" * 64)
+                tracer.count(f"c{k}")
+
+        threads = [
+            threading.Thread(target=worker, args=(k,))
+            for k in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tracer.close()
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]  # raises if torn
+        events = [r for r in records if r["type"] == "event"]
+        assert len(events) == n_threads * per_thread
+        counters = [r for r in records if r["type"] == "counters"]
+        assert counters[0]["values"] == {
+            f"c{k}": per_thread for k in range(n_threads)
+        }
+
+    def test_failed_span_is_durable_before_close(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        # Before close(): the failed span must already be on disk.
+        on_disk = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any(
+            r.get("name") == "doomed" and r.get("failed") for r in on_disk
+        )
+        tracer.close()
+
+    def test_close_is_idempotent_and_threadsafe(self, tmp_path):
+        import threading
+
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path)
+        tracer.count("n", 3)
+        threads = [threading.Thread(target=tracer.close) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert sum(r["type"] == "counters" for r in records) == 1

@@ -112,3 +112,46 @@ class TestStoreContract:
         for d in r1["devices"]:
             assert r1["best"][d] == r2["best"][d]
             assert r1["matrix"][d] == r2["matrix"][d]
+
+
+class TestFaultsThreading:
+    """Regression: ``--faults`` used to stop at the CLI — ``build_plan`` /
+    ``execute_plan`` dropped it on the floor, so batch experiment runs were
+    silently fault-free even when a profile was requested."""
+
+    def test_build_plan_stamps_faults_on_runtime_units(self):
+        units = build_plan(
+            ["fig01", "fig04-06", "cost"], MICRO, 0, faults="flaky-gpu"
+        )
+        by_kind = {}
+        for u in units:
+            by_kind.setdefault(u.kind, []).append(u)
+        # Ground-truth warm-ups must never be fault-injected.
+        assert all(u.faults is None for u in by_kind["warmup"])
+        assert all(u.faults == "flaky-gpu" for u in by_kind["fig04-06-curve"])
+        assert all(u.faults == "flaky-gpu" for u in by_kind["experiment"])
+
+    def test_build_plan_default_is_fault_free(self):
+        units = build_plan(["fig04-06"], MICRO, 0)
+        assert all(u.faults is None for u in units)
+
+    def test_faulted_unit_changes_measured_curve(self):
+        from repro.experiments.oracle_store import OracleProvider
+
+        unit = Unit(
+            "fig04-06/intel/convolution",
+            "fig04-06",
+            "fig04-06-curve",
+            ("intel", "convolution"),
+        )
+        clean = execute_plan([unit], MICRO, 0)[unit.uid].result
+        noisy_unit = Unit(
+            unit.uid, unit.exp_id, unit.kind, unit.payload,
+            faults="noisy-rig:p_outlier=1.0,outlier_factor=50",
+        )
+        noisy = execute_plan([noisy_unit], MICRO, 0)[unit.uid].result
+        assert clean["errors"] != noisy["errors"]
+
+        # None-faults execution stays bit-identical to the historical path.
+        again = execute_plan([unit], MICRO, 0)[unit.uid].result
+        assert clean == again
