@@ -1,0 +1,175 @@
+"""Acceptance gate for online drift recovery (``repro.core.online``).
+
+The scenario: a campaign tunes once, then the machine shifts under it —
+a contention regime arrives whose per-configuration quirks *reorder* the
+space, so the pre-shift pick is no longer optimal and re-scaling alone
+cannot recover.  The online tuner must (a) notice, via the CUSUM
+residual detector, and (b) recover *incrementally* — re-measuring a
+small transfer-ranked window instead of re-running the campaign.
+
+Gates:
+
+* **quality** — the post-recovery incumbent's drifted true time is
+  within ``MAX_OPTIMALITY_GAP`` of the post-shift oracle optimum over
+  the whole space;
+* **cost** — the recovery (alarm-answering) ledger spend is at most
+  ``MAX_RETUNE_COST_FRACTION`` of the from-scratch campaign's.
+
+Everything is deterministic (profile-seeded drift, seeded campaign), so
+the gate either always passes or always fails for a given tree.  Each
+run appends the recovery trajectory to ``benchmarks/BENCH_drift.json``.
+"""
+
+import json
+import subprocess
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.drift import DetectorSettings
+from repro.core.online import OnlineSettings, OnlineTuner
+from repro.core.tuner import TunerSettings
+from repro.experiments.oracle import TrueTimeOracle
+from repro.kernels import get_benchmark
+from repro.runtime import Context
+from repro.simulator import NVIDIA_K40
+from repro.simulator.drift import DriftModel, get_drift_profile
+
+from conftest import emit
+
+ARTIFACT = Path(__file__).parent / "BENCH_drift.json"
+
+#: Acceptance gates (ISSUE: online drift re-tuning).
+MAX_OPTIMALITY_GAP = 1.05         # drifted_true(pick) vs post-shift optimum
+MAX_RETUNE_COST_FRACTION = 0.50   # recovery spend vs from-scratch tune
+
+KERNEL = "convolution"
+N_TRAIN = 400
+M_CAND = 40
+SEED = 0
+INTERVAL_S = 30.0
+STEPS = 120
+CAL = 24
+WINDOW = 64
+
+
+def _append_trajectory(point: dict) -> None:
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=Path(__file__).parent,
+            timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:
+        rev = "unknown"
+    point = {"git_rev": rev, **point}
+    history = []
+    if ARTIFACT.exists():
+        try:
+            history = json.loads(ARTIFACT.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(point)
+    ARTIFACT.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_online_recovery_quality_and_cost():
+    spec = get_benchmark(KERNEL)
+    tune_settings = TunerSettings(n_train=N_TRAIN, m_candidates=M_CAND)
+
+    # The drift onset must land after the initial tune plus the
+    # detector's calibration window; both are deterministic, so probe the
+    # tune cost with a throwaway context first.
+    probe = Context(NVIDIA_K40, seed=SEED)
+    from repro.core.tuner import MLAutoTuner
+
+    MLAutoTuner(probe, spec, tune_settings).tune(
+        np.random.default_rng(SEED), model_seed=SEED
+    )
+    c0 = probe.ledger.total_s
+    onset = c0 + (CAL + 4) * INTERVAL_S
+
+    # Single everlasting post-shift regime: a deterministic 1.25x global
+    # contention level plus per-config quirks that reorder the space.
+    profile = get_drift_profile(
+        "noisy-neighbor:"
+        f"onset_s={onset:.1f},regime_duration_s=1e9,"
+        "contention_min=1.25,contention_max=1.25,contention_sigma=0.04"
+    )
+    ctx = Context(NVIDIA_K40, seed=SEED, drift=DriftModel(profile))
+    online = OnlineTuner(
+        ctx,
+        spec,
+        settings=OnlineSettings(
+            steps=STEPS,
+            step_interval_s=INTERVAL_S,
+            detector=DetectorSettings(calibration=CAL),
+            retune_window=WINDOW,
+        ),
+        tune_settings=tune_settings,
+    )
+    report = online.run(np.random.default_rng(SEED), model_seed=SEED)
+
+    assert not report.initial.failed
+    assert report.alarms >= 1, "regime shift was never detected"
+    assert report.retunes, "no incremental re-tune completed"
+
+    # Post-shift oracle: base true times x the drift factors frozen at
+    # the end-of-campaign clock (the regime is everlasting, so any
+    # post-shift instant gives the same table).
+    t_end = ctx.drift.time_of(ctx.ledger)
+    assert ctx.drift.regime_at(t_end) >= 1
+    oracle = TrueTimeOracle(spec, NVIDIA_K40)
+    base = oracle.full_table()
+    valid = np.flatnonzero(~np.isnan(base))
+    tuples = [spec.space[int(i)].as_tuple() for i in valid]
+    factors = np.asarray(ctx.drift.factors_at(t_end, spec.name, tuples))
+    drifted = base[valid] * factors
+
+    pick_pos = int(np.flatnonzero(valid == report.incumbent)[0])
+    pick_time = float(drifted[pick_pos])
+    optimum = float(drifted.min())
+    gap = pick_time / optimum
+
+    # What the pre-shift pick would have cost if nobody re-tuned: the
+    # regression the online loop exists to catch.
+    stale_pos = int(np.flatnonzero(valid == report.initial.best_index)[0])
+    stale_gap = float(drifted[stale_pos]) / optimum
+
+    cost_fraction = report.retune_cost_s / report.initial_cost_s
+
+    emit(
+        "online drift recovery (convolution @ K40, 1.25x regime + quirks)\n"
+        f"  from-scratch tune cost : {report.initial_cost_s:9.1f} s\n"
+        f"  monitoring cost        : {report.monitor_cost_s:9.1f} s "
+        f"({STEPS} probes)\n"
+        f"  recovery cost          : {report.retune_cost_s:9.1f} s "
+        f"({len(report.retunes)} re-tune(s), {cost_fraction:.1%} of tune)\n"
+        f"  stale-pick gap         : {stale_gap:9.3f}x post-shift optimum\n"
+        f"  recovered-pick gap     : {gap:9.3f}x post-shift optimum "
+        f"(gate {MAX_OPTIMALITY_GAP}x)\n"
+        f"  alarms / re-tunes      : {report.alarms} / {len(report.retunes)}"
+    )
+    _append_trajectory({
+        "kernel": KERNEL,
+        "initial_cost_s": round(report.initial_cost_s, 3),
+        "monitor_cost_s": round(report.monitor_cost_s, 3),
+        "retune_cost_s": round(report.retune_cost_s, 3),
+        "cost_fraction": round(cost_fraction, 4),
+        "alarms": report.alarms,
+        "retunes": [e.as_dict() for e in report.retunes],
+        "stale_gap": round(stale_gap, 4),
+        "recovered_gap": round(gap, 4),
+        "optimum_s": optimum,
+        "pick_s": pick_time,
+    })
+
+    assert gap <= MAX_OPTIMALITY_GAP, (
+        f"recovered pick is {gap:.3f}x the post-shift optimum "
+        f"(gate {MAX_OPTIMALITY_GAP}x)"
+    )
+    assert cost_fraction <= MAX_RETUNE_COST_FRACTION, (
+        f"recovery cost {report.retune_cost_s:.1f}s is "
+        f"{cost_fraction:.1%} of the from-scratch tune "
+        f"(gate {MAX_RETUNE_COST_FRACTION:.0%})"
+    )

@@ -23,10 +23,15 @@ Quick start::
 
 from repro.core import (
     ConfigEncoder,
+    CusumDetector,
+    DetectorSettings,
     MeasurementDB,
     MeasurementSet,
     Measurer,
     MLAutoTuner,
+    OnlineReport,
+    OnlineSettings,
+    OnlineTuner,
     PerformanceModel,
     TunerSettings,
     TuningResult,
@@ -50,6 +55,11 @@ __all__ = [
     "TunerSettings",
     "TuningResult",
     "PerformanceModel",
+    "CusumDetector",
+    "DetectorSettings",
+    "OnlineTuner",
+    "OnlineSettings",
+    "OnlineReport",
     "ConfigEncoder",
     "Measurer",
     "MeasurementSet",

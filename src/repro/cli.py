@@ -26,6 +26,7 @@ from repro.core.iterative import IterativeSettings, IterativeTuner
 from repro.core.measure import Measurer
 from repro.kernels import BENCHMARKS, get_benchmark
 from repro.simulator.devices import DEVICES, get_device
+from repro.simulator.drift import DRIFT_PROFILES
 from repro.simulator.faults import FAULT_PROFILES, get_fault_profile
 
 
@@ -100,12 +101,14 @@ def cmd_tune(args) -> int:
                 seed=args.seed,
                 iterative=bool(args.iterative),
                 faults=args.faults,
+                drift=args.drift,
             ),
         )
     else:
         tracer = NULL_TRACER
     faults = get_fault_profile(args.faults) if args.faults else None
-    ctx = Context(device, seed=args.seed, tracer=tracer, faults=faults)
+    ctx = Context(device, seed=args.seed, tracer=tracer, faults=faults,
+                  drift=args.drift)
     db = MeasurementDB(Path(args.db)) if args.db else None
     measurer = Measurer(ctx, spec, db=db) if db is not None else None
 
@@ -143,6 +146,77 @@ def cmd_tune(args) -> int:
         print(f"failure breakdown : {parts}")
     print("engine stats")
     print(engine_stats_block(tuner.measurer.stats, ctx.ledger))
+    return 0
+
+
+def cmd_watch(args) -> int:
+    from pathlib import Path
+
+    from repro.core.online import OnlineSettings, OnlineTuner
+    from repro.obs import NULL_TRACER, Tracer, run_manifest
+
+    spec = get_benchmark(args.kernel)
+    device = get_device(args.device)
+    if args.trace:
+        tracer = Tracer(
+            Path(args.trace),
+            manifest=run_manifest(
+                command="watch",
+                kernel=args.kernel,
+                device=device.name,
+                seed=args.seed,
+                steps=args.steps,
+                drift=args.drift,
+                faults=args.faults,
+            ),
+        )
+    else:
+        tracer = NULL_TRACER
+    faults = get_fault_profile(args.faults) if args.faults else None
+    ctx = Context(device, seed=args.seed, tracer=tracer, faults=faults,
+                  drift=args.drift)
+    online = OnlineTuner(
+        ctx,
+        spec,
+        settings=OnlineSettings(
+            steps=args.steps,
+            step_interval_s=args.interval,
+            retune_window=args.retune_window,
+        ),
+        tune_settings=TunerSettings(
+            n_train=args.n_train, m_candidates=args.m_candidates
+        ),
+    )
+    try:
+        report = online.run(
+            np.random.default_rng(args.seed), model_seed=args.seed
+        )
+    finally:
+        tracer.close()
+    if args.trace:
+        print(f"trace written to {args.trace}")
+
+    if report.initial.failed:
+        print("initial tuning FAILED: nothing to monitor "
+              "(raise -n / -m)")
+        return 1
+    best = spec.space[report.incumbent]
+    print(f"kernel            : {report.kernel}")
+    print(f"device            : {report.device}")
+    print(f"initial pick      : index {report.initial.best_index}, "
+          f"{report.initial.best_time_s * 1e3:.3f} ms")
+    print(f"monitoring        : {report.steps} probes x "
+          f"{args.interval:.0f}s ({report.skipped} skipped)")
+    print(f"alarms / re-tunes : {report.alarms} / {len(report.retunes)}")
+    for event in report.retunes:
+        print(f"  step {event.step:4d} @ {event.at_s:9.1f}s: "
+              f"shift x{event.ratio:.3f}, "
+              f"{event.old_index} -> {event.new_index}, "
+              f"cost {event.cost_s:.1f}s")
+    print(f"final incumbent   : {dict(best)}")
+    print(f"cost breakdown    : initial {report.initial_cost_s:.1f}s, "
+          f"monitor {report.monitor_cost_s:.1f}s, "
+          f"re-tune {report.retune_cost_s:.1f}s")
     return 0
 
 
@@ -376,7 +450,38 @@ def build_parser() -> argparse.ArgumentParser:
                            f"{', '.join(sorted(FAULT_PROFILES))}; "
                            "fields can be overridden as "
                            "'flaky-gpu:p_hang=0.02,hang_duration_s=4'")
+    tune.add_argument("--drift", default=None,
+                      help="performance-drift schedule, e.g. "
+                           f"{', '.join(sorted(DRIFT_PROFILES))}; "
+                           "fields can be overridden as "
+                           "'thermal-throttle:onset_s=600,ramp_s=120'")
     tune.set_defaults(fn=cmd_tune)
+
+    wat = sub.add_parser(
+        "watch",
+        help="tune once, then monitor the pick and re-tune on drift "
+             "(see docs/robustness.md)",
+    )
+    wat.add_argument("-k", "--kernel", required=True, choices=sorted(BENCHMARKS))
+    wat.add_argument("-d", "--device", required=True)
+    wat.add_argument("-n", "--n-train", type=int, default=400)
+    wat.add_argument("-m", "--m-candidates", type=int, default=40)
+    wat.add_argument("--seed", type=int, default=0)
+    wat.add_argument("--steps", type=int, default=120,
+                     help="monitoring probes after the initial tune")
+    wat.add_argument("--interval", type=float, default=30.0,
+                     help="simulated seconds of serving between probes")
+    wat.add_argument("--retune-window", type=int, default=32,
+                     help="top-ranked candidates re-measured on alarm")
+    wat.add_argument("--drift", default=None,
+                     help="performance-drift schedule, e.g. "
+                          f"{', '.join(sorted(DRIFT_PROFILES))}")
+    wat.add_argument("--faults", default=None,
+                     help="fault-injection profile, e.g. "
+                          f"{', '.join(sorted(FAULT_PROFILES))}")
+    wat.add_argument("--trace", default=None,
+                     help="write a JSONL pipeline trace to this path")
+    wat.set_defaults(fn=cmd_watch)
 
     camp = sub.add_parser(
         "campaign", help="tune kernels x devices in parallel processes"

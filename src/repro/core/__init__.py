@@ -23,11 +23,18 @@ from repro.core.campaign import (
     PortabilityCampaign,
     run_campaign_grid,
 )
+from repro.core.drift import CusumDetector, DetectorSettings
 from repro.core.encoding import ConfigEncoder
 from repro.core.input_aware import InputAwareModel
 from repro.core.iterative import IterativeSettings, IterativeTuner
 from repro.core.measure import EngineStats, MeasurementSet, Measurer
 from repro.core.model import PerformanceModel
+from repro.core.online import (
+    OnlineReport,
+    OnlineSettings,
+    OnlineTuner,
+    RetuneEvent,
+)
 from repro.core.results import MeasurementDB, TuningResult
 from repro.core.sensitivity import interaction_strength, parameter_sensitivity
 from repro.core.search import coordinate_descent, exhaustive_search, random_search
@@ -40,6 +47,12 @@ __all__ = [
     "GridCell",
     "GridReport",
     "run_campaign_grid",
+    "CusumDetector",
+    "DetectorSettings",
+    "OnlineTuner",
+    "OnlineSettings",
+    "OnlineReport",
+    "RetuneEvent",
     "EngineStats",
     "InputAwareModel",
     "IterativeTuner",

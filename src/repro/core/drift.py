@@ -1,0 +1,184 @@
+"""Streaming drift detection: CUSUM over standardized log-residuals.
+
+The online tuner (:mod:`repro.core.online`) keeps serving the incumbent
+configuration and keeps measuring it; the question is whether the stream
+of measurements still looks like the fitted
+:class:`~repro.core.model.PerformanceModel` said it would.  The detector
+watches the *log-residual* of each incoming measurement,
+
+    r = log(measured) - log(predicted),
+
+which is stationary under the simulator's multiplicative log-normal
+measurement noise and turns a multiplicative drift factor into an
+additive mean shift — exactly the change a CUSUM is optimal for.
+
+Two practical wrinkles, both handled by calibration:
+
+* the model has a per-configuration *bias* (its prediction error on the
+  incumbent is systematic, not zero-mean), so the residual mean is
+  unknown a priori;
+* the residual scale depends on the device's noise sigma *through* the
+  best-of-``repeats`` minimum, so it is not the catalog sigma either.
+
+The detector therefore spends its first ``calibration`` observations
+estimating the residual mean and standard deviation of the quiet
+machine, then arms a two-sided CUSUM on the standardized residual ``z``:
+
+    S+ <- max(0, S+ + z - k)        S- <- max(0, S- - z - k)
+
+alarming when either side exceeds ``h``.  ``z`` is clipped to ``max_z``
+so one injected outlier spike (fault profiles with ``p_outlier``) moves
+the statistic by a bounded amount instead of forcing an alarm.  With the
+defaults (k = 1, h = 12, in sigma units) the false-positive rate on a
+quiet machine is negligible over campaign-length streams — pinned by the
+quiescence gate in ``tests/test_online.py`` (20 seeds x ``none`` drift +
+``flaky-gpu`` faults, zero alarms) and the synthetic-noise bound in
+``tests/test_drift.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.obs import NULL_TRACER
+
+
+@dataclass(frozen=True)
+class DetectorSettings:
+    """Knobs of the CUSUM drift detector.
+
+    Attributes
+    ----------
+    slack_k:
+        CUSUM slack per observation, in (calibrated) sigma units: drifts
+        smaller than ~k sigma per observation are treated as noise.
+    threshold_h:
+        Alarm threshold on the CUSUM statistic, in sigma units.  The
+        classical trade-off: detection latency for a shift of size
+        ``delta`` is roughly ``h / (delta - k)`` observations, while the
+        in-control false-alarm rate shrinks exponentially in ``h``.
+    calibration:
+        Quiet observations used to estimate the residual mean/std before
+        the detector arms (no alarms while calibrating).
+    max_z:
+        Standardized residuals are clipped to ``[-max_z, +max_z]`` so a
+        single outlier spike cannot alarm on its own (it moves the
+        statistic by at most ``max_z - slack_k``).
+    min_std:
+        Floor on the calibrated standard deviation — a pathologically
+        quiet calibration window must not make the detector hair-trigger.
+    """
+
+    slack_k: float = 1.0
+    threshold_h: float = 12.0
+    calibration: int = 24
+    max_z: float = 6.0
+    min_std: float = 1e-4
+
+    def __post_init__(self):
+        if self.slack_k < 0:
+            raise ValueError("slack_k must be >= 0")
+        if self.threshold_h <= 0:
+            raise ValueError("threshold_h must be positive")
+        if self.calibration < 2:
+            raise ValueError("calibration must be >= 2")
+        if self.max_z <= self.slack_k:
+            raise ValueError("max_z must exceed slack_k")
+        if self.min_std <= 0:
+            raise ValueError("min_std must be positive")
+
+
+class CusumDetector:
+    """Two-sided streaming CUSUM over standardized log-residuals.
+
+    One detector monitors one measurement stream (the online tuner's
+    incumbent configuration).  Feed it ``update(predicted_s, measured_s)``
+    per observation; it returns True on alarm.  After the caller responds
+    (re-tune, new incumbent), call :meth:`reset` — the detector
+    recalibrates on the post-response stream, absorbing both the new
+    incumbent's model bias and the new regime's scale.
+
+    Counters (``n_obs``, ``n_alarms``) are cumulative across resets;
+    trace counters/events go through the given tracer.
+    """
+
+    def __init__(self, settings: Optional[DetectorSettings] = None, tracer=None):
+        self.settings = settings if settings is not None else DetectorSettings()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Lifetime observation / alarm counts (survive resets).
+        self.n_obs = 0
+        self.n_alarms = 0
+        self._cal: List[float] = []
+        self._mu = 0.0
+        self._sd = 1.0
+        self.s_hi = 0.0
+        self.s_lo = 0.0
+        self.armed = False
+
+    @property
+    def stat(self) -> float:
+        """Current CUSUM statistic (max of the two one-sided sums)."""
+        return max(self.s_hi, self.s_lo)
+
+    def reset(self) -> None:
+        """Forget the calibration and the sums; the next ``calibration``
+        observations re-estimate the quiet baseline."""
+        self._cal = []
+        self._mu = 0.0
+        self._sd = 1.0
+        self.s_hi = 0.0
+        self.s_lo = 0.0
+        self.armed = False
+
+    def update(self, predicted_s: float, measured_s: float) -> bool:
+        """Consume one observation; True when the stream has shifted."""
+        if predicted_s <= 0 or measured_s <= 0:
+            raise ValueError("times must be positive")
+        r = math.log(measured_s) - math.log(predicted_s)
+        self.n_obs += 1
+        self.tracer.count("drift.observations")
+        cfg = self.settings
+        if not self.armed:
+            self._cal.append(r)
+            if len(self._cal) >= cfg.calibration:
+                n = len(self._cal)
+                mu = sum(self._cal) / n
+                var = sum((x - mu) ** 2 for x in self._cal) / (n - 1)
+                self._mu = mu
+                self._sd = max(math.sqrt(var), cfg.min_std)
+                self.armed = True
+                self.tracer.event(
+                    "drift.armed", mu=self._mu, sd=self._sd, n=n
+                )
+            return False
+        z = (r - self._mu) / self._sd
+        z = max(-cfg.max_z, min(cfg.max_z, z))
+        self.s_hi = max(0.0, self.s_hi + z - cfg.slack_k)
+        self.s_lo = max(0.0, self.s_lo - z - cfg.slack_k)
+        if self.stat > cfg.threshold_h:
+            self.n_alarms += 1
+            self.tracer.count("drift.alarms")
+            self.tracer.event(
+                "drift.alarm",
+                stat=self.stat,
+                z=z,
+                residual=r,
+                mu=self._mu,
+                sd=self._sd,
+                n_obs=self.n_obs,
+            )
+            return True
+        return False
+
+    def snapshot(self) -> dict:
+        """Current detector state, for stats/trace payloads."""
+        return {
+            "armed": self.armed,
+            "n_obs": self.n_obs,
+            "n_alarms": self.n_alarms,
+            "stat": self.stat,
+            "mu": self._mu,
+            "sd": self._sd,
+        }

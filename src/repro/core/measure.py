@@ -407,6 +407,17 @@ class Measurer:
                 self.db.put(kernel, device, index, None)
             self.stats.elapsed_s += time.perf_counter() - t0
             return None, "invalid"
+        drift = self.context.drift
+        if drift is not None:
+            # The cache keeps the *base* true time; the machine as it is
+            # right now is base x drift factor at the current clock.  A
+            # re-measure of a stale cache entry therefore sees the drifted
+            # present, never the cached past.
+            true = true * drift.factor(
+                drift.time_of(self.context.ledger),
+                kernel,
+                self.spec.config_tuple(self.spec.space[index]),
+            )
         self.context.ledger.run_s += true * (
             self.repeats - 1 if fresh else self.repeats
         )
@@ -512,8 +523,13 @@ class Measurer:
 
     def measure_batch_direct(self, indices: Sequence[int]) -> MeasurementSet:
         """:meth:`measure_batch` without broker indirection — the entry
-        point measurement brokers use to execute submitted batches."""
-        if self.context.faults is not None:
+        point measurement brokers use to execute submitted batches.
+
+        Faults *or drift* on the context degrade the batch to the serial
+        resilient loop: drift factors depend on the ledger clock at each
+        launch, which only the serial order reproduces — and serial-equals-
+        batch then holds by construction."""
+        if self.context.faults is not None or self.context.drift is not None:
             with self.context.tracer.span("measure.batch.resilient") as span:
                 return self._measure_batch_resilient(indices, span)
         with self.context.tracer.span("measure.batch") as span:
@@ -648,13 +664,16 @@ class Measurer:
                 true_vals[dup_idx] = true_vals[src_pos[dup_idx]]
 
         # -- one RNG call for every noise draw, in scalar-loop order ----------
+        # A zero-sigma device draws nothing at all (matching observe /
+        # observe_many, which skip the RNG entirely at sigma == 0), so the
+        # generator state is identical whichever path measured.
         fresh_valid = (kinds == _FRESH) & valid
         counts = np.zeros(n, dtype=np.int64)
-        probe_draws = 1 if sigma != 0.0 else 0
-        counts[fresh_valid] = probe_draws + repeats
-        counts[(kinds == _CACHED) & valid] = repeats
-        if db is None:
-            counts[mask_dup & valid] = repeats
+        if sigma != 0.0:
+            counts[fresh_valid] = 1 + repeats
+            counts[(kinds == _CACHED) & valid] = repeats
+            if db is None:
+                counts[mask_dup & valid] = repeats
         total_draws = int(counts.sum())
         if total_draws:
             factors = np.exp(sigma * model.rng.standard_normal(total_draws))
@@ -663,19 +682,23 @@ class Measurer:
         starts = np.cumsum(counts) - counts
 
         obs = np.zeros(n)
+        obs[fresh_valid] = true_vals[fresh_valid]
         if sigma != 0.0:
-            obs[fresh_valid] = true_vals[fresh_valid] * factors[starts[fresh_valid]]
+            obs[fresh_valid] *= factors[starts[fresh_valid]]
+            meas_mask = counts >= repeats  # positions that redraw best-of
+            if meas_mask.any():
+                # Measurement draws are the last `repeats` of each position.
+                m_starts = starts[meas_mask] + counts[meas_mask] - repeats
+                gathered = factors[m_starts[:, None] + np.arange(repeats)]
+                results[meas_mask] = (
+                    true_vals[meas_mask][:, None] * gathered
+                ).min(axis=1)
         else:
-            obs[fresh_valid] = true_vals[fresh_valid]
-
-        meas_mask = counts >= repeats  # positions that redraw best-of noise
-        if meas_mask.any():
-            # Measurement draws are the last `repeats` of each position.
-            m_starts = starts[meas_mask] + counts[meas_mask] - repeats
-            gathered = factors[m_starts[:, None] + np.arange(repeats)]
-            results[meas_mask] = (
-                true_vals[meas_mask][:, None] * gathered
-            ).min(axis=1)
+            # Noise-free: best-of-N of identical values is the true time.
+            meas_mask = fresh_valid | ((kinds == _CACHED) & valid)
+            if db is None:
+                meas_mask = meas_mask | (mask_dup & valid)
+            results[meas_mask] = true_vals[meas_mask]
         if db is not None and dup_idx.size:
             results[dup_idx] = results[src_pos[dup_idx]]
 

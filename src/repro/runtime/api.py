@@ -34,6 +34,7 @@ from repro.runtime.errors import (
     TransientError,
 )
 from repro.simulator.device import DeviceSpec
+from repro.simulator.drift import make_drift
 from repro.simulator.faults import HANG, RESET, TRANSIENT, make_injector
 from repro.simulator.devices import DEVICES
 from repro.simulator.executor import ExecutionBreakdown, execute
@@ -87,6 +88,13 @@ class Context:
     string (``"flaky-gpu"``), or None.  Fault decisions are drawn from
     their own keyed hash stream — never from this context's RNG — so a
     fault-free run is bit-identical with or without the argument.
+
+    ``drift`` accepts a :class:`~repro.simulator.drift.DriftProfile`, a
+    ready :class:`~repro.simulator.drift.DriftModel`, a named schedule
+    string (``"thermal-throttle"``), or None.  Drift factors multiply
+    true times at the launch surface and are likewise drawn from a keyed
+    hash — a drift-free run (``None`` or ``"none"``) is bit-identical
+    with or without the argument.
     """
 
     def __init__(
@@ -95,6 +103,7 @@ class Context:
         seed: Optional[int] = None,
         tracer=None,
         faults=None,
+        drift=None,
     ):
         if isinstance(device, DeviceSpec):
             device = Device(device)
@@ -103,6 +112,7 @@ class Context:
         self.measurement = MeasurementModel(device.spec, self.rng)
         self.ledger = CostLedger()
         self.faults = make_injector(faults)
+        self.drift = make_drift(drift)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer.ledger is None:
             # Spans record this context's cost deltas; an explicitly
@@ -209,7 +219,19 @@ class Kernel:
             device,
             jitter_key=(self.spec.name, self.spec.config_tuple(self.config)),
         )
-        measured = ctx.measurement.observe(breakdown.total_time)
+        true_s = breakdown.total_time
+        if ctx.drift is not None:
+            # The machine as it is *right now*: the drift factor scales the
+            # launch's true time at the current drift-clock instant.  The
+            # event's breakdown keeps the undrifted base (evaluation code
+            # needs the stable ground truth; drift is a property of when
+            # you measured, not of the configuration).
+            true_s *= ctx.drift.factor(
+                ctx.drift.time_of(ctx.ledger),
+                self.spec.name,
+                self.spec.config_tuple(self.config),
+            )
+        measured = ctx.measurement.observe(true_s)
         ctx.ledger.run_s += measured
         return Event(measured, breakdown)
 

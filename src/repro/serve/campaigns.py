@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, Optional
 import numpy as np
 
 from repro.core.measure import Measurer
+from repro.core.online import OnlineSettings, OnlineTuner
 from repro.core.tuner import MLAutoTuner, TunerSettings
 from repro.kernels import get_benchmark
 from repro.obs import NULL_TRACER, Tracer
@@ -102,4 +103,72 @@ def run_campaign(
         # Fitted stage-one model (None when training was skipped/degraded);
         # the server parks it in the shared ModelCache for `predict`.
         "model": model,
+    }
+
+
+def run_watch(
+    params: Dict[str, Any],
+    batcher=None,
+    sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> Dict[str, Any]:
+    """Execute one online (watch) campaign; returns payload + accounting.
+
+    ``params`` is a canonicalized ``watch`` request
+    (:func:`repro.serve.protocol.validate_watch`).  Unlike
+    :func:`run_campaign` there is no model to cache and no result-cache
+    identity: a watch lives on its own drift clock, so two "identical"
+    watches are different campaigns by definition.
+    """
+    spec = get_benchmark(params["kernel"])
+    device = get_device(params["device"])
+    tracer = Tracer(sink=sink) if sink is not None else NULL_TRACER
+    ctx = Context(
+        device,
+        seed=params["seed"],
+        tracer=tracer,
+        faults=params["faults"],
+        drift=params["drift"],
+    )
+    tune_settings = TunerSettings(
+        n_train=params["n_train"],
+        m_candidates=params["m_candidates"],
+    )
+    online = OnlineTuner(
+        ctx,
+        spec,
+        settings=OnlineSettings(
+            steps=params["steps"],
+            step_interval_s=params["interval_s"],
+            retune_window=params["retune_window"],
+        ),
+        tune_settings=tune_settings,
+        measurer=Measurer(
+            ctx, spec, repeats=tune_settings.repeats, batcher=batcher
+        ),
+    )
+    rng = np.random.default_rng(params["seed"])
+    t0 = time.perf_counter()
+    try:
+        report = online.run(rng, model_seed=params["seed"])
+    finally:
+        tracer.close()
+    wall_s = time.perf_counter() - t0
+
+    payload = report.as_dict()
+    payload["initial"] = result_payload(report.initial, spec.space)
+    if not report.initial.failed:
+        payload["incumbent_config"] = dict(spec.space[report.incumbent])
+    payload["detector"] = online.detector.snapshot()
+
+    ledger = ctx.ledger
+    return {
+        "result": payload,
+        "cost": {
+            "compile_s": ledger.compile_s,
+            "run_s": ledger.run_s,
+            "failed_s": ledger.failed_s,
+            "retry_s": ledger.retry_s,
+            "total_s": ledger.total_s,
+        },
+        "wall_s": wall_s,
     }

@@ -160,6 +160,64 @@ class TuningClient:
                 return reply
             raise RuntimeError(f"unexpected reply type {kind!r}")
 
+    def watch(
+        self,
+        kernel: str,
+        device: str,
+        n_train: int = 400,
+        m_candidates: int = 40,
+        seed: int = 0,
+        steps: int = 120,
+        interval_s: float = 30.0,
+        retune_window: int = 32,
+        drift: Optional[str] = None,
+        faults: Optional[str] = None,
+        stream: bool = True,
+        on_event=None,
+        req_id: str = "watch",
+    ) -> Dict[str, Any]:
+        """Run one online campaign; blocks until the terminal ``result``.
+
+        Streamed ``event`` lines (drift alarms, re-tunes, spans) are
+        passed to ``on_event`` as they arrive.  Raises
+        :class:`ServerRejected` on admission refusal.
+        """
+        self.send(
+            {
+                "op": "watch",
+                "id": req_id,
+                "kernel": kernel,
+                "device": device,
+                "n_train": n_train,
+                "m_candidates": m_candidates,
+                "seed": seed,
+                "steps": steps,
+                "interval_s": interval_s,
+                "retune_window": retune_window,
+                "drift": drift,
+                "faults": faults,
+                "stream": stream,
+            }
+        )
+        while True:
+            reply = self.recv()
+            kind = reply.get("type")
+            if kind == "event":
+                if on_event is not None:
+                    on_event(reply)
+                continue
+            if kind == "ack":
+                continue
+            if kind == "rejected":
+                raise ServerRejected(
+                    reply.get("reason", "?"), reply.get("retry_after_s", 1.0)
+                )
+            if kind == "error":
+                raise RuntimeError(reply.get("error", "server error"))
+            if kind == "result":
+                return reply
+            raise RuntimeError(f"unexpected reply type {kind!r}")
+
 
 # -- load generation -----------------------------------------------------------
 
@@ -284,6 +342,24 @@ def main(argv=None) -> int:
     one.add_argument("--stream", action="store_true",
                      help="print campaign trace events as they happen")
 
+    watch = sub.add_parser(
+        "watch", help="run one online (drift-monitored) campaign"
+    )
+    watch.add_argument("-k", "--kernel", required=True)
+    watch.add_argument("-d", "--device", required=True)
+    watch.add_argument("-n", "--n-train", type=int, default=400)
+    watch.add_argument("-m", "--m-candidates", type=int, default=40)
+    watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument("--steps", type=int, default=120)
+    watch.add_argument("--interval", type=float, default=30.0,
+                       help="simulated seconds between monitoring probes")
+    watch.add_argument("--retune-window", type=int, default=32)
+    watch.add_argument("--drift", default=None,
+                       help="drift profile spec (e.g. thermal-throttle)")
+    watch.add_argument("--faults", default=None)
+    watch.add_argument("--no-stream", action="store_true",
+                       help="suppress the live event stream")
+
     load = sub.add_parser("load", help="run the duplicate-heavy load mix")
     load.add_argument("--clients", type=int, default=8)
     load.add_argument("--requests", type=int, default=4)
@@ -305,6 +381,29 @@ def main(argv=None) -> int:
                 budget_s=args.budget,
                 faults=args.faults,
                 stream=args.stream,
+                on_event=lambda e: print(
+                    f"[event] {e['record'].get('type')}: "
+                    f"{e['record'].get('name')}",
+                    file=sys.stderr,
+                ),
+            )
+        print(json.dumps(reply, indent=2))
+        return 0
+
+    if args.mode == "watch":
+        with TuningClient(args.host, args.port, timeout=600.0) as client:
+            reply = client.watch(
+                args.kernel,
+                args.device,
+                n_train=args.n_train,
+                m_candidates=args.m_candidates,
+                seed=args.seed,
+                steps=args.steps,
+                interval_s=args.interval,
+                retune_window=args.retune_window,
+                drift=args.drift,
+                faults=args.faults,
+                stream=not args.no_stream,
                 on_event=lambda e: print(
                     f"[event] {e['record'].get('type')}: "
                     f"{e['record'].get('name')}",

@@ -16,6 +16,19 @@ Requests
 ..., "config": {...name: value...}}``
     Predict one configuration's time from the shared model cache (a model
     is cached by every fresh campaign).
+``{"op": "watch", "id": "w1", "kernel": ..., "device": ..., "n_train":
+400, "m_candidates": 40, "seed": 0, "steps": 120, "interval_s": 30.0,
+"retune_window": 32, "drift": "thermal-throttle", "faults": null,
+"stream": true}``
+    Long-lived online campaign (:class:`~repro.core.online.OnlineTuner`):
+    tune once, then monitor the incumbent for ``steps`` probes of
+    ``interval_s`` simulated seconds each, re-tuning incrementally when
+    the drift detector alarms.  ``stream`` defaults to *true* here —
+    watching is about the event stream (``drift.alarm``,
+    ``online.retune`` records); the terminal ``result`` carries the
+    :meth:`~repro.core.online.OnlineReport.as_dict` payload.  Watches are
+    never coalesced or cached: each one is a live campaign on its own
+    drift clock.
 ``{"op": "stats"}``, ``{"op": "ping"}``, ``{"op": "shutdown"}``
     Server counters; liveness; graceful drain (finish in-flight
     campaigns, then stop accepting).
@@ -51,6 +64,21 @@ TUNE_DEFAULTS: Dict[str, Any] = {
     "budget_s": None,
     "faults": None,
     "stream": False,
+}
+
+#: Defaults applied to ``watch`` requests (mirrors ``repro watch`` CLI).
+#: Smaller tune stage than TUNE_DEFAULTS: a watch spends its budget over
+#: the whole monitoring horizon, not all up front.
+WATCH_DEFAULTS: Dict[str, Any] = {
+    "n_train": 400,
+    "m_candidates": 40,
+    "seed": 0,
+    "steps": 120,
+    "interval_s": 30.0,
+    "retune_window": 32,
+    "drift": None,
+    "faults": None,
+    "stream": True,
 }
 
 
@@ -123,6 +151,45 @@ def validate_tune(req: Mapping[str, Any]) -> Dict[str, Any]:
             raise ProtocolError("'faults' must be a profile spec string")
         out["faults"] = req["faults"]
     out["stream"] = bool(req.get("stream", False))
+    return out
+
+
+def validate_watch(req: Mapping[str, Any]) -> Dict[str, Any]:
+    """Canonicalize a ``watch`` request: defaults applied, types checked.
+
+    Same division of labour as :func:`validate_tune`: shape here,
+    kernel/device/profile existence in the server.
+    """
+    out = dict(WATCH_DEFAULTS)
+    for field in ("kernel", "device"):
+        value = req.get(field)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(f"watch request needs a string '{field}'")
+        out[field] = value
+    for field in ("n_train", "m_candidates", "seed", "steps", "retune_window"):
+        if field in req and req[field] is not None:
+            if not isinstance(req[field], int) or isinstance(req[field], bool):
+                raise ProtocolError(f"'{field}' must be an integer")
+            out[field] = req[field]
+    if out["n_train"] < 1 or out["m_candidates"] < 1:
+        raise ProtocolError("'n_train' and 'm_candidates' must be >= 1")
+    if out["steps"] < 0:
+        raise ProtocolError("'steps' must be >= 0")
+    if out["retune_window"] < 1:
+        raise ProtocolError("'retune_window' must be >= 1")
+    if "interval_s" in req and req["interval_s"] is not None:
+        interval = req["interval_s"]
+        if not isinstance(interval, (int, float)) or isinstance(interval, bool):
+            raise ProtocolError("'interval_s' must be a number")
+        if interval < 0:
+            raise ProtocolError("'interval_s' must be >= 0")
+        out["interval_s"] = float(interval)
+    for field in ("drift", "faults"):
+        if field in req and req[field] is not None:
+            if not isinstance(req[field], str):
+                raise ProtocolError(f"'{field}' must be a profile spec string")
+            out[field] = req[field]
+    out["stream"] = bool(req.get("stream", True))
     return out
 
 

@@ -39,16 +39,18 @@ from typing import Any, Dict, List, Optional
 
 from repro.kernels import BENCHMARKS, get_benchmark
 from repro.simulator.devices import DEVICES
+from repro.simulator.drift import make_drift
 from repro.simulator.faults import make_injector
 
 from repro.serve import protocol
 from repro.serve.broker import MeasurementBroker
-from repro.serve.campaigns import run_campaign
+from repro.serve.campaigns import run_campaign, run_watch
 from repro.serve.state import (
     CampaignKey,
     ClientAccount,
     ModelCache,
     ResultCache,
+    WatchKey,
 )
 
 
@@ -126,10 +128,12 @@ class TuningServer:
         self.results = ResultCache(result_cache_size)
         self.models = ModelCache(model_cache_size)
         self.broker = MeasurementBroker()
-        self.inflight: Dict[CampaignKey, _InFlight] = {}
+        # Keyed by CampaignKey (tune: coalescable) or WatchKey (unique).
+        self.inflight: Dict[Any, _InFlight] = {}
         self.counters: Dict[str, int] = {
             "requests": 0,
             "campaigns": 0,
+            "watches": 0,
             "coalesced": 0,
             "cache_hits": 0,
             "rejected": 0,
@@ -143,6 +147,7 @@ class TuningServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopped = asyncio.Event()
         self._conn_seq = 0
+        self._watch_seq = 0
         self._avg_wall_s = 1.0  # EWMA of campaign wall time (retry hints)
         from repro.experiments.oracle_store import OracleProvider
 
@@ -237,7 +242,7 @@ class TuningServer:
 
     async def _dispatch_line(self, conn: _Connection, line: bytes) -> None:
         self.counters["requests"] += 1
-        conn.account.n_requests += 1
+        conn.account.inc_requests()
         try:
             req = protocol.decode(line)
         except protocol.ProtocolError as exc:
@@ -255,6 +260,8 @@ class TuningServer:
                 )
             elif op == "tune":
                 self._handle_tune(conn, req_id, req)
+            elif op == "watch":
+                self._handle_watch(conn, req_id, req)
             elif op == "predict":
                 self._handle_predict(conn, req_id, req)
             elif op == "truth":
@@ -388,6 +395,128 @@ class TuningServer:
                 self._campaign_done, key, fut
             )
         )
+
+    # -- watch -----------------------------------------------------------------
+
+    def _handle_watch(self, conn: _Connection, req_id, req) -> None:
+        """Admit one online campaign.  Same admission control as tune
+        (budget, drain, queue depth) but no cache and no coalescing —
+        see :class:`~repro.serve.state.WatchKey` for why."""
+        params = protocol.validate_watch(req)
+        if params["kernel"] not in BENCHMARKS:
+            raise protocol.ProtocolError(
+                f"unknown kernel {params['kernel']!r}; "
+                f"known: {sorted(BENCHMARKS)}"
+            )
+        if params["device"] not in DEVICES:
+            raise protocol.ProtocolError(
+                f"unknown device {params['device']!r}; "
+                f"known: {sorted(DEVICES)}"
+            )
+        for field, coerce in (("faults", make_injector), ("drift", make_drift)):
+            if params[field] is not None:
+                try:  # fail fast, before the campaign thread
+                    coerce(params[field])
+                except ValueError as exc:
+                    raise protocol.ProtocolError(str(exc)) from None
+        if conn.account.exhausted():
+            self._reject(conn, req_id, "client_budget_exhausted")
+            return
+        if self.draining:
+            self._reject(conn, req_id, "draining")
+            return
+        if len(self.inflight) >= self.max_pending:
+            self._reject(conn, req_id, "queue_full")
+            return
+
+        self._watch_seq += 1
+        key = WatchKey(
+            serial=self._watch_seq,
+            kernel=params["kernel"],
+            device=params["device"],
+            n_train=params["n_train"],
+            m_candidates=params["m_candidates"],
+            seed=params["seed"],
+            steps=params["steps"],
+            drift=params["drift"],
+            faults=params["faults"],
+        )
+        pending = _Connection.Pending(
+            conn, req_id, params["stream"], initiator=True
+        )
+        conn.send(
+            protocol.response(
+                "ack", req_id, coalesced=False, cached=False,
+                watch=key.serial,
+            )
+        )
+        flight = _InFlight(key)
+        flight.subscribers.append(pending)
+        if pending.stream:
+            flight.sinks.append(conn.send_threadsafe)
+        self.inflight[key] = flight
+        self.counters["watches"] += 1
+
+        key_fields = self._watch_key_fields(key)
+
+        def sink(record: Dict[str, Any]) -> None:
+            # Campaign-thread context: fan out to current subscribers.
+            for push in list(flight.sinks):
+                push(
+                    protocol.response(
+                        "event", None, key=key_fields, record=record
+                    )
+                )
+
+        future = self.loop.run_in_executor(
+            self._pool, run_watch, params, self.broker, sink
+        )
+        future.add_done_callback(
+            lambda fut: self.loop.call_soon_threadsafe(
+                self._watch_done, key, fut
+            )
+        )
+
+    def _watch_done(self, key: WatchKey, future) -> None:
+        flight = self.inflight.pop(key, None)
+        if flight is None:
+            return
+        try:
+            outcome = future.result()
+        except Exception as exc:
+            self.counters["errors"] += 1
+            for pending in flight.subscribers:
+                pending.conn.send(
+                    protocol.response(
+                        "error", pending.req_id, error=f"watch failed: {exc}"
+                    )
+                )
+            return
+        wall = outcome["wall_s"]
+        self._avg_wall_s = 0.7 * self._avg_wall_s + 0.3 * max(wall, 0.01)
+        payload = {
+            "key": self._watch_key_fields(key),
+            "result": outcome["result"],
+            "cost": outcome["cost"],
+            "wall_s": round(wall, 6),
+        }
+        for pending in flight.subscribers:
+            pending.conn.account.charge(outcome["cost"])
+            self._send_result(pending, payload, cached=False, coalesced=False)
+
+    @staticmethod
+    def _watch_key_fields(key: WatchKey) -> Dict[str, Any]:
+        return {
+            "watch": key.serial,
+            "kernel": key.kernel,
+            "device": key.device,
+            "n_train": key.n_train,
+            "m_candidates": key.m_candidates,
+            "seed": key.seed,
+            "steps": key.steps,
+            "drift": key.drift,
+            "faults": key.faults,
+        }
 
     def _campaign_done(self, key: CampaignKey, future) -> None:
         flight = self.inflight.pop(key, None)

@@ -55,6 +55,28 @@ class CampaignKey:
         return (self.kernel, self.device, self.n_train, self.seed)
 
 
+@dataclass(frozen=True)
+class WatchKey:
+    """Identity of one *online* (watch) campaign in the in-flight table.
+
+    Deliberately **not** a coalescing key: two watches with identical
+    parameters are still different campaigns — each lives on its own
+    drift clock, started at its own moment.  ``serial`` (a per-server
+    counter) keeps every watch unique in the shared in-flight dict while
+    the descriptive fields make stats and event frames readable.
+    """
+
+    serial: int
+    kernel: str
+    device: str
+    n_train: int
+    m_candidates: int
+    seed: int
+    steps: int
+    drift: Optional[str] = None
+    faults: Optional[str] = None
+
+
 class _LRU:
     """Tiny thread-safe LRU map with hit/miss counters."""
 
@@ -66,6 +88,10 @@ class _LRU:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: Entries dropped at capacity.  An operator watching stats can
+        #: tell a healthy cache from one thrashing its capacity — silent
+        #: eviction looked identical to "never stored" before this.
+        self.evictions = 0
 
     def get(self, key):
         with self._lock:
@@ -82,6 +108,7 @@ class _LRU:
             self._data.move_to_end(key)
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
+                self.evictions += 1
 
     def __len__(self) -> int:
         with self._lock:
@@ -93,6 +120,7 @@ class _LRU:
                 "entries": len(self._data),
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
             }
 
 
@@ -120,6 +148,14 @@ class ClientAccount:
         self._lock = threading.Lock()
         self.n_requests = 0
         self.n_campaigns = 0
+
+    def inc_requests(self) -> None:
+        """Count one dispatched request.  Must be the only writer of
+        ``n_requests``: a bare ``+= 1`` from the dispatch path races with
+        :meth:`snapshot` and with itself under concurrent connections
+        (read-modify-write is not atomic), silently losing counts."""
+        with self._lock:
+            self.n_requests += 1
 
     def remaining_s(self) -> Optional[float]:
         """Simulated seconds left, or None when unlimited."""

@@ -42,6 +42,13 @@ from repro.simulator.devices import (
     NVIDIA_K40,
     get_device,
 )
+from repro.simulator.drift import (
+    DRIFT_PROFILES,
+    DriftModel,
+    DriftProfile,
+    get_drift_profile,
+    make_drift,
+)
 from repro.simulator.faults import (
     FAULT_PROFILES,
     FaultInjector,
@@ -69,6 +76,11 @@ __all__ = [
     "FaultInjector",
     "FAULT_PROFILES",
     "get_fault_profile",
+    "DriftProfile",
+    "DriftModel",
+    "DRIFT_PROFILES",
+    "get_drift_profile",
+    "make_drift",
     "DeviceSpec",
     "DEVICES",
     "INTEL_I7_3770",

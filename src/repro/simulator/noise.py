@@ -93,10 +93,20 @@ class MeasurementModel:
         return float(true_time_s * np.exp(sigma * self.rng.standard_normal()))
 
     def observe_many(self, true_time_s: float, repeats: int) -> np.ndarray:
-        """``repeats`` independent observations of the same true time."""
+        """``repeats`` independent observations of the same true time.
+
+        Same contract as :meth:`observe` on both edges: a non-positive
+        true time is rejected, and a zero-sigma device draws *nothing*
+        from the generator — the RNG stream position is identical
+        whichever entry point measured a configuration.
+        """
+        if true_time_s <= 0:
+            raise ValueError(f"true time must be positive, got {true_time_s}")
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
         sigma = self.device.timing_noise_sigma
+        if sigma == 0.0:
+            return np.full(repeats, float(true_time_s))
         noise = np.exp(sigma * self.rng.standard_normal(repeats))
         return true_time_s * noise
 

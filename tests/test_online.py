@@ -1,0 +1,163 @@
+"""OnlineTuner end-to-end: detection, incremental recovery, quiescence.
+
+The contract under test (docs/robustness.md, "Online drift detection"):
+
+* a regime shift injected after the detector is armed is detected and
+  answered with an *incremental* re-tune whose ledger spend is a small
+  fraction of the initial campaign's;
+* the whole loop is deterministic — same seeds, same drift profile,
+  same report, bit for bit;
+* on a quiet machine (drift ``none``), the loop NEVER re-tunes, even
+  under the flaky-gpu fault profile — monitoring must not burn budget
+  chasing noise (the quiescence gate, ``drift``-marked).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.drift import DetectorSettings
+from repro.core.online import OnlineSettings, OnlineTuner
+from repro.core.tuner import MLAutoTuner, TunerSettings
+from repro.kernels import get_benchmark
+from repro.runtime import Context
+from repro.simulator import NVIDIA_K40
+
+KERNEL = "convolution"
+
+# Small but healthy campaign: the shapes the daemon smoke uses, scaled
+# down for test wall-time.
+TUNE = dict(n_train=120, m_candidates=12, k_bag=5, candidate_pool=4000)
+CAL = 12
+
+
+def _tune_cost_s(seed: int) -> float:
+    """Ledger spend of the initial tune alone (deterministic), used to
+    place the drift onset after the detector's calibration window."""
+    ctx = Context(NVIDIA_K40, seed=seed)
+    tuner = MLAutoTuner(ctx, get_benchmark(KERNEL), TunerSettings(**TUNE))
+    tuner.tune(np.random.default_rng(seed), model_seed=seed)
+    return ctx.ledger.total_s
+
+
+def _run(seed: int, drift, faults=None, steps=60, max_retunes=8):
+    ctx = Context(NVIDIA_K40, seed=seed, drift=drift, faults=faults)
+    online = OnlineTuner(
+        ctx,
+        get_benchmark(KERNEL),
+        settings=OnlineSettings(
+            steps=steps,
+            step_interval_s=30.0,
+            detector=DetectorSettings(calibration=CAL),
+            retune_window=16,
+            max_retunes=max_retunes,
+        ),
+        tune_settings=TunerSettings(**TUNE),
+    )
+    report = online.run(np.random.default_rng(seed), model_seed=seed)
+    return report, ctx
+
+
+def _shift_profile(seed: int) -> str:
+    onset = _tune_cost_s(seed) + (CAL + 4) * 30.0
+    return (
+        f"thermal-throttle:onset_s={onset:.1f},ramp_s=120,"
+        "throttle_factor=1.5"
+    )
+
+
+def test_settings_validation():
+    with pytest.raises(ValueError):
+        OnlineSettings(steps=-1)
+    with pytest.raises(ValueError):
+        OnlineSettings(step_interval_s=-1.0)
+    with pytest.raises(ValueError):
+        OnlineSettings(retune_window=0)
+    with pytest.raises(ValueError):
+        OnlineSettings(max_retunes=-1)
+
+
+def test_detects_shift_and_recovers_incrementally():
+    seed = 7
+    report, ctx = _run(seed, _shift_profile(seed))
+    assert not report.initial.failed
+    assert report.alarms >= 1
+    assert len(report.retunes) >= 1
+    event = report.retunes[0]
+    # The estimated shift tracks the injected throttle (alarm may land
+    # mid-ramp, so anywhere meaningfully above quiet and at/below 1.5).
+    assert 1.1 < event.ratio < 1.6
+    # Incremental: the response costs a small fraction of the campaign.
+    assert report.retune_cost_s < 0.5 * report.initial_cost_s
+    assert event.cost_s > 0.0
+    # Everything was charged through the one ledger.
+    assert ctx.ledger.total_s == pytest.approx(
+        report.initial_cost_s + report.monitor_cost_s + report.retune_cost_s
+    )
+    # The trajectory recorded the alarm step.
+    alarm_steps = [p["step"] for p in report.trajectory if p["alarm"]]
+    assert alarm_steps and alarm_steps[0] == event.step
+    # Report serializes (the serve watch payload).
+    d = report.as_dict(include_trajectory=True)
+    assert d["alarms"] == report.alarms
+    assert len(d["retunes"]) == len(report.retunes)
+    assert len(d["trajectory"]) == report.steps
+
+
+def test_deterministic_replay():
+    seed = 7
+    profile = _shift_profile(seed)
+    rep_a, ctx_a = _run(seed, profile)
+    rep_b, ctx_b = _run(seed, profile)
+    assert rep_a.as_dict(include_trajectory=True) == rep_b.as_dict(
+        include_trajectory=True
+    )
+    assert float.hex(ctx_a.ledger.total_s) == float.hex(ctx_b.ledger.total_s)
+
+
+def test_max_retunes_caps_responses():
+    # A regime shift every ~4 probes: far more alarms than the cap.
+    seed = 3
+    onset = _tune_cost_s(seed) + (CAL + 2) * 30.0
+    profile = (
+        f"noisy-neighbor:onset_s={onset:.1f},regime_duration_s=120,"
+        "contention_min=1.3,contention_max=2.0,contention_sigma=0.05"
+    )
+    report, _ = _run(seed, profile, steps=80, max_retunes=2)
+    assert len(report.retunes) <= 2
+    assert report.alarms >= 1
+
+
+def test_degraded_initial_tune_short_circuits():
+    ctx = Context(NVIDIA_K40, seed=1)
+    online = OnlineTuner(
+        ctx,
+        get_benchmark(KERNEL),
+        settings=OnlineSettings(steps=50),
+        tune_settings=TunerSettings(**TUNE, max_cost_s=1e-6),
+    )
+    report = online.run(np.random.default_rng(1), model_seed=1)
+    # Budget death before stage one finished: degraded (or outright
+    # failed) tune, and no fitted model — nothing to monitor against.
+    assert report.initial.failed or report.initial.degraded
+    assert online.model is None
+    assert report.steps == 0
+    assert report.alarms == 0 and not report.retunes
+    assert report.monitor_cost_s == 0.0
+
+
+@pytest.mark.drift
+@pytest.mark.parametrize("seed", range(20))
+def test_quiescence_no_retunes_on_quiet_machine(seed):
+    """drift 'none' + flaky-gpu faults, 20 seeds: the detector never
+    fires, the tuner never re-tunes, and monitoring costs stay tiny."""
+    report, ctx = _run(seed, "none", faults="flaky-gpu", steps=40)
+    assert ctx.drift is None
+    if report.initial.failed:  # fault-profile worst case: nothing to watch
+        pytest.skip("initial tune failed under faults for this seed")
+    assert report.alarms == 0
+    assert report.retunes == []
+    assert report.retune_cost_s == 0.0
+    # Monitoring spends only the incumbent's (mostly cached) re-measures.
+    assert report.monitor_cost_s < 0.2 * report.initial_cost_s
