@@ -12,6 +12,7 @@
         --config "wg_x=32,wg_y=4,ppt_x=2,ppt_y=2,use_image=1,use_local=0,pad=1,interleaved=1,unroll=1"
     python -m repro sweep-bench -k raycasting -d nvidia   # sweep engine timings
     python -m repro experiments --only fig01      # reproduction harness
+    python -m repro bench-report                  # perf-gate trajectory table
 """
 
 from __future__ import annotations
@@ -398,6 +399,62 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+#: Preferred headline metric per artifact, first match wins.
+_HEADLINE_KEYS = (
+    "speedup", "throughput_gain", "recovered_gap", "cost_fraction",
+)
+
+
+def cmd_bench_report(args) -> int:
+    """Render every ``benchmarks/BENCH_*.json`` trajectory as one table."""
+    import json
+    from pathlib import Path
+
+    root = Path(args.dir)
+    files = sorted(root.glob("BENCH_*.json"))
+    if not files:
+        print(f"no BENCH_*.json artifacts under {root}/")
+        return 1
+    rows = []
+    for path in files:
+        name = path.stem[len("BENCH_"):]
+        try:
+            points = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError) as e:
+            rows.append((name, "-", f"unreadable: {e}", ""))
+            continue
+        if not isinstance(points, list):
+            points = [points]
+        for point in points:
+            if not isinstance(point, dict):
+                continue
+            rev = str(point.get("git_rev", "-"))
+            headline = ""
+            for key in _HEADLINE_KEYS:
+                if isinstance(point.get(key), (int, float)):
+                    value = point[key]
+                    suffix = "x" if key in ("speedup", "throughput_gain") else ""
+                    headline = f"{key} {value:g}{suffix}"
+                    break
+            details = " ".join(
+                f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in point.items()
+                if k != "git_rev"
+                and not headline.startswith(f"{k} ")
+                and isinstance(v, (int, float, str))
+            )
+            rows.append((name, rev, headline, details))
+    w_name = max(len("artifact"), *(len(r[0]) for r in rows))
+    w_rev = max(len("rev"), *(len(r[1]) for r in rows))
+    w_head = max(len("headline"), *(len(r[2]) for r in rows))
+    print(f"{'artifact':{w_name}s}  {'rev':{w_rev}s}  "
+          f"{'headline':{w_head}s}  details")
+    for name, rev, headline, details in rows:
+        print(f"{name:{w_name}s}  {rev:{w_rev}s}  {headline:{w_head}s}  "
+              f"{details}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.serve.server import main as serve_main
 
@@ -578,6 +635,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persistent ground-truth table directory shared "
                           "across requests")
     srv.set_defaults(fn=cmd_serve)
+
+    rep = sub.add_parser(
+        "bench-report",
+        help="render benchmarks/BENCH_*.json trajectories as one table",
+    )
+    rep.add_argument("--dir", default="benchmarks",
+                     help="directory holding the BENCH_*.json artifacts "
+                          "(default: benchmarks)")
+    rep.set_defaults(fn=cmd_bench_report)
     return ap
 
 

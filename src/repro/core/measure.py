@@ -19,6 +19,21 @@ Two layers sit on top of the single-config path:
   It is bit-identical to looping :meth:`Measurer.measure` — same
   measurements, same ledger totals, same RNG stream consumption — just an
   order of magnitude faster.
+
+Under faults and/or drift the batch engine switches to its *wave-based*
+form (:meth:`Measurer.measure_batch_direct`): fault outcomes are keyed
+hash draws that never touch the context RNG, backoff is a deterministic
+ledger charge, and drift factors are keyed functions of the ledger clock
+— so whole attempt-waves of probe outcomes are precomputable without
+side effects.  The engine resolves every configuration's retry schedule
+through vectorized fault draws, evaluates all needed configurations
+through the simulator batch API, draws the noise in one RNG call, and
+replays the one true sequential dependency — the drift clock, a prefix
+sum of prior charges into which measured times feed back — as a cheap
+O(n) scalar arithmetic scan.  The result is bit-identical to the serial
+resilient loop (kept as :meth:`Measurer.measure_batch_serial_resilient`)
+by construction: same values, ledger buckets, RNG stream, quarantine
+sets, fault-stream counters and drift counters.
 """
 
 from __future__ import annotations
@@ -40,9 +55,15 @@ from repro.runtime import (
     TimeoutError,
     TransientError,
 )
+from repro.simulator.drift import DriftModel
 from repro.simulator.executor import execute_batch
 from repro.simulator.noise import FAILED_BUILD_COST_S, FAILED_LAUNCH_COST_S
-from repro.simulator.validity import STAGE_BUILD_CODE, STAGE_OK_CODE, validate
+from repro.simulator.validity import (
+    STAGE_BUILD_CODE,
+    STAGE_LAUNCH_CODE,
+    STAGE_OK_CODE,
+    validate,
+)
 
 
 def _empty_idx() -> np.ndarray:
@@ -120,6 +141,10 @@ class EngineStats:
     ``n_quarantined`` configurations given up on (failed every attempt)
     — reported separately from ``n_invalid``, which stays a statement
     about the configuration space.
+
+    ``n_waves`` counts attempt waves executed by the wave-based resilient
+    batch engine (one per vectorized fault-draw round, plus one per
+    fault-free evaluation pass under drift); the serial paths leave it 0.
     """
 
     n_requested: int = 0
@@ -131,6 +156,7 @@ class EngineStats:
     n_retries: int = 0
     n_timeouts: int = 0
     n_quarantined: int = 0
+    n_waves: int = 0
     elapsed_s: float = 0.0
 
     @property
@@ -174,6 +200,7 @@ class EngineStats:
             n_retries=self.n_retries + other.n_retries,
             n_timeouts=self.n_timeouts + other.n_timeouts,
             n_quarantined=self.n_quarantined + other.n_quarantined,
+            n_waves=self.n_waves + other.n_waves,
             elapsed_s=self.elapsed_s + other.elapsed_s,
         )
 
@@ -188,6 +215,7 @@ class EngineStats:
             "n_retries": self.n_retries,
             "n_timeouts": self.n_timeouts,
             "n_quarantined": self.n_quarantined,
+            "n_waves": self.n_waves,
             "elapsed_s": self.elapsed_s,
             "cache_hit_rate": self.cache_hit_rate,
             "configs_per_sec": self.configs_per_sec,
@@ -208,6 +236,29 @@ def _sequential_sum(start: float, contributions: np.ndarray) -> float:
 
 # Batch classification codes (internal to measure_batch).
 _FRESH, _CACHED, _DB, _DUP = 0, 1, 2, 3
+
+
+class _ProbeSchedule:
+    """Resolved retry schedule of one first-probe job (wave engine).
+
+    ``events`` holds one code per attempt, in order — ``"tb"`` transient
+    build, ``"binv"``/``"linv"`` deterministic build/launch invalid,
+    ``"reset"``/``"hang"``/``"tl"`` injected launch failures, ``"ok"``
+    success; ``broke`` records, per *failed* attempt, the constant-sum
+    budget decision (re-validated against the exact ledger floats during
+    the commit scan); ``outcome`` is ``'ok' | 'invalid' | 'quar'``;
+    ``b_rolls``/``l_rolls`` are the build/launch fault draws consumed
+    (committed to the injector's attempt counters at batch commit).
+    """
+
+    __slots__ = ("events", "broke", "outcome", "b_rolls", "l_rolls")
+
+    def __init__(self):
+        self.events: List[str] = []
+        self.broke: List[bool] = []
+        self.outcome: str = ""
+        self.b_rolls = 0
+        self.l_rolls = 0
 
 
 @dataclass(frozen=True)
@@ -506,12 +557,14 @@ class Measurer:
         4. accumulate the ledger from per-position contribution arrays in
            input order.
 
-        With a fault injector attached the vectorized fast path is
-        bypassed: the batch degrades to the serial resilient loop (retry,
-        backoff, quarantine per configuration), trading the order of
-        magnitude of throughput for correctness under failure — and
-        making ``measure_batch`` equal the serial loop *by construction*,
-        fault profile or not.
+        With a fault injector and/or a drift model attached, the batch
+        runs through the *wave-based* resilient engine instead: retry
+        schedules are resolved in vectorized attempt waves of keyed fault
+        draws, the simulator still evaluates whole arrays, noise is still
+        one RNG call, and only the drift-clock recurrence is replayed as
+        a cheap scalar scan — bit-identical to the serial resilient loop
+        (retry, backoff, quarantine per configuration) by construction,
+        at batch-engine throughput.
 
         With a ``batcher`` attached the batch is submitted to it instead
         (see the constructor); the broker executes it through
@@ -525,15 +578,27 @@ class Measurer:
         """:meth:`measure_batch` without broker indirection — the entry
         point measurement brokers use to execute submitted batches.
 
-        Faults *or drift* on the context degrade the batch to the serial
-        resilient loop: drift factors depend on the ledger clock at each
-        launch, which only the serial order reproduces — and serial-equals-
-        batch then holds by construction."""
+        Faults *or drift* on the context route the batch through the
+        wave-based resilient engine (``measure.batch.waves`` span), which
+        reproduces the serial resilient loop bit for bit while keeping
+        the simulator, fault-draw, and noise work vectorized; the
+        fault-free, drift-free fast path (``measure.batch`` span) is
+        unchanged."""
         if self.context.faults is not None or self.context.drift is not None:
-            with self.context.tracer.span("measure.batch.resilient") as span:
-                return self._measure_batch_resilient(indices, span)
+            with self.context.tracer.span("measure.batch.waves") as span:
+                return self._measure_batch_waves(indices, span)
         with self.context.tracer.span("measure.batch") as span:
             return self._measure_batch(indices, span)
+
+    def measure_batch_serial_resilient(
+        self, indices: Sequence[int]
+    ) -> MeasurementSet:
+        """The serial per-config resilient loop (one :meth:`measure_outcome`
+        per position, in order) — the reference the wave engine must match
+        bit for bit.  Kept public as the equivalence baseline and for perf
+        comparison; production paths use :meth:`measure_batch_direct`."""
+        with self.context.tracer.span("measure.batch.resilient") as span:
+            return self._measure_batch_resilient(indices, span)
 
     def _measure_batch_resilient(
         self, indices: Sequence[int], span
@@ -573,6 +638,591 @@ class Measurer:
                 transient=s.n_transient - stats0.n_transient,
                 timeouts=s.n_timeouts - stats0.n_timeouts,
                 retries=s.n_retries - stats0.n_retries,
+            )
+        return MeasurementSet(
+            indices=np.asarray(ok_idx, dtype=np.int64),
+            times_s=np.asarray(ok_times, dtype=np.float64),
+            invalid_indices=np.asarray(bad_idx, dtype=np.int64),
+            quarantined_indices=np.asarray(quarantined_idx, dtype=np.int64),
+        )
+
+    # -- wave-based resilient batch engine -------------------------------------
+
+    def _resolve_probe_jobs(
+        self,
+        stages: np.ndarray,
+        compile_cs: np.ndarray,
+        key_hashes: np.ndarray,
+        b_start: np.ndarray,
+        l_start: np.ndarray,
+    ) -> tuple:
+        """Resolve the retry schedules of many pending first-probe jobs in
+        vectorized attempt waves.
+
+        Pure: fault uniforms come from :meth:`FaultInjector.peek_uniforms`
+        (no counters move), and the per-config budget is tracked as a
+        constant sum of the attempt charges — the commit scan re-validates
+        every budget decision against the exact ledger floats and falls
+        back to the serial loop on the (vanishingly rare) rounding
+        disagreement.  Returns ``(schedules, waves_executed)``.
+        """
+        faults = self.context.faults
+        prof = faults.profile
+        policy = self.retry
+        p_tb = prof.p_transient_build
+        p_reset = prof.p_device_reset
+        p_hang = prof.p_hang
+        p_total = p_reset + p_hang + prof.p_transient_launch
+        hang_w = min(prof.hang_duration_s, policy.launch_timeout_s)
+        budget = policy.config_budget_s
+        m = len(stages)
+        scheds = [_ProbeSchedule() for _ in range(m)]
+        pending = np.ones(m, dtype=bool)
+        # Build-stage invalids resolve before any fault roll: validate
+        # raises ahead of the injector in Program.build.
+        for j in np.flatnonzero(stages == STAGE_BUILD_CODE):
+            scheds[j].events.append("binv")
+            scheds[j].outcome = "invalid"
+            pending[j] = False
+        spend = np.zeros(m)
+        b_used = np.zeros(m, dtype=np.int64)
+        l_used = np.zeros(m, dtype=np.int64)
+        waves = 0
+        for attempt in range(1, policy.max_attempts + 1):
+            act = np.flatnonzero(pending)
+            if act.size == 0:
+                break
+            waves += 1
+            code = np.full(act.size, "ok", dtype=object)
+            if p_tb > 0.0:
+                ub = faults.peek_uniforms(
+                    "build", key_hashes[act], b_start[act] + b_used[act]
+                )
+                b_used[act] += 1
+                code[ub < p_tb] = "tb"
+            built = code != "tb"
+            linv = built & (stages[act] == STAGE_LAUNCH_CODE)
+            code[linv] = "linv"
+            launchable = np.flatnonzero(built & ~linv)
+            if p_total > 0.0 and launchable.size:
+                sel = act[launchable]
+                ul = faults.peek_uniforms(
+                    "launch", key_hashes[sel], l_start[sel] + l_used[sel]
+                )
+                l_used[sel] += 1
+                code[launchable[ul < p_reset]] = "reset"
+                code[launchable[(ul >= p_reset) & (ul < p_reset + p_hang)]] = "hang"
+                code[launchable[(ul >= p_reset + p_hang) & (ul < p_total)]] = "tl"
+            # Constant-sum spend update (heuristic clock for the budget
+            # check only; exact validation happens in the commit scan).
+            charge = np.where(code == "tb", FAILED_BUILD_COST_S, compile_cs[act])
+            charge = charge + np.select(
+                [code == "linv", code == "tl", code == "reset", code == "hang"],
+                [FAILED_LAUNCH_COST_S, FAILED_LAUNCH_COST_S,
+                 prof.reset_cost_s, hang_w],
+                default=0.0,
+            )
+            spend[act] += charge
+            for pos, j in enumerate(act):
+                s = scheds[j]
+                ev = code[pos]
+                s.events.append(ev)
+                if ev == "ok":
+                    s.outcome = "ok"
+                    pending[j] = False
+                elif ev == "linv":
+                    s.outcome = "invalid"
+                    pending[j] = False
+                else:
+                    bb = bool(spend[j] > budget)
+                    s.broke.append(bb)
+                    if bb:
+                        s.outcome = "quar"
+                        pending[j] = False
+                    elif attempt < policy.max_attempts:
+                        spend[j] += policy.backoff_s(attempt)
+        for j in np.flatnonzero(pending):
+            scheds[j].outcome = "quar"
+        for j, s in enumerate(scheds):
+            s.b_rolls = int(b_used[j])
+            s.l_rolls = int(l_used[j])
+        return scheds, waves
+
+    def _measure_batch_waves(self, indices: Sequence[int], span) -> MeasurementSet:
+        """Wave-based resilient batch engine: vectorized measurement under
+        faults and/or drift, bit-identical to the serial resilient loop.
+
+        Phases:
+
+        1. *classify & resolve* — evaluate every not-in-DB configuration
+           through the simulator batch API once; resolve the retry
+           schedule of every first-probe job in vectorized attempt waves
+           of keyed fault draws (device resets that revive cached
+           configurations trigger rare on-demand re-resolutions with
+           continued attempt counters); walk the positions once to fix
+           each position's outcome and RNG draw count;
+        2. *draw* — all measurement noise in a single RNG call, all
+           outlier uniforms in one vectorized peek;
+        3. *commit scan* — an O(n) scalar arithmetic replay of the ledger
+           charges in serial order (the drift clock is a prefix sum of
+           charges into which measured times feed back), applying drift
+           factors from per-regime batched quirk draws and re-validating
+           every budget decision against the exact ledger floats;
+        4. *commit* — ledger buckets, stats, caches, quarantine, injector
+           counters, drift counters, DB write-through, trace counters.
+
+        All phases before 4 are pure; a budget-rounding disagreement in
+        phase 3 restores the RNG state and re-runs the batch through the
+        serial loop inside the same ``measure.batch.waves`` span.
+        """
+        t0 = time.perf_counter()
+        ctx = self.context
+        faults = ctx.faults
+        drift = ctx.drift
+        policy = self.retry
+        repeats = self.repeats
+        model = ctx.measurement
+        sigma = model.device.timing_noise_sigma
+        device = ctx.device.spec
+        kernel_name = self.spec.name
+        device_name = device.name
+        db = self.db
+        idx: List[int] = [int(i) for i in indices]
+        n = len(idx)
+
+        # -- unique indices, DB state at entry, batch simulation ------------
+        uniq: List[int] = []
+        seen: set = set()
+        for i in idx:
+            if i not in seen:
+                seen.add(i)
+                uniq.append(i)
+        db_known: Dict[int, Optional[float]] = {}
+        if db is not None:
+            for i in uniq:
+                if db.has(kernel_name, device_name, i):
+                    db_known[i] = db.get(kernel_name, device_name, i)
+        # Everything the DB cannot serve may need a base time — including
+        # configurations cached at entry, which a device reset can revive.
+        sim_ids = [i for i in uniq if i not in db_known]
+        pos_of: Dict[int, int] = {i: j for j, i in enumerate(sim_ids)}
+        stage_of: Dict[int, int] = {}
+        base_of: Dict[int, Optional[float]] = {}
+        compile_of: Dict[int, float] = {}
+        tuples_of: Dict[int, tuple] = {}
+        cfg_hashes = np.empty(0, dtype=np.uint64)
+        okey_hashes = np.empty(0, dtype=np.uint64)
+        if sim_ids:
+            sim_arr = np.asarray(sim_ids, dtype=np.int64)
+            tuples = self.spec.config_tuples(sim_arr)
+            wb = self.spec.workload_batch(sim_arr, device, config_tuples=tuples)
+            be = execute_batch(
+                wb, device, kernel_name=kernel_name, config_tuples=tuples
+            )
+            compile_costs = device.compile_time_base_s + (
+                device.compile_time_per_unroll_s * (wb.unroll_factor - 1)
+            )
+            for j, i in enumerate(sim_ids):
+                stage_of[i] = int(be.stages[j])
+                base_of[i] = (
+                    float(be.times[j])
+                    if be.stages[j] == STAGE_OK_CODE
+                    else None
+                )
+                compile_of[i] = float(compile_costs[j])
+                tuples_of[i] = tuples[j]
+            # Fault config keys and drift quirk keys share one structure:
+            # part64((kernel, config_tuple)) per configuration.
+            if faults is not None or (
+                drift is not None and drift.profile.contention_sigma > 0.0
+            ):
+                int_matrix = self.spec.space.int_values_matrix(sim_arr)
+                cfg_hashes = DriftModel.quirk_key_hashes(kernel_name, int_matrix)
+            if faults is not None and faults.profile.p_outlier > 0.0:
+                okey_hashes = faults.index_key_hashes(kernel_name, sim_arr)
+
+        # -- phase 1a: resolve first-probe retry schedules in waves ---------
+        scheds_by_index: Dict[int, _ProbeSchedule] = {}
+        waves = 0
+        if faults is not None:
+            new_ids = [
+                i for i in sim_ids
+                if i not in self._cache and i not in self.quarantine
+            ]
+            if new_ids:
+                jsel = np.asarray([pos_of[i] for i in new_ids], dtype=np.int64)
+                b0 = np.asarray(
+                    [faults.attempts_of("build", (kernel_name, tuples_of[i]))
+                     for i in new_ids], dtype=np.int64,
+                )
+                l0 = np.asarray(
+                    [faults.attempts_of("launch", (kernel_name, tuples_of[i]))
+                     for i in new_ids], dtype=np.int64,
+                )
+                scheds, w = self._resolve_probe_jobs(
+                    np.asarray([stage_of[i] for i in new_ids], dtype=np.int64),
+                    np.asarray([compile_of[i] for i in new_ids]),
+                    cfg_hashes[jsel],
+                    b0,
+                    l0,
+                )
+                waves += w
+                scheds_by_index = dict(zip(new_ids, scheds))
+        elif sim_ids:
+            waves += 1  # one fault-free evaluation wave under drift
+
+        # -- phase 1b: classification scan (no RNG, no ledger floats) -------
+        # Entry tuples: (type, schedule-or-None, base-or-None) per position.
+        E_DB, E_CACHED_OK, E_CACHED_INV, E_FRESH, E_QUAR = range(5)
+        local_cache: Dict[int, Optional[float]] = dict(self._cache)
+        q_local: set = set()
+        resolved: set = set()
+        entries: List[tuple] = []
+        counts = np.zeros(n, dtype=np.int64)
+        consumed_b: Dict[int, int] = {}
+        consumed_l: Dict[int, int] = {}
+        outlier_n: Dict[int, int] = {}
+        outlier_jobs: List[tuple] = []  # (position, index, in-batch roll no.)
+        used_scheds: List[_ProbeSchedule] = []
+        p_outlier = faults.profile.p_outlier if faults is not None else 0.0
+        for p, i in enumerate(idx):
+            if db is not None and (i in db_known or i in resolved):
+                entries.append((E_DB, None, None))
+                continue
+            if faults is not None and (i in self.quarantine or i in q_local):
+                entries.append((E_QUAR, None, None))
+                continue
+            if i in local_cache:
+                base = local_cache[i]
+                if base is None:
+                    entries.append((E_CACHED_INV, None, None))
+                    if db is not None:
+                        resolved.add(i)
+                else:
+                    entries.append((E_CACHED_OK, None, base))
+                    if sigma != 0.0:
+                        counts[p] = repeats
+                    if db is not None:
+                        resolved.add(i)
+                    if p_outlier > 0.0:
+                        a = outlier_n.get(i, 0)
+                        outlier_n[i] = a + 1
+                        outlier_jobs.append((p, i, a))
+                continue
+            # Fresh: a first probe (faults) or a plain evaluation (drift
+            # only) — either way the schedule codes drive the commit scan.
+            if faults is not None:
+                sched = scheds_by_index.pop(i, None)
+                if sched is None:
+                    # Reset-revived configuration: re-probe with continued
+                    # attempt counters (rare — only after a device reset).
+                    key = (kernel_name, tuples_of[i])
+                    one, w = self._resolve_probe_jobs(
+                        np.asarray([stage_of[i]], dtype=np.int64),
+                        np.asarray([compile_of[i]]),
+                        cfg_hashes[[pos_of[i]]],
+                        np.asarray(
+                            [faults.attempts_of("build", key)
+                             + consumed_b.get(i, 0)], dtype=np.int64,
+                        ),
+                        np.asarray(
+                            [faults.attempts_of("launch", key)
+                             + consumed_l.get(i, 0)], dtype=np.int64,
+                        ),
+                    )
+                    sched = one[0]
+                    waves += w
+                consumed_b[i] = consumed_b.get(i, 0) + sched.b_rolls
+                consumed_l[i] = consumed_l.get(i, 0) + sched.l_rolls
+                used_scheds.append(sched)
+            else:
+                sched = _ProbeSchedule()
+                stage = stage_of[i]
+                if stage == STAGE_OK_CODE:
+                    sched.events.append("ok")
+                    sched.outcome = "ok"
+                elif stage == STAGE_BUILD_CODE:
+                    sched.events.append("binv")
+                    sched.outcome = "invalid"
+                else:
+                    sched.events.append("linv")
+                    sched.outcome = "invalid"
+            entries.append((E_FRESH, sched, base_of[i]))
+            if "reset" in sched.events:
+                local_cache.clear()
+            if sched.outcome == "ok":
+                local_cache[i] = base_of[i]
+                if sigma != 0.0:
+                    counts[p] = 1 + repeats
+                if db is not None:
+                    resolved.add(i)
+                if p_outlier > 0.0:
+                    a = outlier_n.get(i, 0)
+                    outlier_n[i] = a + 1
+                    outlier_jobs.append((p, i, a))
+            elif sched.outcome == "invalid":
+                local_cache[i] = None
+                if db is not None:
+                    resolved.add(i)
+            else:
+                q_local.add(i)
+
+        # -- phase 2: all noise in one RNG call, outliers in one peek -------
+        total_draws = int(counts.sum())
+        rng_state = None
+        if total_draws:
+            rng_state = model.rng.bit_generator.state
+            factors = np.exp(sigma * model.rng.standard_normal(total_draws))
+        else:
+            factors = np.empty(0)
+        starts = np.cumsum(counts) - counts
+        outlier_hit_at: Dict[int, bool] = {}
+        if outlier_jobs:
+            khs = np.asarray(
+                [okey_hashes[pos_of[i]] for _, i, _ in outlier_jobs],
+                dtype=np.uint64,
+            )
+            atts = np.asarray(
+                [faults.attempts_of("outlier", (kernel_name, i)) + a
+                 for _, i, a in outlier_jobs], dtype=np.int64,
+            )
+            u_out = faults.peek_uniforms("outlier", khs, atts)
+            for (p, _, _), u in zip(outlier_jobs, u_out):
+                outlier_hit_at[p] = bool(u < p_outlier)
+
+        # -- phase 3: commit scan (exact ledger replay + drift clock) -------
+        ledger = ctx.ledger
+        c = ledger.compile_s
+        r = ledger.run_s
+        f_ = ledger.failed_s
+        ry = ledger.retry_s
+        idle = drift.idle_s if drift is not None else 0.0
+        csigma = drift.profile.contention_sigma if drift is not None else 0.0
+        d_last = drift.last_regime if drift is not None else 0
+        d_shifts = drift.shifts_seen if drift is not None else 0
+        d_applied = drift.applied if drift is not None else 0
+        regime_globals: Dict[int, float] = {}
+        quirk_rows: Dict[int, np.ndarray] = {}
+
+        def drift_factor(t_s: float, i: int) -> float:
+            # Replicates DriftModel.factor (counters included), with the
+            # per-config quirks drawn once per regime for the whole batch.
+            nonlocal d_last, d_shifts, d_applied
+            regime = drift.regime_at(t_s)
+            if regime != d_last:
+                d_shifts += 1
+                d_last = regime
+            g = regime_globals.get(regime)
+            if g is None:
+                g = drift.regime_global(regime)
+                regime_globals[regime] = g
+            if regime <= 0 or csigma == 0.0:
+                q = 1.0
+            else:
+                row = quirk_rows.get(regime)
+                if row is None:
+                    row = drift.regime_quirks_many(regime, cfg_hashes)
+                    quirk_rows[regime] = row
+                q = row[pos_of[i]]
+            fac = drift.throttle_at(t_s) * g * q
+            if fac != 1.0:
+                d_applied += 1
+            return fac
+
+        hang_w = 0.0
+        reset_cost = 0.0
+        outlier_factor = 1.0
+        if faults is not None:
+            hang_w = min(faults.profile.hang_duration_s, policy.launch_timeout_s)
+            reset_cost = faults.profile.reset_cost_s
+            outlier_factor = faults.profile.outlier_factor
+        ok_idx: List[int] = []
+        ok_times: List[float] = []
+        bad_idx: List[int] = []
+        quarantined_idx: List[int] = []
+        values: Dict[int, Optional[float]] = {}
+        n_sim = n_cache = n_db = n_inv = 0
+        inj_tb = inj_tl = inj_hang = inj_reset = inj_out = 0
+        st_retries = st_quar = 0
+        conflict = False
+        for p, i in enumerate(idx):
+            typ, sched, base = entries[p]
+            if typ == E_DB:
+                v = db_known[i] if i in db_known else values[i]
+                n_db += 1
+                if v is None:
+                    n_inv += 1
+                    bad_idx.append(i)
+                else:
+                    ok_idx.append(i)
+                    ok_times.append(float(v))
+                continue
+            if typ == E_QUAR:
+                quarantined_idx.append(i)
+                continue
+            if typ == E_CACHED_INV:
+                n_cache += 1
+                n_inv += 1
+                values[i] = None
+                bad_idx.append(i)
+                continue
+            if typ == E_CACHED_OK:
+                n_cache += 1
+                if drift is not None:
+                    t2 = base * drift_factor((c + r + f_ + ry) + idle, i)
+                else:
+                    t2 = base
+                r += t2 * repeats
+                if sigma != 0.0:
+                    s0 = int(starts[p])
+                    value = float((t2 * factors[s0:s0 + repeats]).min())
+                else:
+                    value = float(t2)
+                if outlier_hit_at.get(p):
+                    value = value * outlier_factor
+                    inj_out += 1
+                values[i] = value
+                ok_idx.append(i)
+                ok_times.append(value)
+                continue
+            # E_FRESH: replay the resolved schedule charge for charge.
+            spent0 = c + r + f_ + ry
+            bi = 0
+            for a_no, ev in enumerate(sched.events, start=1):
+                if ev == "tb":
+                    f_ += FAILED_BUILD_COST_S
+                    inj_tb += 1
+                elif ev == "binv":
+                    f_ += FAILED_BUILD_COST_S
+                elif ev == "linv":
+                    c += compile_of[i]
+                    f_ += FAILED_LAUNCH_COST_S
+                elif ev == "reset":
+                    c += compile_of[i]
+                    f_ += reset_cost
+                    inj_reset += 1
+                elif ev == "hang":
+                    c += compile_of[i]
+                    f_ += hang_w
+                    inj_hang += 1
+                elif ev == "tl":
+                    c += compile_of[i]
+                    f_ += FAILED_LAUNCH_COST_S
+                    inj_tl += 1
+                else:  # "ok": compile, then the probe launch
+                    c += compile_of[i]
+                    if drift is not None:
+                        t1 = base * drift_factor((c + r + f_ + ry) + idle, i)
+                    else:
+                        t1 = base
+                    if sigma != 0.0:
+                        measured = float(t1 * factors[int(starts[p])])
+                    else:
+                        measured = t1
+                    r += measured
+                if ev in ("tb", "reset", "hang", "tl"):
+                    exceeded = (c + r + f_ + ry) - spent0 > policy.config_budget_s
+                    if exceeded != sched.broke[bi]:
+                        conflict = True
+                        break
+                    bi += 1
+                    if not exceeded and a_no < policy.max_attempts:
+                        ry += policy.backoff_s(a_no)
+                        st_retries += 1
+            if conflict:
+                break
+            if sched.outcome == "ok":
+                n_sim += 1
+                if drift is not None:
+                    t2 = base * drift_factor((c + r + f_ + ry) + idle, i)
+                else:
+                    t2 = base
+                r += t2 * (repeats - 1)
+                if sigma != 0.0:
+                    s0 = int(starts[p]) + 1
+                    value = float((t2 * factors[s0:s0 + repeats]).min())
+                else:
+                    value = float(t2)
+                if outlier_hit_at.get(p):
+                    value = value * outlier_factor
+                    inj_out += 1
+                values[i] = value
+                ok_idx.append(i)
+                ok_times.append(value)
+            elif sched.outcome == "invalid":
+                n_sim += 1
+                n_inv += 1
+                values[i] = None
+                bad_idx.append(i)
+            else:
+                st_quar += 1
+                quarantined_idx.append(i)
+
+        if conflict:
+            # Constant-sum budget heuristic disagreed with the exact
+            # ledger floats: nothing was committed and the RNG rewinds,
+            # so the serial loop reproduces the batch from scratch.
+            if rng_state is not None:
+                model.rng.bit_generator.state = rng_state
+            return self._measure_batch_resilient(idx, span)
+
+        # -- phase 4: commit -------------------------------------------------
+        ledger.compile_s = float(c)
+        ledger.run_s = float(r)
+        ledger.failed_s = float(f_)
+        ledger.retry_s = float(ry)
+        self._cache.clear()
+        self._cache.update(local_cache)
+        self.quarantine |= q_local
+        if faults is not None:
+            for i, nb in consumed_b.items():
+                faults.bump_attempts("build", (kernel_name, tuples_of[i]), nb)
+            for i, nl in consumed_l.items():
+                faults.bump_attempts("launch", (kernel_name, tuples_of[i]), nl)
+            for i, no in outlier_n.items():
+                faults.bump_attempts("outlier", (kernel_name, i), no)
+            inj = faults.injected
+            inj["transient_build"] += inj_tb
+            inj["transient_launch"] += inj_tl
+            inj["hang"] += inj_hang
+            inj["reset"] += inj_reset
+            inj["outlier"] += inj_out
+        if drift is not None:
+            drift.last_regime = d_last
+            drift.shifts_seen = d_shifts
+            drift.applied = d_applied
+        if db is not None and values:
+            db.put_many(kernel_name, device_name, dict(values))
+        n_transient = inj_tb + inj_tl + inj_reset
+        stats = self.stats
+        stats.n_requested += n
+        stats.n_simulated += n_sim
+        stats.n_cache_hits += n_cache
+        stats.n_db_hits += n_db
+        stats.n_invalid += n_inv
+        stats.n_transient += n_transient
+        stats.n_timeouts += inj_hang
+        stats.n_retries += st_retries
+        stats.n_quarantined += st_quar
+        stats.n_waves += waves
+        stats.elapsed_s += time.perf_counter() - t0
+
+        tracer = ctx.tracer
+        if tracer.enabled:
+            tracer.count("measure.requested", n)
+            tracer.count("fault.transient", n_transient)
+            tracer.count("fault.timeouts", inj_hang)
+            tracer.count("fault.retries", st_retries)
+            tracer.count("fault.quarantined", st_quar)
+            tracer.count("measure.waves", waves)
+            span.set(
+                n=n,
+                invalid=len(bad_idx),
+                quarantined=len(quarantined_idx),
+                transient=n_transient,
+                timeouts=inj_hang,
+                retries=st_retries,
+                waves=waves,
             )
         return MeasurementSet(
             indices=np.asarray(ok_idx, dtype=np.int64),

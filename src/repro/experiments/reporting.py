@@ -74,6 +74,7 @@ def engine_stats_block(stats, ledger=None) -> str:
         ("timeouts", stats.n_timeouts),
         ("retries", stats.n_retries),
         ("quarantined", stats.n_quarantined),
+        ("measurement waves", stats.n_waves),
     ):
         if n:
             pairs[label] = n

@@ -46,7 +46,9 @@ class MeasurementBroker:
     Start with :meth:`start` (or use as a context manager); campaigns
     block in :meth:`submit` until their batch has run.  ``stats`` counts
     ``submissions``, drain ``windows``, ``batched_windows`` (windows that
-    carried work from more than one submission) and ``configs``.
+    carried work from more than one submission) and ``configs``;
+    :meth:`stats_snapshot` adds the live pump ``queue_depth`` so
+    operators can see measurement backpressure in the ``stats`` op.
     """
 
     def __init__(self) -> None:
@@ -143,7 +145,11 @@ class MeasurementBroker:
 
     def stats_snapshot(self) -> Dict[str, int]:
         with self._lock:
-            return dict(self.stats)
+            snap = dict(self.stats)
+        # Live depth of the pump queue (submissions waiting for the drain
+        # loop); approximate by nature, exact enough for backpressure.
+        snap["queue_depth"] = self._queue.qsize()
+        return snap
 
     def __enter__(self) -> "MeasurementBroker":
         return self.start()

@@ -54,12 +54,16 @@ def run_campaign(
     key: CampaignKey,
     batcher=None,
     sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+    register: Optional[Callable[[Measurer], None]] = None,
 ) -> Dict[str, Any]:
     """Execute one campaign; returns payload + accounting + the model.
 
     Runs synchronously (the server dispatches it to a worker thread).
     ``batcher`` routes every measurement batch through the shared broker;
-    ``sink`` receives the campaign's trace records as they happen.
+    ``sink`` receives the campaign's trace records as they happen;
+    ``register`` receives the campaign's :class:`Measurer` before tuning
+    starts, so the server's ``stats`` op can report the live per-campaign
+    ``failure_breakdown()`` while the campaign is in flight.
     """
     spec = get_benchmark(key.kernel)
     device = get_device(key.device)
@@ -71,6 +75,8 @@ def run_campaign(
         max_cost_s=key.budget_s,
     )
     measurer = Measurer(ctx, spec, repeats=settings.repeats, batcher=batcher)
+    if register is not None:
+        register(measurer)
     tuner = MLAutoTuner(ctx, spec, settings, measurer=measurer)
     rng = np.random.default_rng(key.seed)
     t0 = time.perf_counter()
@@ -110,6 +116,7 @@ def run_watch(
     params: Dict[str, Any],
     batcher=None,
     sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+    register: Optional[Callable[[Measurer], None]] = None,
 ) -> Dict[str, Any]:
     """Execute one online (watch) campaign; returns payload + accounting.
 
@@ -133,6 +140,11 @@ def run_watch(
         n_train=params["n_train"],
         m_candidates=params["m_candidates"],
     )
+    measurer = Measurer(
+        ctx, spec, repeats=tune_settings.repeats, batcher=batcher
+    )
+    if register is not None:
+        register(measurer)
     online = OnlineTuner(
         ctx,
         spec,
@@ -142,9 +154,7 @@ def run_watch(
             retune_window=params["retune_window"],
         ),
         tune_settings=tune_settings,
-        measurer=Measurer(
-            ctx, spec, repeats=tune_settings.repeats, batcher=batcher
-        ),
+        measurer=measurer,
     )
     rng = np.random.default_rng(params["seed"])
     t0 = time.perf_counter()

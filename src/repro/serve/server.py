@@ -57,13 +57,16 @@ from repro.serve.state import (
 class _InFlight:
     """One running campaign plus everyone waiting on it."""
 
-    __slots__ = ("key", "subscribers", "sinks", "started_at")
+    __slots__ = ("key", "subscribers", "sinks", "started_at", "measurer")
 
     def __init__(self, key: CampaignKey) -> None:
         self.key = key
         self.subscribers: List["_Connection.Pending"] = []
         self.sinks: List[Any] = []  # thread-safe event fan-out callables
         self.started_at = time.perf_counter()
+        # The campaign's Measurer, registered from the worker thread once
+        # constructed; lets the stats op report live failure_breakdown().
+        self.measurer: Optional[Any] = None
 
 
 class _Connection:
@@ -387,8 +390,12 @@ class TuningServer:
                     )
                 )
 
+        def register(measurer) -> None:
+            # Worker-thread context: a single attribute store (GIL-atomic).
+            flight.measurer = measurer
+
         future = self.loop.run_in_executor(
-            self._pool, run_campaign, key, self.broker, sink
+            self._pool, run_campaign, key, self.broker, sink, register
         )
         future.add_done_callback(
             lambda fut: self.loop.call_soon_threadsafe(
@@ -468,8 +475,12 @@ class TuningServer:
                     )
                 )
 
+        def register(measurer) -> None:
+            # Worker-thread context: a single attribute store (GIL-atomic).
+            flight.measurer = measurer
+
         future = self.loop.run_in_executor(
-            self._pool, run_watch, params, self.broker, sink
+            self._pool, run_watch, params, self.broker, sink, register
         )
         future.add_done_callback(
             lambda fut: self.loop.call_soon_threadsafe(
@@ -674,6 +685,27 @@ class TuningServer:
             "model_cache": self.models.stats_snapshot(),
             "broker": self.broker.stats_snapshot(),
             "oracle_store": self.oracles.stats_snapshot(),
+            "campaigns": [self._campaign_stats(f) for f in
+                          list(self.inflight.values())],
+        }
+
+    def _campaign_stats(self, flight: _InFlight) -> Dict[str, Any]:
+        """Live view of one in-flight campaign: its key, age, and the
+        measurer's fault counters (``failure_breakdown()``) so operators
+        see retry pressure without reading traces."""
+        key = flight.key
+        fields = (
+            self._watch_key_fields(key)
+            if isinstance(key, WatchKey)
+            else self._key_fields(key)
+        )
+        m = flight.measurer
+        return {
+            **fields,
+            "age_s": round(time.perf_counter() - flight.started_at, 3),
+            "failure_breakdown": (
+                m.stats.failure_breakdown() if m is not None else {}
+            ),
         }
 
 

@@ -28,9 +28,10 @@ online tuner advances between monitoring probes (production time passes
 even when no tuning budget is being spent).
 
 Every factor is drawn through the same replayable keyed-hash discipline
-faults use (:func:`~repro.simulator.hashing.unit_uniform` /
-:func:`~repro.simulator.hashing.unit_normal` on the profile seed) —
-**never** from the context RNG — so:
+faults use (the vectorizable splitmix64 helpers
+:func:`~repro.simulator.hashing.keyed_uniform` /
+:func:`~repro.simulator.hashing.keyed_normal` keyed on the profile
+seed) — **never** from the context RNG — so:
 
 * the same profile + seed replays the identical drift history, serial
   and batch paths agree bit for bit;
@@ -43,11 +44,22 @@ faults use (:func:`~repro.simulator.hashing.unit_uniform` /
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.simulator.hashing import unit_normal, unit_uniform
+import numpy as np
+
+from repro.simulator.hashing import (
+    fold64,
+    fold64_many,
+    key64,
+    keyed_normal,
+    keyed_normal_many,
+    keyed_uniform,
+    pair_key_prefix64,
+    part64,
+    tuple_keys64,
+)
 
 
 @dataclass(frozen=True)
@@ -181,6 +193,11 @@ class DriftModel:
 
     def __init__(self, profile: DriftProfile):
         self.profile = profile
+        # Keyed-hash surface roots: regime draws fold the epoch index into
+        # these, quirk draws additionally fold the (kernel, config) hash,
+        # so the scalar and batch paths share one key structure.
+        self._regime_h = key64(profile.seed, "drift", "regime")
+        self._quirk_h = key64(profile.seed, "drift", "quirk")
         #: Simulated seconds of non-ledger (idle/serving) time elapsed.
         self.idle_s = 0.0
         #: Regime index observed by the most recent factor query.
@@ -230,7 +247,7 @@ class DriftModel:
             return 1.0
         if p.contention_min == p.contention_max:
             return p.contention_min
-        u = unit_uniform(p.seed, "drift", "regime", regime)
+        u = keyed_uniform(fold64(self._regime_h, regime))
         return p.contention_min + (p.contention_max - p.contention_min) * u
 
     def regime_quirk(
@@ -241,10 +258,31 @@ class DriftModel:
         p = self.profile
         if regime <= 0 or p.contention_sigma == 0.0:
             return 1.0
-        z = unit_normal(
-            p.seed, "drift", "quirk", regime, kernel_name, config_tuple
+        z = keyed_normal(
+            fold64(fold64(self._quirk_h, regime), part64((kernel_name, config_tuple)))
         )
-        return math.exp(p.contention_sigma * z)
+        return float(np.exp(p.contention_sigma * z))
+
+    # -- batch draws (bit-identical to the scalar path) ------------------------
+
+    @staticmethod
+    def quirk_key_hashes(kernel_name: str, int_matrix: np.ndarray) -> np.ndarray:
+        """``part64((kernel_name, config_tuple))`` for every row of an
+        integer configuration matrix, vectorized.  The same hashes feed
+        :meth:`regime_quirks_many` for any number of regimes."""
+        return tuple_keys64(pair_key_prefix64(kernel_name), int_matrix)
+
+    def regime_quirks_many(self, regime: int, key_hashes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`regime_quirk` over precomputed config hashes
+        (:meth:`quirk_key_hashes`); bit-identical to the scalar draws."""
+        p = self.profile
+        if regime <= 0 or p.contention_sigma == 0.0:
+            return np.ones(len(key_hashes))
+        z = keyed_normal_many(
+            fold64_many(fold64(self._quirk_h, regime),
+                        np.asarray(key_hashes, dtype=np.uint64))
+        )
+        return np.exp(p.contention_sigma * z)
 
     def factor_at(
         self, t_s: float, kernel_name: str, config_tuple: tuple

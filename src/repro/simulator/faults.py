@@ -28,9 +28,20 @@ attempt number)`` — **not** from the context's RNG stream — so:
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.simulator.hashing import unit_uniform
+import numpy as np
+
+from repro.simulator.hashing import (
+    fold64,
+    fold64_many,
+    key64,
+    keyed_uniform,
+    keyed_uniform_many,
+    pair_key_prefix64,
+    part64,
+    tuple_keys64,
+)
 
 #: Injection decisions (returned by the injector, consumed by the runtime).
 OK = "ok"
@@ -188,6 +199,14 @@ class FaultInjector:
         # (surface, key) -> attempts so far; the attempt number salts the
         # hash so retries are fresh draws.
         self._attempts: Dict[Tuple[str, tuple], int] = {}
+        # Per-surface fold prefixes; a draw is
+        # uniform(fold(fold(prefix, part64(key)), attempt)).
+        self._surface_h: Dict[str, int] = {
+            s: key64(profile.seed, "fault", s)
+            for s in ("build", "launch", "outlier")
+        }
+        # key tuple -> part64(key), memoized (keys repeat across attempts).
+        self._key_h: Dict[tuple, int] = {}
         #: Totals per decision kind, for debugging and tests.
         self.injected: Dict[str, int] = {
             "transient_build": 0,
@@ -197,10 +216,59 @@ class FaultInjector:
             "outlier": 0,
         }
 
+    def _key64(self, key: tuple) -> int:
+        h = self._key_h.get(key)
+        if h is None:
+            h = part64(key)
+            self._key_h[key] = h
+        return h
+
     def _roll(self, surface: str, key: tuple) -> float:
         n = self._attempts.get((surface, key), 0)
         self._attempts[(surface, key)] = n + 1
-        return unit_uniform(self.profile.seed, "fault", surface, key, n)
+        return keyed_uniform(fold64(self._surface_h[surface] ^ self._key64(key), n))
+
+    # -- batch draw API (pure: no counters move) -------------------------------
+
+    @staticmethod
+    def config_key_hashes(
+        kernel_name: str, int_matrix: np.ndarray
+    ) -> np.ndarray:
+        """``part64((kernel_name, config_tuple))`` per row, vectorized —
+        the 64-bit identity of the ``(kernel, config)`` fault keys the
+        runtime rolls at the build/launch surfaces."""
+        return tuple_keys64(pair_key_prefix64(kernel_name), int_matrix)
+
+    @staticmethod
+    def index_key_hashes(kernel_name: str, indices: np.ndarray) -> np.ndarray:
+        """``part64((kernel_name, int(index)))`` per element, vectorized —
+        the identity of the outlier-surface measurement keys."""
+        idx = np.asarray(indices, dtype=np.int64).astype(np.uint64)
+        return fold64_many(pair_key_prefix64(kernel_name), idx)
+
+    def peek_uniforms(
+        self, surface: str, key_hashes: np.ndarray, attempts: np.ndarray
+    ) -> np.ndarray:
+        """The uniforms :meth:`_roll` *would* draw for ``attempts[i]`` of
+        ``key_hashes[i]`` on ``surface`` — pure, no attempt counters move.
+        The wave engine decides whole attempt-waves from one such call and
+        commits the consumed counters afterwards."""
+        h = self._surface_h[surface]
+        base = np.uint64(h) ^ np.asarray(key_hashes, dtype=np.uint64)
+        return keyed_uniform_many(
+            fold64_many(base, np.asarray(attempts, dtype=np.int64).astype(np.uint64))
+        )
+
+    def attempts_of(self, surface: str, key: tuple) -> int:
+        """Current attempt counter of ``(surface, key)`` (next roll's salt)."""
+        return self._attempts.get((surface, key), 0)
+
+    def bump_attempts(self, surface: str, key: tuple, n: int) -> None:
+        """Advance a counter by ``n`` consumed rolls (wave-engine commit)."""
+        if n:
+            self._attempts[(surface, key)] = (
+                self._attempts.get((surface, key), 0) + n
+            )
 
     def at_build(self, key: tuple) -> str:
         """Decision for one build attempt: :data:`OK` or :data:`TRANSIENT`."""

@@ -19,6 +19,8 @@ import hashlib
 import math
 import struct
 
+import numpy as np
+
 
 def stable_hash64(*parts) -> int:
     """64-bit stable hash of a tuple of primitives."""
@@ -153,6 +155,160 @@ class JitterTable:
         ) / self._inv
         z_idio = self._idio.normal(config_tuple)
         return math.exp(self._ss * z_struct + self._si * z_idio)
+
+
+# -- vectorized keyed hashing (splitmix64) ----------------------------------
+#
+# The blake2b helpers above key the *true-time* quirks and must stay
+# byte-stable forever (every recorded fixture depends on them).  The fault
+# and drift layers need something different: thousands of keyed draws per
+# measurement batch, array-in/array-out.  splitmix64 — a 64-bit finalizer
+# with full avalanche — runs as three shifts and two multiplies per lane
+# under numpy, so a whole attempt-wave of fault decisions is one vector op.
+#
+# The scalar entry points below are implemented on Python ints with the
+# identical modular arithmetic, so scalar and vector paths are bit-equal by
+# construction (property-tested in tests/test_simulator_noise_hashing.py).
+# Keys are folded left to right; tuples fold a length-tagged sub-key so
+# ``(k, (1, 2))`` and ``(k, 1, 2)`` cannot collide.
+
+_MASK64 = (1 << 64) - 1
+_SM_GAMMA = 0x9E3779B97F4A7C15
+_SM_MIX_A = 0xBF58476D1CE4E5B9
+_SM_MIX_B = 0x94D049BB133111EB
+#: Distinct salts so uniform and normal variates of one key never share bits.
+_SALT_UNIFORM = 0xD6E8FEB86659FD93
+_SALT_N1 = 0xA5A3_564D_9F4C_11E3
+_SALT_N2 = 0xC2B2_AE3D_27D4_EB4F
+#: Fold-chain start and the tuple-substructure tag.
+_KEY_SEED = 0x8F5C0C4F29F4A7C1
+_TUPLE_SEED = 0x2545F4914F6CDD1D
+
+_U64 = np.uint64
+
+
+def splitmix64_py(z: int) -> int:
+    """splitmix64 finalizer on one Python int (modulo 2**64)."""
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * _SM_MIX_A) & _MASK64
+    z = ((z ^ (z >> 27)) * _SM_MIX_B) & _MASK64
+    return z ^ (z >> 31)
+
+
+def splitmix64(z: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over a uint64 array (bit-equal to the scalar)."""
+    z = (z ^ (z >> _U64(30))) * _U64(_SM_MIX_A)
+    z = (z ^ (z >> _U64(27))) * _U64(_SM_MIX_B)
+    return z ^ (z >> _U64(31))
+
+
+def fold64(h: int, v: int) -> int:
+    """Fold one 64-bit value into a running key (scalar)."""
+    return splitmix64_py(h ^ ((v + _SM_GAMMA) & _MASK64))
+
+
+def fold64_many(h, v: np.ndarray) -> np.ndarray:
+    """Vector :func:`fold64`: ``h`` scalar-or-array, ``v`` a uint64 array."""
+    if not isinstance(h, np.ndarray):
+        h = _U64(h & _MASK64)
+    return splitmix64(h ^ (v + _U64(_SM_GAMMA)))
+
+
+def part64(p) -> int:
+    """One key part reduced to 64 bits: strings via the stable blake2b
+    hash (memoized — part of the key identity, never throughput-critical),
+    ints as themselves, tuples as a length-tagged sub-fold."""
+    if isinstance(p, (int, np.integer)):
+        return int(p) & _MASK64
+    if isinstance(p, str):
+        h = _STR_MEMO.get(p)
+        if h is None:
+            h = stable_hash64(p)
+            _STR_MEMO[p] = h
+        return h
+    if isinstance(p, tuple):
+        h = fold64(_TUPLE_SEED, len(p))
+        for q in p:
+            h = fold64(h, part64(q))
+        return h
+    raise TypeError(f"cannot key a {type(p).__name__!r} part: {p!r}")
+
+
+_STR_MEMO: dict = {}
+
+
+def key64(*parts) -> int:
+    """Stable 64-bit key of a tuple of primitives (splitmix64 discipline —
+    *not* interchangeable with :func:`stable_hash64`)."""
+    h = _KEY_SEED
+    for p in parts:
+        h = fold64(h, part64(p))
+    return h
+
+
+def tuple_keys64(prefix: int, int_matrix: np.ndarray) -> np.ndarray:
+    """Per-row keys for many same-length int tuples under one prefix.
+
+    Bit-equal to ``fold64(prefix, part64(tuple(row)))`` per row — the
+    vectorized form of keying a configuration tuple — so batch fault and
+    drift draws match the scalar surfaces exactly.
+    """
+    m = np.asarray(int_matrix)
+    if m.ndim != 2:
+        raise ValueError("int_matrix must be 2-D (rows are tuples)")
+    h = _U64(fold64(_TUPLE_SEED, m.shape[1]) & _MASK64)
+    h = np.broadcast_to(h, m.shape[0]).copy()
+    cols = m.astype(np.uint64)
+    for j in range(m.shape[1]):
+        h = fold64_many(h, cols[:, j])
+    return fold64_many(_U64(prefix & _MASK64), h)
+
+
+def pair_key_prefix64(first) -> int:
+    """Fold prefix for 2-tuple keys: for any part ``x``,
+    ``part64((first, x)) == fold64(pair_key_prefix64(first), part64(x))``.
+
+    The fault and drift surfaces key on ``(kernel_name, config_tuple)``
+    pairs; pre-folding the constant half lets batch paths hash only the
+    varying half per lane.
+    """
+    return fold64(fold64(_TUPLE_SEED, 2), part64(first))
+
+
+def _unit_open_of(h: np.ndarray) -> np.ndarray:
+    return ((h >> _U64(11)).astype(np.float64) + 0.5) * (2.0 ** -53)
+
+
+def keyed_uniform(h: int) -> float:
+    """Deterministic uniform in (0, 1) from one folded key (scalar)."""
+    return ((splitmix64_py(h ^ _SALT_UNIFORM) >> 11) + 0.5) * (2.0 ** -53)
+
+
+def keyed_uniform_many(h: np.ndarray) -> np.ndarray:
+    """Vector :func:`keyed_uniform`, bit-equal per lane."""
+    return _unit_open_of(splitmix64(h ^ _U64(_SALT_UNIFORM)))
+
+
+def keyed_normal(h: int) -> float:
+    """Deterministic standard normal from one folded key, clipped to
+    ±4 sigma like :func:`unit_normal` (scalar).
+
+    Transcendentals go through the numpy ufuncs (not ``math.*``) so the
+    scalar value is bit-equal to :func:`keyed_normal_many` — libm and
+    numpy's loops can disagree in the last ulp.
+    """
+    u1 = ((splitmix64_py(h ^ _SALT_N1) >> 11) + 0.5) * (2.0 ** -53)
+    u2 = ((splitmix64_py(h ^ _SALT_N2) >> 11) + 0.5) * (2.0 ** -53)
+    z = float(np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2))
+    return max(-4.0, min(4.0, z))
+
+
+def keyed_normal_many(h: np.ndarray) -> np.ndarray:
+    """Vector :func:`keyed_normal`, bit-equal per lane."""
+    u1 = _unit_open_of(splitmix64(h ^ _U64(_SALT_N1)))
+    u2 = _unit_open_of(splitmix64(h ^ _U64(_SALT_N2)))
+    z = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+    return np.clip(z, -4.0, 4.0)
 
 
 def structured_jitter(

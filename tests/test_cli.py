@@ -112,3 +112,37 @@ class TestExperimentsSubcommand:
         rc = main(["experiments", "--only", "tables", "--out", str(out_path)])
         assert rc == 0
         assert "Table 1" in out_path.read_text()
+
+
+class TestBenchReportSubcommand:
+    def test_renders_all_artifacts_as_one_table(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "BENCH_alpha.json").write_text(json.dumps([
+            {"git_rev": "abc1234", "speedup": 8.13, "n_sweep": 6000},
+            {"git_rev": "def5678", "speedup": 9.0, "n_sweep": 6000},
+        ]))
+        (tmp_path / "BENCH_beta.json").write_text(json.dumps([
+            {"git_rev": "abc1234", "recovered_gap": 1.0, "alarms": 1},
+        ]))
+        rc = main(["bench-report", "--dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "beta" in out
+        assert "speedup 8.13x" in out and "speedup 9x" in out
+        assert "recovered_gap 1" in out
+        assert "abc1234" in out and "def5678" in out
+        assert "n_sweep=6000" in out
+
+    def test_empty_dir_fails_with_message(self, tmp_path, capsys):
+        rc = main(["bench-report", "--dir", str(tmp_path)])
+        assert rc == 1
+        assert "no BENCH_" in capsys.readouterr().out
+
+    def test_unreadable_artifact_reported_not_fatal(self, tmp_path, capsys):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        (tmp_path / "BENCH_ok.json").write_text('[{"git_rev": "a", "speedup": 2.0}]')
+        rc = main(["bench-report", "--dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "unreadable" in out and "speedup 2x" in out

@@ -180,8 +180,51 @@ class TestServer:
             assert c.ping()
             stats = c.stats()
             assert stats["protocol"] == protocol.PROTOCOL_VERSION
+            # Operator-facing backpressure fields: live pump queue depth
+            # and the (empty, idle server) per-campaign breakdown list.
+            assert stats["broker"]["queue_depth"] == 0
+            assert stats["campaigns"] == []
             c.send({"op": "nope", "id": "x"})
             assert c.recv()["type"] == "error"
+
+    def test_stats_reports_inflight_failure_breakdown(self):
+        """The stats payload lists each in-flight campaign with its key
+        fields, age and the measurer's live ``failure_breakdown()``."""
+        from repro.serve.server import _InFlight
+        from repro.serve.state import WatchKey
+
+        server = TuningServer()
+        key = CampaignKey(
+            kernel="convolution", device="nvidia", problem=None,
+            n_train=50, m_candidates=10, seed=3, budget_s=None,
+            faults="flaky-gpu",
+        )
+        flight = _InFlight(key)
+        ctx = Context(get_device("nvidia"), seed=3, faults="flaky-gpu")
+        m = Measurer(ctx, get_benchmark("convolution"))
+        m.stats.n_transient = 4
+        m.stats.n_retries = 2
+        flight.measurer = m
+        server.inflight[key] = flight
+        # A watch campaign whose measurer has not registered yet.
+        wkey = WatchKey(serial=1, kernel="convolution", device="nvidia",
+                        n_train=50, m_candidates=10, seed=3, steps=5,
+                        drift="thermal-throttle", faults=None)
+        server.inflight[wkey] = _InFlight(wkey)
+
+        stats = server.stats()
+        entries = stats["campaigns"]
+        assert len(entries) == 2
+        tune_entry = next(e for e in entries if "watch" not in e)
+        assert tune_entry["kernel"] == "convolution"
+        assert tune_entry["faults"] == "flaky-gpu"
+        assert tune_entry["age_s"] >= 0
+        assert tune_entry["failure_breakdown"] == {
+            "transient": 4, "retries": 2,
+        }
+        watch_entry = next(e for e in entries if "watch" in e)
+        assert watch_entry["drift"] == "thermal-throttle"
+        assert watch_entry["failure_breakdown"] == {}
 
     def test_bad_requests_keep_connection_alive(self, daemon):
         _, port = daemon

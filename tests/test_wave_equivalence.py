@@ -1,0 +1,185 @@
+"""The wave-engine equivalence gate.
+
+The wave-based resilient batch engine (``Measurer._measure_batch_waves``)
+must be **bit-identical by construction** to the serial resilient loop
+(:meth:`Measurer.measure_batch_serial_resilient`): same values, same
+valid/invalid/quarantined splits, same ledger totals including the
+``retry_s`` bucket, same EngineStats, same RNG stream position, same
+cache / DB / injector / drift-counter state afterwards.  This suite
+drives both engines over the full fault x drift matrix for 20 seeds
+each and compares everything through ``float.hex`` (no tolerance).
+
+Batches deliberately overlap and repeat indices so the matrix also
+exercises cache-served re-measures, intra-batch duplicates, DB
+write-through and reset-revived configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.measure import Measurer, RetryPolicy
+from repro.core.results import MeasurementDB
+from repro.kernels import get_benchmark
+from repro.runtime import Context
+from repro.simulator import NVIDIA_K40
+
+FAULTS = [None, "flaky-gpu", "unstable-driver", "noisy-rig"]
+DRIFTS = [None, "thermal-throttle", "noisy-neighbor"]
+N_SEEDS = 20
+
+
+def _state(ctx, m, sets):
+    """Everything observable after a measurement run, hex-exact."""
+    led = ctx.ledger
+    out = [
+        dict(
+            ok=[int(i) for i in ms.indices],
+            t=[float.hex(float(t)) for t in ms.times_s],
+            bad=[int(i) for i in ms.invalid_indices],
+            quar=[int(i) for i in ms.quarantined_indices],
+        )
+        for ms in sets
+    ]
+    stats = {
+        k: v
+        for k, v in m.stats.as_dict().items()
+        if k not in ("elapsed_s", "n_waves", "configs_per_sec")
+    }
+    return dict(
+        sets=out,
+        ledger=[
+            float.hex(x)
+            for x in (led.compile_s, led.run_s, led.failed_s, led.retry_s)
+        ],
+        rng=str(ctx.measurement.rng.bit_generator.state["state"]["state"]),
+        quarantine=sorted(m.quarantine),
+        cache={
+            k: (None if v is None else float.hex(v))
+            for k, v in m._cache.items()
+        },
+        stats=stats,
+        injected=dict(ctx.faults.injected) if ctx.faults else None,
+        attempts=dict(ctx.faults._attempts) if ctx.faults else None,
+        drift=(
+            (ctx.drift.last_regime, ctx.drift.shifts_seen, ctx.drift.applied)
+            if ctx.drift
+            else None
+        ),
+    )
+
+
+def _batches(spec, seed, n=44):
+    rng = np.random.default_rng(7000 + seed)
+    idx = [int(i) for i in spec.space.sample_indices(n, rng)]
+    first = idx[: n // 2]
+    # Overlap + in-batch duplicates: cache hits, DB hits, double-measures.
+    second = idx[n // 3 :] + first[:4] + [first[0], first[0]]
+    return first, second
+
+
+def _run(engine, spec, seed, faults, drift, db=None):
+    ctx = Context(NVIDIA_K40, seed=321 + seed, faults=faults, drift=drift)
+    m = Measurer(ctx, spec, db=db)
+    sets = []
+    for batch in _batches(spec, seed):
+        if engine == "wave":
+            sets.append(m.measure_batch(batch))
+        else:
+            sets.append(m.measure_batch_serial_resilient(batch))
+    return _state(ctx, m, sets), m
+
+
+@pytest.mark.parametrize("drift", DRIFTS, ids=[str(d) for d in DRIFTS])
+@pytest.mark.parametrize("faults", FAULTS, ids=[str(f) for f in FAULTS])
+def test_wave_matches_serial_bit_for_bit(faults, drift):
+    spec = get_benchmark("convolution")
+    for seed in range(N_SEEDS):
+        wave, _ = _run("wave", spec, seed, faults, drift)
+        serial, _ = _run("serial", spec, seed, faults, drift)
+        assert wave == serial, f"seed {seed}: wave engine diverged"
+
+
+@pytest.mark.parametrize(
+    "faults,drift",
+    [("flaky-gpu", "thermal-throttle"), ("unstable-driver", "noisy-neighbor")],
+)
+def test_wave_matches_serial_with_db(tmp_path, faults, drift):
+    """DB write-through: entries, values and hit accounting all match."""
+    spec = get_benchmark("convolution")
+    for seed in range(5):
+        dbs = [
+            MeasurementDB(tmp_path / f"{engine}-{seed}.json")
+            for engine in ("wave", "serial")
+        ]
+        wave, _ = _run("wave", spec, seed, faults, drift, db=dbs[0])
+        serial, _ = _run("serial", spec, seed, faults, drift, db=dbs[1])
+        assert wave == serial
+        dump = [
+            {
+                k: {
+                    i: (None if v is None else float.hex(v))
+                    for i, v in t.items()
+                }
+                for k, t in db._data.items()
+            }
+            for db in dbs
+        ]
+        assert dump[0] == dump[1]
+
+
+def test_wave_counts_waves_serial_does_not():
+    spec = get_benchmark("convolution")
+    _, m_wave = _run("wave", spec, 0, "flaky-gpu", None)
+    _, m_serial = _run("serial", spec, 0, "flaky-gpu", None)
+    assert m_wave.stats.n_waves > 0
+    assert m_serial.stats.n_waves == 0
+
+
+def test_budget_conflict_falls_back_to_serial(monkeypatch):
+    """The constant-sum budget heuristic is re-validated against the exact
+    ledger floats; a disagreement must rewind the RNG and reproduce the
+    batch through the serial loop — still bit-identical."""
+    spec = get_benchmark("convolution")
+    serial, _ = _run("serial", spec, 3, "unstable-driver", "noisy-neighbor")
+
+    ctx = Context(NVIDIA_K40, seed=321 + 3, faults="unstable-driver",
+                  drift="noisy-neighbor")
+    m = Measurer(ctx, spec)
+    real = Measurer._resolve_probe_jobs
+
+    def corrupt(self, *a, **kw):
+        scheds, waves = real(self, *a, **kw)
+        for s in scheds:
+            if s.broke:  # flip one budget decision: forces the conflict path
+                s.broke[0] = not s.broke[0]
+                return scheds, waves
+        return scheds, waves
+
+    monkeypatch.setattr(Measurer, "_resolve_probe_jobs", corrupt)
+    sets = [m.measure_batch(b) for b in _batches(spec, 3)]
+    assert _state(ctx, m, sets) == serial
+
+
+def test_quarantine_persists_across_batches():
+    """A configuration quarantined in batch 1 is skipped (no budget burn)
+    by the wave engine in batch 2, exactly like the serial loop."""
+    spec = get_benchmark("convolution")
+    # Tight budget: first failure already exceeds it -> quarantines happen.
+    policy = RetryPolicy(config_budget_s=0.01)
+    states = []
+    for engine in ("wave", "serial"):
+        ctx = Context(NVIDIA_K40, seed=99, faults="unstable-driver")
+        m = Measurer(ctx, spec, retry=policy)
+        batch = [int(i) for i in spec.space.sample_indices(
+            30, np.random.default_rng(5))]
+        sets = []
+        for _ in range(2):  # same batch twice: 2nd hits the quarantine set
+            if engine == "wave":
+                sets.append(m.measure_batch(batch))
+            else:
+                sets.append(m.measure_batch_serial_resilient(batch))
+        states.append(_state(ctx, m, sets))
+        assert m.quarantine, "expected quarantined configurations"
+    assert states[0] == states[1]
