@@ -4,6 +4,7 @@
 #   make test-fast   - tier-1 minus the multi-second 'slow'/'drift' tests
 #   make test-fault  - fault-injection / resilience tests only
 #   make test-drift  - drift-detection / online re-tuning tests only
+#   make test-ml     - training-engine / model-layer tests only
 #   make bench       - the benchmark suite (figures, ablations, perf gates)
 #   make serve-smoke - tuning daemon + load generator under flaky-gpu faults
 #   make drift-smoke - daemon + load + watch campaign under thermal-throttle
@@ -12,7 +13,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-fault test-drift bench serve-smoke drift-smoke experiments
+.PHONY: test test-fast test-fault test-drift test-ml bench serve-smoke drift-smoke experiments
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -25,6 +26,9 @@ test-fault:
 
 test-drift:
 	$(PYTHON) -m pytest tests/ -m drift
+
+test-ml:
+	$(PYTHON) -m pytest tests/ -m ml
 
 bench:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest .

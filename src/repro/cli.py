@@ -11,6 +11,7 @@
     python -m repro predict -k convolution -d nvidia -n 500 \
         --config "wg_x=32,wg_y=4,ppt_x=2,ppt_y=2,use_image=1,use_local=0,pad=1,interleaved=1,unroll=1"
     python -m repro sweep-bench -k raycasting -d nvidia   # sweep engine timings
+    python -m repro fit-bench -k convolution -d gtx980    # training engine timings
     python -m repro experiments --only fig01      # reproduction harness
     python -m repro bench-report                  # perf-gate trajectory table
 """
@@ -90,7 +91,11 @@ def cmd_tune(args) -> int:
     if args.iterative:
         settings = IterativeSettings(total_budget=args.budget, rounds=args.rounds)
     else:
-        settings = TunerSettings(n_train=args.n_train, m_candidates=args.m_candidates)
+        settings = TunerSettings(
+            n_train=args.n_train,
+            m_candidates=args.m_candidates,
+            fit_mode=args.fit_mode,
+        )
     if args.trace:
         tracer = Tracer(
             Path(args.trace),
@@ -183,6 +188,7 @@ def cmd_watch(args) -> int:
             steps=args.steps,
             step_interval_s=args.interval,
             retune_window=args.retune_window,
+            warm_start_refits=not args.cold_refits,
         ),
         tune_settings=TunerSettings(
             n_train=args.n_train, m_candidates=args.m_candidates
@@ -213,7 +219,9 @@ def cmd_watch(args) -> int:
         print(f"  step {event.step:4d} @ {event.at_s:9.1f}s: "
               f"shift x{event.ratio:.3f}, "
               f"{event.old_index} -> {event.new_index}, "
-              f"cost {event.cost_s:.1f}s")
+              f"cost {event.cost_s:.1f}s, "
+              f"refit {event.fit_wall_s * 1e3:.0f}ms/"
+              f"{event.fit_epochs}ep")
     print(f"final incumbent   : {dict(best)}")
     print(f"cost breakdown    : initial {report.initial_cost_s:.1f}s, "
           f"monitor {report.monitor_cost_s:.1f}s, "
@@ -375,6 +383,53 @@ def cmd_sweep_bench(args) -> int:
     return 0
 
 
+def cmd_fit_bench(args) -> int:
+    """Benchmark the adaptive ensemble-training engine against classic."""
+    from repro.ml.ensemble import EnsembleMLPRegressor
+
+    spec = get_benchmark(args.kernel)
+    device = get_device(args.device)
+    ctx = Context(device, seed=args.seed)
+    measurer = Measurer(ctx, spec)
+    rng = np.random.default_rng(args.seed)
+
+    print(f"measuring {args.n_train} random configurations ...")
+    ms = measurer.sample_and_measure(args.n_train, rng)
+    from repro.core.encoding import ConfigEncoder
+    enc = ConfigEncoder(spec.space)
+    X = enc.encode_indices(ms.indices)
+    y = np.log(ms.times_s)
+    print(f"training set: {X.shape[0]} valid samples, {X.shape[1]} features")
+
+    def run(label, **kwargs):
+        model = EnsembleMLPRegressor(seed=args.seed, **kwargs)
+        model.fit(X, y)
+        work = int(model.member_epochs_.sum())
+        print(f"{label:22s} {model.fit_wall_s_:7.2f} s  "
+              f"{len(model.loss_curve_):4d} epochs  "
+              f"{work:6d} member-epochs  "
+              f"stop={model.stop_reason_}  frozen={model.n_frozen_}")
+        return model
+
+    classic = run("classic", fit_mode="classic")
+    adaptive = run("adaptive", fit_mode="adaptive")
+    speedup = classic.fit_wall_s_ / max(adaptive.fit_wall_s_, 1e-12)
+    rel = float(np.mean(np.abs(
+        np.exp(adaptive.predict(X)) - np.exp(classic.predict(X))
+    ) / np.exp(classic.predict(X))))
+    print(f"speedup (classic/adaptive) : {speedup:.2f}x")
+    print(f"mean relative divergence   : {rel:.4f}")
+
+    t_warm = adaptive.fit_wall_s_
+    cold_epochs = len(adaptive.loss_curve_)
+    adaptive.fit(X, y, warm_start=True)
+    print(f"warm-start refit           : {adaptive.fit_wall_s_:.2f} s, "
+          f"{len(adaptive.loss_curve_)} epochs "
+          f"({len(adaptive.loss_curve_) / max(cold_epochs, 1):.1%} of cold), "
+          f"{t_warm / max(adaptive.fit_wall_s_, 1e-12):.1f}x faster")
+    return 0
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments.run_all import main as run_all_main
 
@@ -512,6 +567,11 @@ def build_parser() -> argparse.ArgumentParser:
                            f"{', '.join(sorted(DRIFT_PROFILES))}; "
                            "fields can be overridden as "
                            "'thermal-throttle:onset_s=600,ramp_s=120'")
+    tune.add_argument("--fit-mode", choices=("adaptive", "classic"),
+                      default="adaptive",
+                      help="ensemble training engine: adaptive "
+                           "(member-wise convergence freezing, default) "
+                           "or classic (reference global-stop loop)")
     tune.set_defaults(fn=cmd_tune)
 
     wat = sub.add_parser(
@@ -536,6 +596,9 @@ def build_parser() -> argparse.ArgumentParser:
     wat.add_argument("--faults", default=None,
                      help="fault-injection profile, e.g. "
                           f"{', '.join(sorted(FAULT_PROFILES))}")
+    wat.add_argument("--cold-refits", action="store_true",
+                     help="retrain drift-response refits from random init "
+                          "instead of warm-starting the incumbent weights")
     wat.add_argument("--trace", default=None,
                      help="write a JSONL pipeline trace to this path")
     wat.set_defaults(fn=cmd_watch)
@@ -593,6 +656,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "workers (1 disables)")
     swb.add_argument("--seed", type=int, default=0)
     swb.set_defaults(fn=cmd_sweep_bench)
+
+    ftb = sub.add_parser(
+        "fit-bench",
+        help="benchmark the adaptive ensemble-training engine vs classic",
+    )
+    ftb.add_argument("-k", "--kernel", default="convolution",
+                     choices=sorted(BENCHMARKS))
+    ftb.add_argument("-d", "--device", default="gtx980")
+    ftb.add_argument("-n", "--n-train", type=int, default=2000)
+    ftb.add_argument("--seed", type=int, default=0)
+    ftb.set_defaults(fn=cmd_fit_bench)
 
     exp = sub.add_parser("experiments", help="reproduction harness")
     exp.add_argument("--preset", default=None)

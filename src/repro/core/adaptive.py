@@ -86,10 +86,16 @@ def choose_m(
 
     X = model.encoder.encode_indices(candidate_indices)
     inner = model._model
-    if not hasattr(inner, "predict_std"):
+    if hasattr(inner, "predict_mean_std"):
+        # One forward pass for both moments (the default ensemble and
+        # BaggedRegressor); predict + predict_std would run it twice.
+        mean_log, std_log = inner.predict_mean_std(X)
+        std_log = np.maximum(std_log, min_std_log)
+    elif hasattr(inner, "predict_std"):
+        mean_log = inner.predict(X)
+        std_log = np.maximum(inner.predict_std(X), min_std_log)
+    else:
         raise TypeError("model's regressor does not expose predict_std")
-    mean_log = inner.predict(X)
-    std_log = np.maximum(inner.predict_std(X), min_std_log)
     if not model.log_transform:
         # Work in log space regardless: convert multiplicative spread.
         std_log = std_log / np.maximum(mean_log, 1e-12)

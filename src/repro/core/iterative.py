@@ -47,8 +47,15 @@ class IterativeSettings:
     k_bag: int = 11
     #: Prediction-sweep engine knobs for every round's model.
     sweep: SweepSettings = field(default_factory=SweepSettings)
+    #: Ensemble training engine for every round's model ("adaptive" or
+    #: "classic" — see :class:`repro.ml.ensemble.EnsembleMLPRegressor`).
+    fit_mode: str = "adaptive"
 
     def __post_init__(self):
+        if self.fit_mode not in ("adaptive", "classic"):
+            raise ValueError(
+                f"fit_mode must be 'adaptive' or 'classic', got {self.fit_mode!r}"
+            )
         if self.total_budget < 50:
             raise ValueError("total_budget must be >= 50")
         if self.rounds < 1:
@@ -119,7 +126,7 @@ class IterativeTuner:
                         continue
                     self.model = PerformanceModel(
                         space, k=s.k_bag, seed=model_seed, tracer=tracer,
-                        sweep=s.sweep,
+                        sweep=s.sweep, fit_mode=s.fit_mode,
                     )
                     self.model.fit(data.indices, data.times_s)
 

@@ -69,6 +69,16 @@ class PerformanceModel:
         :class:`~repro.core.sweep.SweepSettings` for whole-space
         prediction sweeps (chunking, float32 lane, process sharding;
         ``enabled=False`` forces the chunked reference path).
+    fit_mode:
+        Training engine for the default ensemble: ``"adaptive"``
+        (member-wise convergence freezing, the default) or
+        ``"classic"`` (the original global-stop loop).  Ignored for
+        custom model families.
+    freeze_patience / freeze_tol:
+        Optional overrides for the adaptive engine's per-member freeze
+        thresholds (``None`` keeps the ensemble defaults;
+        ``freeze_patience=math.inf`` disables freezing entirely, which
+        is bit-identical to ``"classic"``).
     """
 
     def __init__(
@@ -80,15 +90,25 @@ class PerformanceModel:
         log_transform: bool = True,
         tracer=None,
         sweep: Optional[SweepSettings] = None,
+        fit_mode: str = "adaptive",
+        freeze_patience: Optional[float] = None,
+        freeze_tol: Optional[float] = None,
     ):
         if k < 1:
             raise ValueError("k must be >= 1")
+        if fit_mode not in ("adaptive", "classic"):
+            raise ValueError(
+                f"fit_mode must be 'adaptive' or 'classic', got {fit_mode!r}"
+            )
         self.space = space
         self.encoder = ConfigEncoder(space)
         self.k = k
         self.seed = seed
         self.log_transform = log_transform
         self.sweep = sweep if sweep is not None else SweepSettings()
+        self.fit_mode = fit_mode
+        self.freeze_patience = freeze_patience
+        self.freeze_tol = freeze_tol
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._custom_factory = base_factory is not None
         self._factory = base_factory or default_ann_factory(seed)
@@ -97,8 +117,21 @@ class PerformanceModel:
 
     # -- training -----------------------------------------------------------
 
-    def fit(self, indices: Sequence[int], times_s: Sequence[float]) -> "PerformanceModel":
-        """Train on measured (configuration index, seconds) pairs."""
+    def fit(
+        self,
+        indices: Sequence[int],
+        times_s: Sequence[float],
+        warm_start: bool = False,
+    ) -> "PerformanceModel":
+        """Train on measured (configuration index, seconds) pairs.
+
+        ``warm_start=True`` re-trains the existing default-ensemble
+        weights in place (drift refits: tens of epochs instead of
+        thousands); it silently degrades to a cold fit when there is no
+        compatible previous model (first fit, custom factory, or a
+        changed ``k``) — the ensemble itself warns and re-initializes
+        if the feature width moved underneath it.
+        """
         indices = np.asarray(indices, dtype=np.int64)
         times = np.asarray(times_s, dtype=np.float64)
         if indices.shape[0] != times.shape[0]:
@@ -116,12 +149,28 @@ class PerformanceModel:
                 self._model = self._factory()
             else:
                 self._model = BaggedRegressor(self._factory, k=self.k, seed=self.seed)
+            self._model.fit(X, y)
         else:
-            # Default path: the vectorized ensemble trainer (identical
-            # leave-one-fold-out semantics, one batched fit).
-            self._model = EnsembleMLPRegressor(k=self.k, seed=self.seed)
-            self._model.tracer = self.tracer
-        self._model.fit(X, y)
+            reuse = (
+                warm_start
+                and isinstance(self._model, EnsembleMLPRegressor)
+                and self._model.k == self.k
+            )
+            if not reuse:
+                # Default path: the vectorized ensemble trainer (identical
+                # leave-one-fold-out semantics, one batched fit).
+                self._model = EnsembleMLPRegressor(
+                    k=self.k,
+                    seed=self.seed,
+                    fit_mode=self.fit_mode,
+                    freeze_patience=self.freeze_patience,
+                    freeze_tol=self.freeze_tol,
+                )
+                self._model.tracer = self.tracer
+            self._model.fit_mode = self.fit_mode
+            self._model.freeze_patience = self.freeze_patience
+            self._model.freeze_tol = self.freeze_tol
+            self._model.fit(X, y, warm_start=reuse)
         self._sweeper = None  # compiled against the previous weights
         return self
 

@@ -75,3 +75,12 @@ class BaggedRegressor:
             raise RuntimeError("predict_std() before fit()")
         preds = np.stack([m.predict(X) for m in self.members_], axis=0)
         return preds.std(axis=0)
+
+    def predict_mean_std(self, X: np.ndarray):
+        """Mean and member disagreement from one pass over the members
+        (``predict`` followed by ``predict_std`` runs every member
+        twice)."""
+        if not self.members_:
+            raise RuntimeError("predict_mean_std() before fit()")
+        preds = np.stack([m.predict(X) for m in self.members_], axis=0)
+        return preds.mean(axis=0), preds.std(axis=0)

@@ -9,6 +9,30 @@ Membership of a sample in a member's training set becomes a per-member
 sample *weight* in the loss (1/|fold kept| or 0), which preserves exact
 leave-one-fold-out semantics.
 
+Two training engines share that tensor layout:
+
+* ``fit_mode="adaptive"`` (the default) adds **member-wise early
+  stopping with active-set compaction**: each member's loss is tracked
+  separately, and a member whose own loss has plateaued for
+  ``freeze_patience`` epochs is *frozen* — its weights are written back
+  and its rows are physically removed from the ``(k, n, h)``
+  forward/backward tensors and the Adam state, so the per-epoch cost
+  shrinks as members finish instead of every member paying until the
+  slowest one converges.  With freezing disabled
+  (``freeze_patience=math.inf``) the adaptive loop is bit-identical to
+  classic — same weights, same loss curve, same RNG draws — which is the
+  property suite's anchor (``tests/test_ml_adaptive.py``).
+* ``fit_mode="classic"`` keeps the original global-stop loop (all k
+  members train until the *mean* loss plateaus) as the reference
+  baseline the adaptive engine is gated against
+  (``benchmarks/test_perf_fit.py``).
+
+``fit(..., warm_start=True)`` additionally reuses the previous weights
+(scaler statistics are refreshed from the new data, Adam state restarts)
+so a refit on similar data converges in tens of epochs instead of
+thousands — the drift-response path
+(:meth:`repro.core.online.OnlineTuner._refit`) leans on this.
+
 This is the trainer the experiment harness uses; the scalar
 :class:`~repro.ml.mlp.MLPRegressor` remains the reference implementation
 (and the ablations' single-network baseline).
@@ -16,15 +40,44 @@ This is the trainer the experiment harness uses; the scalar
 
 from __future__ import annotations
 
+import math
 import os
 import tempfile
+import time
+import warnings
 from typing import Optional
 
 import numpy as np
 
 from repro.ml.activations import get_activation
+from repro.ml.optimizers import adam_step
 from repro.ml.scaling import StandardScaler
 from repro.obs import NULL_TRACER
+
+#: Cap on the ``ensemble.loss_curve`` trace event: a 2000-epoch fit used
+#: to serialize 2000 floats into every trace (and over the wire for
+#: ``serve --trace`` / watch streams).  The event now carries at most
+#: this many points — first, best and last epoch always included — plus
+#: the full curve length as a field.
+LOSS_CURVE_TRACE_POINTS = 64
+
+#: Adam hyperparameters of the ensemble trainer (the historical inline
+#: constants, now fed to the shared :func:`repro.ml.optimizers.adam_step`).
+_ADAM_BETA1, _ADAM_BETA2, _ADAM_EPS = 0.9, 0.999, 1e-8
+
+
+def _curve_trace_indices(curve, cap: int = LOSS_CURVE_TRACE_POINTS) -> np.ndarray:
+    """Epoch indices to keep when downsampling a loss curve for tracing.
+
+    At most ``cap`` indices; epoch 0, the best (lowest-loss) epoch and
+    the final epoch are always among them.
+    """
+    n = len(curve)
+    if n <= cap:
+        return np.arange(n, dtype=np.int64)
+    spaced = np.linspace(0, n - 1, num=cap - 1).astype(np.int64)
+    best = np.int64(np.argmin(curve))
+    return np.unique(np.concatenate([spaced, [best]]))
 
 
 class EnsembleMLPRegressor:
@@ -42,6 +95,19 @@ class EnsembleMLPRegressor:
         Full-batch Adam hyperparameters, mirroring ``MLPRegressor``.
     seed:
         Controls fold assignment and all weight initialization.
+    fit_mode:
+        ``"adaptive"`` (default) freezes and compacts members as they
+        converge individually; ``"classic"`` is the original loop where
+        every member trains until the *mean* loss plateaus.
+    freeze_patience:
+        Adaptive mode only: epochs a member's own loss may go without a
+        relative improvement of ``freeze_tol`` before it is frozen.
+        ``None`` derives a quarter of ``patience``; ``math.inf``
+        disables freezing entirely (the bit-identity-with-classic
+        mode).
+    freeze_tol:
+        Adaptive mode only: per-member relative-improvement threshold.
+        ``None`` derives 100x ``tol``.
     """
 
     def __init__(
@@ -55,6 +121,9 @@ class EnsembleMLPRegressor:
         patience: int = 120,
         l2: float = 1e-5,
         seed: Optional[int] = None,
+        fit_mode: str = "adaptive",
+        freeze_patience: Optional[float] = None,
+        freeze_tol: Optional[float] = None,
     ):
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -62,6 +131,14 @@ class EnsembleMLPRegressor:
             raise ValueError("hidden must be >= 1")
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
+        if fit_mode not in ("adaptive", "classic"):
+            raise ValueError(
+                f"fit_mode must be 'adaptive' or 'classic', got {fit_mode!r}"
+            )
+        if freeze_patience is not None and not freeze_patience > 0:
+            raise ValueError("freeze_patience must be positive (or None)")
+        if freeze_tol is not None and freeze_tol < 0:
+            raise ValueError("freeze_tol must be >= 0 (or None)")
         self.k = k
         self.hidden = hidden
         self.activation = get_activation(activation)
@@ -71,10 +148,22 @@ class EnsembleMLPRegressor:
         self.patience = patience
         self.l2 = l2
         self.seed = seed
+        self.fit_mode = fit_mode
+        self.freeze_patience = freeze_patience
+        self.freeze_tol = freeze_tol
         self._params: list[np.ndarray] | None = None
         self._x_scaler = StandardScaler()
         self._y_scaler = StandardScaler()
         self.loss_curve_: list[float] = []
+        #: Per-member epoch counts from the last fit: a frozen member
+        #: stops accruing at its freeze epoch, so
+        #: ``member_epochs_.sum()`` is the actual training work done
+        #: (classic mode: every entry equals ``len(loss_curve_)``).
+        self.member_epochs_: np.ndarray = np.zeros(0, dtype=np.int64)
+        self.n_frozen_: int = 0
+        self.stop_reason_: Optional[str] = None
+        self.fit_wall_s_: float = 0.0
+        self.warm_started_: bool = False
         #: Target-transform flag recovered from an archive's meta block by
         #: :meth:`load` (None when the archive predates it, or when the
         #: model was not loaded from disk).  The ensemble itself never
@@ -108,7 +197,46 @@ class EnsembleMLPRegressor:
 
     # -- public API -------------------------------------------------------------
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "EnsembleMLPRegressor":
+    @property
+    def _freeze_patience(self) -> float:
+        """Effective member-freeze patience (adaptive mode).
+
+        ``None`` derives a quarter of the global ``patience`` (floor
+        10): the member criterion watches a single curve, not a k-way
+        mean, so a shorter stale window reaches the same confidence —
+        and members that merely *drip* below ``_freeze_tol`` still
+        train on.  Tightening this much further measurably hurts
+        downstream quality (tuner picks, cross-size extrapolation);
+        ``benchmarks/test_perf_fit.py`` reports the divergence.
+        """
+        if self.freeze_patience is not None:
+            return self.freeze_patience
+        return float(max(10, self.patience // 4))
+
+    @property
+    def _freeze_tol(self) -> float:
+        """Effective member-freeze improvement threshold.
+
+        ``None`` derives 100x the global ``tol`` (0.1% relative for the
+        default 1e-5): a member improving slower than that for a whole
+        ``_freeze_patience`` window is refining digits the ensemble
+        mean averages away, while the ensemble-level criterion keeps
+        guarding the mean at full resolution.
+        """
+        return 100.0 * self.tol if self.freeze_tol is None else self.freeze_tol
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, warm_start: bool = False
+    ) -> "EnsembleMLPRegressor":
+        """Train the ensemble on ``(X, y)``.
+
+        ``warm_start=True`` reuses the previous fit's weights when the
+        shapes still match (same k/hidden/feature width), falling back
+        to a cold init — with a ``RuntimeWarning`` — when they don't.
+        Scaler statistics are always refreshed from the new data and
+        Adam restarts from zero moments; only the weights carry over.
+        """
+        t_start = time.perf_counter()
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         if X.ndim != 2 or X.shape[0] != y.shape[0]:
@@ -117,6 +245,21 @@ class EnsembleMLPRegressor:
         if n < max(2, self.k):
             raise ValueError(f"need at least {max(2, self.k)} samples, got {n}")
 
+        h = self.hidden
+        warm = False
+        if warm_start and self._params is not None:
+            if self._params[0].shape == (self.k, d, h):
+                warm = True
+            else:
+                warnings.warn(
+                    f"warm_start: previous weights have shape "
+                    f"{self._params[0].shape}, need {(self.k, d, h)} "
+                    f"(feature width or topology changed); "
+                    f"falling back to cold init",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
         # float32 training: the elementwise (k, n, h) work dominates and
         # regression targets here never need double precision.
         Xs = self._x_scaler.fit_transform(X).astype(np.float32)
@@ -124,6 +267,8 @@ class EnsembleMLPRegressor:
 
         rng = np.random.default_rng(self.seed)
         # Leave-one-fold-out membership -> per-member mean weights.
+        # Always the first RNG draw, warm or cold, so fold assignment is
+        # a pure function of (seed, n).
         if self.k == 1:
             weights = np.full((1, n), 1.0 / n, dtype=np.float32)
         else:
@@ -131,80 +276,215 @@ class EnsembleMLPRegressor:
             keep = fold[None, :] != np.arange(self.k)[:, None]
             weights = (keep / keep.sum(axis=1, keepdims=True)).astype(np.float32)
 
-        h = self.hidden
-        limit1 = np.sqrt(6.0 / (d + h))
-        limit2 = np.sqrt(6.0 / (h + 1))
-        W1 = rng.uniform(-limit1, limit1, size=(self.k, d, h)).astype(np.float32)
-        b1 = np.zeros((self.k, h), dtype=np.float32)
-        W2 = rng.uniform(-limit2, limit2, size=(self.k, h)).astype(np.float32)
-        b2 = np.zeros(self.k, dtype=np.float32)
-        self._params = [W1, b1, W2, b2]
-
-        # Adam state.
-        ms = [np.zeros_like(p) for p in self._params]
-        vs = [np.zeros_like(p) for p in self._params]
-        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        if warm:
+            # Reuse the weights (copied: a loaded archive may be
+            # read-only or float64); the init draws below are skipped.
+            self._params = [
+                np.array(p, dtype=np.float32) for p in self._params
+            ]
+        else:
+            limit1 = np.sqrt(6.0 / (d + h))
+            limit2 = np.sqrt(6.0 / (h + 1))
+            W1 = rng.uniform(-limit1, limit1, size=(self.k, d, h)).astype(
+                np.float32
+            )
+            b1 = np.zeros((self.k, h), dtype=np.float32)
+            W2 = rng.uniform(-limit2, limit2, size=(self.k, h)).astype(np.float32)
+            b2 = np.zeros(self.k, dtype=np.float32)
+            self._params = [W1, b1, W2, b2]
+        self.warm_started_ = warm
 
         self.loss_curve_ = []
-        best = np.inf
-        stale = 0
         with self.tracer.span(
-            "ensemble.fit", k=self.k, hidden=self.hidden, n_samples=n
+            "ensemble.fit",
+            k=self.k,
+            hidden=self.hidden,
+            n_samples=n,
+            mode=self.fit_mode,
+            warm_start=warm,
         ) as span:
-            for step in range(1, self.epochs + 1):
-                A1, pred = self._forward(Xs)
-                err = pred - ys[None, :]  # (k, n)
-                # Weighted MSE per member, averaged over members.
-                loss = float(np.mean(np.sum(weights * err * err, axis=1)))
-                self.loss_curve_.append(loss)
-
-                # d loss / d pred, including the member average (1/k).
-                delta2 = 2.0 * weights * err / self.k  # (k, n)
-                gW2 = np.matmul(A1.transpose(0, 2, 1), delta2[:, :, None])[:, :, 0]
-                gb2 = delta2.sum(axis=1)
-                dA1 = delta2[:, :, None] * W2[:, None, :]  # (k, n, h)
-                delta1 = dA1 * self.activation.derivative(A1)
-                gW1 = np.matmul(Xs.T, delta1)  # (d, n) @ (k, n, h) -> (k, d, h)
-                gb1 = delta1.sum(axis=1)
-                grads = [gW1, gb1, gW2, gb2]
-                if self.l2 > 0.0:
-                    grads[0] = grads[0] + 2.0 * self.l2 * W1
-                    grads[2] = grads[2] + 2.0 * self.l2 * W2
-
-                c1 = 1.0 - beta1**step
-                c2 = 1.0 - beta2**step
-                for p, g, m, v in zip(self._params, grads, ms, vs):
-                    m *= beta1
-                    m += (1.0 - beta1) * g
-                    v *= beta2
-                    v += (1.0 - beta2) * g * g
-                    p -= self.lr * (m / c1) / (np.sqrt(v / c2) + eps)
-
-                if loss < best * (1.0 - self.tol):
-                    best = loss
-                    stale = 0
-                else:
-                    stale += 1
-                    if stale >= self.patience:
-                        break
-            stop_reason = "early_stop" if stale >= self.patience else "max_epochs"
+            if self.fit_mode == "classic":
+                stop_reason, best = self._train_classic(Xs, ys, weights)
+            else:
+                stop_reason, best = self._train_adaptive(Xs, ys, weights)
+            self.stop_reason_ = stop_reason
             span.set(
                 epochs_run=len(self.loss_curve_),
                 stop_reason=stop_reason,
                 final_loss=self.loss_curve_[-1],
                 best_loss=float(best),
+                n_frozen=int(self.n_frozen_),
+                member_epochs=[int(e) for e in self.member_epochs_],
             )
         tracer = self.tracer
         if tracer.enabled:  # building the curve payload isn't free
             tracer.count("ml.epochs_run", len(self.loss_curve_))
             tracer.gauge("ml.early_stop_epoch", len(self.loss_curve_))
             tracer.gauge("ml.stop_reason", stop_reason)
+            idx = _curve_trace_indices(self.loss_curve_)
             tracer.event(
                 "ensemble.loss_curve",
                 epochs=len(self.loss_curve_),
-                losses=[round(float(l), 8) for l in self.loss_curve_],
+                downsampled=bool(idx.size < len(self.loss_curve_)),
+                loss_epochs=[int(i) for i in idx],
+                losses=[round(float(self.loss_curve_[i]), 8) for i in idx],
             )
+        self.fit_wall_s_ = time.perf_counter() - t_start
         return self
+
+    def _backward(self, Xs, ys, weights, W1, b1, W2, b2):
+        """One full-batch forward/backward over the given member stack.
+
+        Returns ``(member_loss, grads)`` where ``member_loss`` is the
+        per-member weighted MSE (float32, one entry per row of the
+        stack) and ``grads`` aligns with ``[W1, b1, W2, b2]``.  The
+        member axis may be any size — the adaptive engine calls this
+        with compacted stacks — but the ``1/self.k`` member-average
+        factor is always the *full* ensemble size, so gradients of the
+        surviving members are unchanged by compaction.
+        """
+        A1 = self.activation.value(np.matmul(Xs, W1) + b1[:, None, :])
+        pred = np.matmul(A1, W2[:, :, None])[:, :, 0] + b2[:, None]
+        err = pred - ys[None, :]  # (a, n)
+        member_loss = np.sum(weights * err * err, axis=1)
+
+        # d loss / d pred, including the member average (1/k).
+        delta2 = 2.0 * weights * err / self.k  # (a, n)
+        gW2 = np.matmul(A1.transpose(0, 2, 1), delta2[:, :, None])[:, :, 0]
+        gb2 = delta2.sum(axis=1)
+        dA1 = delta2[:, :, None] * W2[:, None, :]  # (a, n, h)
+        delta1 = dA1 * self.activation.derivative(A1)
+        gW1 = np.matmul(Xs.T, delta1)  # (d, n) @ (a, n, h) -> (a, d, h)
+        gb1 = delta1.sum(axis=1)
+        grads = [gW1, gb1, gW2, gb2]
+        if self.l2 > 0.0:
+            grads[0] = grads[0] + 2.0 * self.l2 * W1
+            grads[2] = grads[2] + 2.0 * self.l2 * W2
+        return member_loss, grads
+
+    def _train_classic(self, Xs, ys, weights):
+        """Original loop: all k members until the mean loss plateaus."""
+        ms = [np.zeros_like(p) for p in self._params]
+        vs = [np.zeros_like(p) for p in self._params]
+        best = np.inf
+        stale = 0
+        for step in range(1, self.epochs + 1):
+            W1, b1, W2, b2 = self._params
+            member_loss, grads = self._backward(Xs, ys, weights, W1, b1, W2, b2)
+            # Weighted MSE per member, averaged over members.
+            loss = float(np.mean(member_loss))
+            self.loss_curve_.append(loss)
+
+            adam_step(
+                self._params, grads, ms, vs, step,
+                self.lr, _ADAM_BETA1, _ADAM_BETA2, _ADAM_EPS,
+            )
+
+            if loss < best * (1.0 - self.tol):
+                best = loss
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+        stop_reason = "early_stop" if stale >= self.patience else "max_epochs"
+        self.member_epochs_ = np.full(
+            self.k, len(self.loss_curve_), dtype=np.int64
+        )
+        self.n_frozen_ = 0
+        return stop_reason, best
+
+    def _train_adaptive(self, Xs, ys, weights):
+        """Member-wise freezing with active-set compaction.
+
+        Keeps the classic global stopping criterion on the mean loss
+        (frozen members contribute their final loss to the mean, so the
+        curve and the stop decision stay comparable), but additionally
+        freezes any member whose own loss has been stale for
+        ``_freeze_patience`` epochs and *physically removes* its rows
+        from the parameter/Adam/weight stacks — the per-epoch cost
+        shrinks as members finish.  With ``freeze_patience=math.inf``
+        nothing ever freezes, the stacks are never copied, and every
+        floating-point operation matches :meth:`_train_classic`
+        bit-for-bit.
+        """
+        out = self._params  # full-size (k, ...) arrays we hand back
+        k = self.k
+        freeze_patience = self._freeze_patience
+        freeze_tol = self._freeze_tol
+        active = np.arange(k)
+        compacted = False  # once True, `cur` rows are copies, not `out`
+        cur = out
+        w_cur = weights
+        ms = [np.zeros_like(p) for p in cur]
+        vs = [np.zeros_like(p) for p in cur]
+        m_best = np.full(k, np.inf)
+        m_stale = np.zeros(k, dtype=np.int64)
+        m_epochs = np.zeros(k, dtype=np.int64)
+        # Frozen members keep contributing their final loss to the mean;
+        # float32 so the mean matches classic's float32 reduction exactly.
+        all_loss = np.zeros(k, dtype=np.float32)
+        best = np.inf
+        stale = 0
+        stop_reason = "max_epochs"
+        for step in range(1, self.epochs + 1):
+            W1, b1, W2, b2 = cur
+            member_loss, grads = self._backward(Xs, ys, w_cur, W1, b1, W2, b2)
+            all_loss[active] = member_loss
+            loss = float(np.mean(all_loss))
+            self.loss_curve_.append(loss)
+
+            # Members that have already converged don't pay for this step:
+            # `cur`/`ms`/`vs` only hold the active rows.
+            adam_step(
+                cur, grads, ms, vs, step,
+                self.lr, _ADAM_BETA1, _ADAM_BETA2, _ADAM_EPS,
+            )
+
+            if loss < best * (1.0 - self.tol):
+                best = loss
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    stop_reason = "early_stop"
+                    break
+
+            # Per-member convergence bookkeeping (never feeds back into
+            # the numerics above — bit-identity with classic holds as
+            # long as no member actually freezes).
+            m_epochs[active] = step
+            a_best = m_best[active]
+            imp = member_loss < a_best * (1.0 - freeze_tol)
+            m_best[active] = np.where(imp, member_loss, a_best)
+            m_stale[active] = np.where(imp, 0, m_stale[active] + 1)
+            ripe = m_stale[active] >= freeze_patience
+            if ripe.any():
+                if compacted:
+                    # `cur` rows are detached copies; park the freshly
+                    # frozen members' weights back in the output stack.
+                    # (Pre-compaction `cur` IS `out`: already in place.)
+                    fidx = active[ripe]
+                    for full, c in zip(out, cur):
+                        full[fidx] = c[ripe]
+                keep = ~ripe
+                active = active[keep]
+                if active.size == 0:
+                    stop_reason = "all_frozen"
+                    break
+                cur = [c[keep] for c in cur]  # boolean mask -> new arrays
+                ms = [m[keep] for m in ms]
+                vs = [v[keep] for v in vs]
+                w_cur = w_cur[keep]
+                compacted = True
+        if compacted and active.size:
+            for full, c in zip(out, cur):
+                full[active] = c
+        # Members still training at the stop ran every recorded epoch.
+        m_epochs[active] = len(self.loss_curve_)
+        self.member_epochs_ = m_epochs
+        self.n_frozen_ = int(k - active.size)
+        return stop_reason, best
 
     def _member_predictions(self, X: np.ndarray) -> np.ndarray:
         if self._params is None:
@@ -223,6 +503,15 @@ class EnsembleMLPRegressor:
     def predict_std(self, X: np.ndarray) -> np.ndarray:
         """Member disagreement (ensemble standard deviation)."""
         return self._member_predictions(X).std(axis=0)
+
+    def predict_mean_std(self, X: np.ndarray):
+        """Mean and member disagreement from a single forward pass.
+
+        Callers that need both (acquisition scoring in
+        ``core/adaptive.py``) previously paid two full forwards.
+        """
+        preds = self._member_predictions(X)
+        return preds.mean(axis=0), preds.std(axis=0)
 
     # -- persistence ------------------------------------------------------------
 

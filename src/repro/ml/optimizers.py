@@ -35,6 +35,36 @@ class SGD:
             p += v
 
 
+def adam_step(
+    params: Sequence[np.ndarray],
+    grads: Sequence[np.ndarray],
+    ms: Sequence[np.ndarray],
+    vs: Sequence[np.ndarray],
+    t: int,
+    lr: float,
+    beta1: float = 0.9,
+    beta2: float = 0.999,
+    eps: float = 1e-8,
+) -> None:
+    """One in-place Adam update over a parameter list.
+
+    The single implementation of the update rule: :class:`Adam` (the
+    scalar-MLP optimizer) and the vectorized ensemble trainer
+    (:class:`~repro.ml.ensemble.EnsembleMLPRegressor`) both call this, so
+    their numerics cannot drift apart.  ``ms``/``vs`` are the caller-owned
+    first/second moment buffers (mutated in place, like ``params``);
+    ``t`` is the 1-based step count for bias correction.
+    """
+    c1 = 1.0 - beta1**t
+    c2 = 1.0 - beta2**t
+    for p, g, m, v in zip(params, grads, ms, vs):
+        m *= beta1
+        m += (1.0 - beta1) * g
+        v *= beta2
+        v += (1.0 - beta2) * g * g
+        p -= lr * (m / c1) / (np.sqrt(v / c2) + eps)
+
+
 class Adam:
     """Adam (Kingma & Ba): bias-corrected adaptive moments."""
 
@@ -60,15 +90,10 @@ class Adam:
             self._m = [np.zeros_like(p) for p in params]
             self._v = [np.zeros_like(p) for p in params]
         self._t += 1
-        b1, b2 = self.beta1, self.beta2
-        c1 = 1.0 - b1**self._t
-        c2 = 1.0 - b2**self._t
-        for p, g, m, v in zip(params, grads, self._m, self._v):
-            m *= b1
-            m += (1.0 - b1) * g
-            v *= b2
-            v += (1.0 - b2) * g * g
-            p -= self.lr * (m / c1) / (np.sqrt(v / c2) + self.eps)
+        adam_step(
+            params, grads, self._m, self._v, self._t,
+            self.lr, self.beta1, self.beta2, self.eps,
+        )
 
 
 class RProp:

@@ -73,6 +73,7 @@ def run_campaign(
         n_train=key.n_train,
         m_candidates=key.m_candidates,
         max_cost_s=key.budget_s,
+        fit_mode=key.fit_mode,
     )
     measurer = Measurer(ctx, spec, repeats=settings.repeats, batcher=batcher)
     if register is not None:
@@ -152,6 +153,7 @@ def run_watch(
             steps=params["steps"],
             step_interval_s=params["interval_s"],
             retune_window=params["retune_window"],
+            warm_start_refits=params["warm_start"],
         ),
         tune_settings=tune_settings,
         measurer=measurer,

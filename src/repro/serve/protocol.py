@@ -63,6 +63,7 @@ TUNE_DEFAULTS: Dict[str, Any] = {
     "seed": 0,
     "budget_s": None,
     "faults": None,
+    "fit_mode": "adaptive",
     "stream": False,
 }
 
@@ -78,6 +79,7 @@ WATCH_DEFAULTS: Dict[str, Any] = {
     "retune_window": 32,
     "drift": None,
     "faults": None,
+    "warm_start": True,
     "stream": True,
 }
 
@@ -150,6 +152,10 @@ def validate_tune(req: Mapping[str, Any]) -> Dict[str, Any]:
         if not isinstance(req["faults"], str):
             raise ProtocolError("'faults' must be a profile spec string")
         out["faults"] = req["faults"]
+    if "fit_mode" in req and req["fit_mode"] is not None:
+        if req["fit_mode"] not in ("adaptive", "classic"):
+            raise ProtocolError("'fit_mode' must be 'adaptive' or 'classic'")
+        out["fit_mode"] = req["fit_mode"]
     out["stream"] = bool(req.get("stream", False))
     return out
 
@@ -189,6 +195,10 @@ def validate_watch(req: Mapping[str, Any]) -> Dict[str, Any]:
             if not isinstance(req[field], str):
                 raise ProtocolError(f"'{field}' must be a profile spec string")
             out[field] = req[field]
+    if "warm_start" in req and req["warm_start"] is not None:
+        if not isinstance(req["warm_start"], bool):
+            raise ProtocolError("'warm_start' must be a boolean")
+        out["warm_start"] = req["warm_start"]
     out["stream"] = bool(req.get("stream", True))
     return out
 

@@ -229,15 +229,27 @@ class TestInstrumentedPipeline:
         tracer.close()
         (fit_span,) = spans_of(tracer.records, "ensemble.fit")
         attrs = fit_span["attrs"]
-        assert attrs["stop_reason"] in ("early_stop", "max_epochs")
+        assert attrs["stop_reason"] in ("early_stop", "max_epochs", "all_frozen")
         assert attrs["epochs_run"] >= 1
+        assert attrs["mode"] == "adaptive"
+        assert 0 <= attrs["n_frozen"] <= attrs["k"]
+        member_epochs = attrs["member_epochs"]
+        assert len(member_epochs) == attrs["k"]
+        assert all(1 <= e <= attrs["epochs_run"] for e in member_epochs)
         (curve,) = [
             r
             for r in tracer.records
             if r.get("type") == "event" and r["name"] == "ensemble.loss_curve"
         ]
+        # The event is downsampled to <= 64 points; the full curve length
+        # travels as the `epochs` field.
         losses = curve["attrs"]["losses"]
-        assert len(losses) == attrs["epochs_run"]
+        epochs_traced = curve["attrs"]["loss_epochs"]
+        assert curve["attrs"]["epochs"] == attrs["epochs_run"]
+        assert len(losses) == len(epochs_traced) <= 64
+        assert epochs_traced[0] == 0
+        assert epochs_traced[-1] == attrs["epochs_run"] - 1
+        assert curve["attrs"]["downsampled"] == (len(losses) < attrs["epochs_run"])
         assert all(isinstance(l, float) for l in losses)
         assert tracer.gauges["ml.early_stop_epoch"] == attrs["epochs_run"]
 
