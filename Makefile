@@ -5,6 +5,7 @@
 #   make test-fault  - fault-injection / resilience tests only
 #   make test-drift  - drift-detection / online re-tuning tests only
 #   make test-ml     - training-engine / model-layer tests only
+#   make test-search - strategy-zoo / bandit meta-tuner tests only
 #   make bench       - the benchmark suite (figures, ablations, perf gates)
 #   make serve-smoke - tuning daemon + load generator under flaky-gpu faults
 #   make drift-smoke - daemon + load + watch campaign under thermal-throttle
@@ -13,7 +14,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-fault test-drift test-ml bench serve-smoke drift-smoke experiments
+.PHONY: test test-fast test-fault test-drift test-ml test-search bench serve-smoke drift-smoke experiments
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -29,6 +30,9 @@ test-drift:
 
 test-ml:
 	$(PYTHON) -m pytest tests/ -m ml
+
+test-search:
+	$(PYTHON) -m pytest tests/ -m search
 
 bench:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest .

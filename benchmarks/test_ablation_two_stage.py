@@ -47,7 +47,7 @@ def one_seed(spec, oracle, opt, seed):
     random_time = oracle.time_of(int(rand[int(np.nanargmin(rmeas))]))
 
     measurer = Measurer(Context(NVIDIA_K40, seed=seed), spec)
-    cd_idx, _, cd_budget = coordinate_descent(measurer, rng, max_sweeps=3)
+    cd_idx, _, cd_budget, _ = coordinate_descent(measurer, rng, max_sweeps=3)
     cd_time = oracle.time_of(cd_idx) if cd_idx >= 0 else float("nan")
 
     return {

@@ -1,0 +1,199 @@
+"""Acceptance gate for the search-strategy zoo and its bandit meta-tuner.
+
+The scenario mirrors the paper's fig. 11 anchors: the ANN auto-tuner
+tunes convolution on each main device at both paper budgets, then the
+UCB bandit gets *exactly the same ledger budget* (the ANN run's total
+simulated seconds) to split across its five search-strategy arms.
+
+Gates:
+
+* **quality** — on every anchor, the bandit's pick is within
+  ``MAX_BANDIT_GAP`` of the ANN tuner's pick in oracle true time;
+* **robustness** — the bandit's pick beats the *worst* single strategy
+  (each given the same ledger budget, run alone) on at least
+  ``MIN_BEAT_WORST`` of the anchors — the meta-tuner's whole job is to
+  not be stuck with a bad strategy choice;
+* **determinism** — a bandit run is bit-reproducible from its seed.
+
+Everything is seeded, so the gates either always pass or always fail
+for a given tree.  Each run appends a point per anchor to
+``benchmarks/BENCH_search.json`` — ``bandit_gap`` is the headline.
+"""
+
+import json
+import subprocess
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.measure import Measurer
+from repro.core.strategies import (
+    DEFAULT_ARMS,
+    BanditMetaTuner,
+    SearchSettings,
+    make_strategy,
+    run_search,
+)
+from repro.core.tuner import MLAutoTuner, TunerSettings
+from repro.experiments.oracle import TrueTimeOracle
+from repro.kernels import get_benchmark
+from repro.runtime import Context
+from repro.simulator import DEVICES
+
+from conftest import emit
+
+ARTIFACT = Path(__file__).parent / "BENCH_search.json"
+
+#: Acceptance gates (ISSUE: search-strategy zoo + bandit meta-tuner).
+MAX_BANDIT_GAP = 1.10   # bandit pick vs ANN pick, oracle true time
+MIN_BEAT_WORST = 0.80   # fraction of anchors where bandit <= worst arm
+
+KERNEL = "convolution"
+SEED = 0
+BATCH = 48
+EXPLORE = 0.5
+#: Paper budgets (n_train, m_candidates) from the fig. 11 anchors.
+SIZES = ((2000, 200), (500, 100))
+MAIN = ("nvidia", "intel", "amd")
+#: k_bag trimmed from the paper default: the gate compares *search*
+#: quality at equal ledger spend, and the smaller committee keeps the
+#: ANN reference runs to seconds without moving its picks materially.
+K_BAG = 11
+
+
+def _append_trajectory(point: dict) -> None:
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=Path(__file__).parent,
+            timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:
+        rev = "unknown"
+    point = {"git_rev": rev, **point}
+    history = []
+    if ARTIFACT.exists():
+        try:
+            history = json.loads(ARTIFACT.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(point)
+    ARTIFACT.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _bandit_fingerprint(device_key: str, max_cost_s: float):
+    """One bandit run reduced to a bit-comparable tuple."""
+    settings = SearchSettings(budget=10**9, batch=BATCH, max_cost_s=max_cost_s)
+    m = Measurer(Context(DEVICES[device_key], seed=SEED), get_benchmark(KERNEL))
+    out = BanditMetaTuner(m, settings, explore=EXPLORE).run(
+        np.random.default_rng(SEED)
+    )
+    return (
+        out.best_index,
+        float.hex(out.best_time_s),
+        float.hex(m.context.ledger.total_s),
+        tuple(
+            (e.name, e.pulls, e.n_measured, float.hex(e.spend_s))
+            for e in out.leaderboard()
+        ),
+    ), out
+
+
+def _run_anchor(device_key: str, n_train: int, m_candidates: int):
+    spec = get_benchmark(KERNEL)
+    oracle = TrueTimeOracle(spec, DEVICES[device_key])
+    _, optimum = oracle.global_optimum()
+
+    # Reference: the paper's ANN auto-tuner at this budget.  Its ledger
+    # spend defines the equal budget every search strategy gets.
+    ctx = Context(DEVICES[device_key], seed=SEED)
+    tuner = MLAutoTuner(
+        ctx, spec,
+        TunerSettings(n_train=n_train, m_candidates=m_candidates, k_bag=K_BAG),
+    )
+    ann = tuner.tune(np.random.default_rng(SEED), model_seed=SEED)
+    assert not ann.failed
+    ann_cost = ctx.ledger.total_s
+    ann_true = oracle.time_of(ann.best_index)
+
+    _, bandit = _bandit_fingerprint(device_key, ann_cost)
+    bandit_true = oracle.time_of(bandit.best_index)
+
+    settings = SearchSettings(budget=10**9, batch=BATCH, max_cost_s=ann_cost)
+    singles = {}
+    for name in DEFAULT_ARMS:
+        m = Measurer(Context(DEVICES[device_key], seed=SEED), spec)
+        out = run_search(
+            m, make_strategy(name, m, settings), np.random.default_rng(SEED),
+            settings,
+        )
+        singles[name] = (
+            oracle.time_of(out.best_index)
+            if out.best_index >= 0 else float("inf")
+        )
+    worst_name = max(singles, key=singles.get)
+    return {
+        "device": device_key,
+        "n_train": n_train,
+        "m_candidates": m_candidates,
+        "budget_s": round(ann_cost, 3),
+        "optimum_s": optimum,
+        "ann_true_s": ann_true,
+        "bandit_true_s": bandit_true,
+        "bandit_gap": round(bandit_true / ann_true, 4),
+        "bandit_vs_optimum": round(bandit_true / optimum, 4),
+        "worst_arm": worst_name,
+        "worst_vs_optimum": round(singles[worst_name] / optimum, 4),
+        "singles_vs_optimum": {
+            k: round(v / optimum, 4) for k, v in singles.items()
+        },
+        "beat_worst": bool(bandit_true <= singles[worst_name]),
+    }
+
+
+def test_bandit_matches_ann_at_equal_budget():
+    anchors = [
+        _run_anchor(dev, n, m) for dev in MAIN for (n, m) in SIZES
+    ]
+
+    # Determinism: re-run the first anchor's bandit and compare bits.
+    fp1, _ = _bandit_fingerprint(MAIN[0], anchors[0]["budget_s"])
+    fp2, _ = _bandit_fingerprint(MAIN[0], anchors[0]["budget_s"])
+    assert fp1 == fp2, "bandit run is not bit-reproducible from its seed"
+
+    beat = sum(a["beat_worst"] for a in anchors)
+    lines = [
+        "bandit meta-tuner vs ANN auto-tuner at equal ledger budget "
+        f"({KERNEL}, fig. 11 anchors)"
+    ]
+    for a in anchors:
+        lines.append(
+            f"  {a['device']:>6} N={a['n_train']:<4} M={a['m_candidates']:<3}"
+            f" budget={a['budget_s']:7.0f}s"
+            f"  bandit {a['bandit_vs_optimum']:.3f}x opt"
+            f"  gap {a['bandit_gap']:.3f}x ann (gate {MAX_BANDIT_GAP}x)"
+            f"  worst arm {a['worst_arm']} {a['worst_vs_optimum']:.3f}x"
+        )
+    lines.append(
+        f"  beat worst arm on {beat}/{len(anchors)} anchors "
+        f"(gate {MIN_BEAT_WORST:.0%})"
+    )
+    emit("\n".join(lines))
+
+    worst_gap = max(a["bandit_gap"] for a in anchors)
+    _append_trajectory({
+        "kernel": KERNEL,
+        "bandit_gap": worst_gap,
+        "beat_worst_fraction": round(beat / len(anchors), 4),
+        "anchors": anchors,
+    })
+
+    for a in anchors:
+        assert a["bandit_gap"] <= MAX_BANDIT_GAP, (
+            f"{a['device']} N={a['n_train']}: bandit pick is "
+            f"{a['bandit_gap']:.3f}x the ANN pick (gate {MAX_BANDIT_GAP}x)"
+        )
+    assert beat >= MIN_BEAT_WORST * len(anchors), (
+        f"bandit beat the worst single strategy on only {beat}/"
+        f"{len(anchors)} anchors (gate {MIN_BEAT_WORST:.0%})"
+    )

@@ -22,6 +22,7 @@ Quick start::
 """
 
 from repro.core import (
+    BanditMetaTuner,
     ConfigEncoder,
     CusumDetector,
     DetectorSettings,
@@ -33,11 +34,14 @@ from repro.core import (
     OnlineSettings,
     OnlineTuner,
     PerformanceModel,
+    SearchSettings,
+    SearchTuner,
     TunerSettings,
     TuningResult,
     coordinate_descent,
     exhaustive_search,
     random_search,
+    run_search,
 )
 from repro.obs import NULL_TRACER, Tracer, render_summary
 from repro.runtime import BuildError, Context, Device, LaunchError, Platform
@@ -67,6 +71,10 @@ __all__ = [
     "exhaustive_search",
     "random_search",
     "coordinate_descent",
+    "SearchSettings",
+    "SearchTuner",
+    "BanditMetaTuner",
+    "run_search",
     "Tracer",
     "NULL_TRACER",
     "render_summary",

@@ -57,6 +57,42 @@ def _parse_config(text: str, space) -> dict:
     return values
 
 
+def _parse_pins(text, space) -> dict:
+    """Parse a *partial* ``name=value`` list (pinned parameters)."""
+    if not text:
+        return {}
+    pins = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise SystemExit(f"bad pin {item!r}; expected name=value")
+        name, _, raw = item.partition("=")
+        name = name.strip()
+        if name not in space:
+            raise SystemExit(
+                f"unknown parameter {name!r}; expected one of {list(space.names)}"
+            )
+        try:
+            value = int(raw)
+        except ValueError:
+            raise SystemExit(f"pin {name!r}: non-integer value {raw!r}")
+        allowed = list(space.parameter(name).values)
+        if value not in allowed:
+            raise SystemExit(
+                f"pin {name}={value} not in allowed values {allowed}"
+            )
+        pins[name] = value
+    return pins
+
+
+def _strategy_choices() -> tuple:
+    from repro.core.strategies import STRATEGY_CHOICES
+
+    return STRATEGY_CHOICES
+
+
 def cmd_devices(_args) -> int:
     print(f"{'key':8s} {'name':22s} {'type':4s} {'CUs':>4s} {'SIMD':>4s} "
           f"{'GB/s':>6s} {'maxWG':>6s} {'local/CU':>9s}")
@@ -85,11 +121,22 @@ def cmd_tune(args) -> int:
     from repro.experiments.reporting import engine_stats_block
     from repro.obs import NULL_TRACER, Tracer, run_manifest
 
+    from repro.core.strategies import SearchSettings, SearchTuner
+
     spec = get_benchmark(args.kernel)
     device = get_device(args.device)
     rng = np.random.default_rng(args.seed)
+    strategy = getattr(args, "strategy", "ml")
+    if strategy != "ml" and args.iterative:
+        raise SystemExit("--strategy and --iterative are mutually exclusive")
     if args.iterative:
         settings = IterativeSettings(total_budget=args.budget, rounds=args.rounds)
+    elif strategy != "ml":
+        # Same measurement allowance as the two-stage tuner would get.
+        settings = SearchSettings(
+            budget=args.n_train + args.m_candidates,
+            pins=_parse_pins(args.pin, spec.space),
+        )
     else:
         settings = TunerSettings(
             n_train=args.n_train,
@@ -106,6 +153,7 @@ def cmd_tune(args) -> int:
                 settings=asdict(settings),
                 seed=args.seed,
                 iterative=bool(args.iterative),
+                strategy=strategy,
                 faults=args.faults,
                 drift=args.drift,
             ),
@@ -121,6 +169,9 @@ def cmd_tune(args) -> int:
     try:
         if args.iterative:
             tuner = IterativeTuner(ctx, spec, settings, measurer=measurer)
+        elif strategy != "ml":
+            tuner = SearchTuner(ctx, spec, strategy, settings,
+                                measurer=measurer)
         else:
             tuner = MLAutoTuner(ctx, spec, settings, measurer=measurer)
         result = tuner.tune(rng, model_seed=args.seed)
@@ -150,6 +201,103 @@ def cmd_tune(args) -> int:
             f"{k}={v}" for k, v in result.failure_breakdown.items()
         )
         print(f"failure breakdown : {parts}")
+    outcome = getattr(tuner, "outcome", None)
+    if outcome is not None and hasattr(outcome, "leaderboard"):
+        print(_leaderboard_block(outcome))
+    print("engine stats")
+    print(engine_stats_block(tuner.measurer.stats, ctx.ledger))
+    return 0
+
+
+def _leaderboard_block(outcome) -> str:
+    """Render a bandit outcome's strategy-vs-strategy leaderboard."""
+    lines = ["strategy leaderboard"]
+    lines.append(f"  {'strategy':12s} {'best':>10s} {'pulls':>6s} "
+                 f"{'measured':>9s} {'spend':>10s} {'reward/s':>12s}")
+    for arm in outcome.leaderboard():
+        best = (f"{arm.best_time_s * 1e3:.3f}ms"
+                if np.isfinite(arm.best_time_s) else "-")
+        lines.append(
+            f"  {arm.name:12s} {best:>10s} {arm.pulls:6d} "
+            f"{arm.n_measured:9d} {arm.spend_s:9.1f}s "
+            f"{arm.mean_reward:12.6f}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_search(args) -> int:
+    """Run one zoo strategy (or the bandit meta-tuner) stand-alone."""
+    from dataclasses import asdict
+    from pathlib import Path
+
+    from repro.core.results import MeasurementDB
+    from repro.core.strategies import SearchSettings, SearchTuner
+    from repro.experiments.reporting import engine_stats_block
+    from repro.obs import NULL_TRACER, Tracer, run_manifest
+
+    spec = get_benchmark(args.kernel)
+    device = get_device(args.device)
+    rng = np.random.default_rng(args.seed)
+    settings = SearchSettings(
+        budget=args.budget,
+        batch=args.batch,
+        max_cost_s=args.max_cost_s,
+        pins=_parse_pins(args.pin, spec.space),
+    )
+    if args.trace:
+        tracer = Tracer(
+            Path(args.trace),
+            manifest=run_manifest(
+                command="search",
+                kernel=args.kernel,
+                device=device.name,
+                strategy=args.strategy,
+                settings=asdict(settings),
+                seed=args.seed,
+                faults=args.faults,
+                drift=args.drift,
+            ),
+        )
+    else:
+        tracer = NULL_TRACER
+    faults = get_fault_profile(args.faults) if args.faults else None
+    ctx = Context(device, seed=args.seed, tracer=tracer, faults=faults,
+                  drift=args.drift)
+    db = MeasurementDB(Path(args.db)) if args.db else None
+    measurer = Measurer(ctx, spec, db=db) if db is not None else None
+    tuner = SearchTuner(ctx, spec, args.strategy, settings, measurer=measurer)
+    try:
+        result = tuner.tune(rng)
+    finally:
+        tracer.close()
+    if db is not None:
+        db.save()
+    if args.trace:
+        print(f"trace written to {args.trace}")
+
+    outcome = tuner.outcome
+    if result.failed:
+        print(f"search FAILED: strategy {args.strategy!r} found no valid "
+              f"configuration in {outcome.n_proposed} proposals "
+              f"(stop: {outcome.stop_reason})")
+        return 1
+    best = spec.space[result.best_index]
+    print(f"kernel            : {result.kernel}")
+    print(f"device            : {result.device}")
+    print(f"strategy          : {args.strategy}")
+    if settings.pins:
+        pinned = ", ".join(f"{k}={v}" for k, v in settings.pins)
+        print(f"pinned            : {pinned}")
+    print(f"best configuration: {dict(best)}")
+    print(f"measured time     : {result.best_time_s * 1e3:.3f} ms")
+    print(f"proposed/measured : {outcome.n_proposed}/{outcome.n_measured} "
+          f"(+{outcome.n_free} free db hits)")
+    print(f"rounds            : {outcome.rounds} (stop: {outcome.stop_reason})")
+    print(f"simulated cost    : {result.total_cost_s / 60:.1f} min")
+    if result.degraded:
+        print(f"degraded          : yes ({result.degraded_reason})")
+    if hasattr(outcome, "leaderboard"):
+        print(_leaderboard_block(outcome))
     print("engine stats")
     print(engine_stats_block(tuner.measurer.stats, ctx.ledger))
     return 0
@@ -256,6 +404,7 @@ def cmd_campaign(args) -> int:
                 settings=asdict(settings),
                 seed=args.seed,
                 faults=args.faults,
+                strategy=args.strategy,
             ),
         )
     try:
@@ -268,6 +417,7 @@ def cmd_campaign(args) -> int:
             seed=args.seed,
             tracer=tracer,
             faults=faults,
+            strategy=args.strategy,
         )
     finally:
         if tracer is not None:
@@ -456,7 +606,8 @@ def cmd_experiments(args) -> int:
 
 #: Preferred headline metric per artifact, first match wins.
 _HEADLINE_KEYS = (
-    "speedup", "throughput_gain", "recovered_gap", "cost_fraction",
+    "speedup", "throughput_gain", "recovered_gap", "bandit_gap",
+    "cost_fraction",
 )
 
 
@@ -572,7 +723,51 @@ def build_parser() -> argparse.ArgumentParser:
                       help="ensemble training engine: adaptive "
                            "(member-wise convergence freezing, default) "
                            "or classic (reference global-stop loop)")
+    tune.add_argument("--strategy", default="ml",
+                      choices=("ml",) + _strategy_choices(),
+                      help="'ml' (the paper's two-stage ANN tuner, default) "
+                           "or a search strategy / 'bandit' with the same "
+                           "measurement budget (n_train + m_candidates)")
+    tune.add_argument("--pin", default=None,
+                      help="comma-separated name=value pairs held fixed "
+                           "during --strategy searches")
     tune.set_defaults(fn=cmd_tune)
+
+    sea = sub.add_parser(
+        "search",
+        help="model-free search of a kernel's space "
+             "(strategy zoo / bandit meta-tuner, see docs/tuning_guide.md)",
+    )
+    sea.add_argument("-k", "--kernel", required=True, choices=sorted(BENCHMARKS))
+    sea.add_argument("-d", "--device", required=True)
+    sea.add_argument("--strategy", default="bandit",
+                     choices=_strategy_choices(),
+                     help="search strategy; 'bandit' (default) splits the "
+                          "budget across all of them via UCB")
+    sea.add_argument("--budget", type=int, default=1000,
+                     help="total configuration proposals")
+    sea.add_argument("--batch", type=int, default=64,
+                     help="proposals measured per round (one wave)")
+    sea.add_argument("--max-cost-s", type=float, default=None,
+                     help="stop once this much simulated ledger time "
+                          "has been spent")
+    sea.add_argument("--pin", default=None,
+                     help="comma-separated name=value pairs held fixed, "
+                          "e.g. 'use_local=1,unroll=0'")
+    sea.add_argument("--seed", type=int, default=0)
+    sea.add_argument("--db", default=None,
+                     help="MeasurementDB JSON path; known measurements are "
+                          "free, new ones persisted")
+    sea.add_argument("--trace", default=None,
+                     help="write a JSONL trace (the strategy leaderboard "
+                          "shows in 'repro trace-summary')")
+    sea.add_argument("--faults", default=None,
+                     help="fault-injection profile, e.g. "
+                          f"{', '.join(sorted(FAULT_PROFILES))}")
+    sea.add_argument("--drift", default=None,
+                     help="performance-drift schedule, e.g. "
+                          f"{', '.join(sorted(DRIFT_PROFILES))}")
+    sea.set_defaults(fn=cmd_search)
 
     wat = sub.add_parser(
         "watch",
@@ -623,6 +818,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fault-injection profile applied to every cell "
                            f"({', '.join(sorted(FAULT_PROFILES))})")
     camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument("--strategy", default="ml",
+                      choices=("ml",) + _strategy_choices(),
+                      help="tuner for every cell: 'ml' (default) or a "
+                           "search strategy / 'bandit' of equal budget")
     camp.set_defaults(fn=cmd_campaign)
 
     summ = sub.add_parser(

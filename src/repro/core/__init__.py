@@ -37,7 +37,24 @@ from repro.core.online import (
 )
 from repro.core.results import MeasurementDB, TuningResult
 from repro.core.sensitivity import interaction_strength, parameter_sensitivity
-from repro.core.search import coordinate_descent, exhaustive_search, random_search
+from repro.core.search import (
+    CoordinateDescentResult,
+    coordinate_descent,
+    exhaustive_search,
+    random_search,
+)
+from repro.core.strategies import (
+    BanditMetaTuner,
+    STRATEGIES,
+    STRATEGY_CHOICES,
+    SearchOutcome,
+    SearchSettings,
+    SearchStrategy,
+    SearchTuner,
+    Subspace,
+    make_strategy,
+    run_search,
+)
 from repro.core.tuner import MLAutoTuner, TunerSettings
 
 __all__ = [
@@ -70,4 +87,15 @@ __all__ = [
     "exhaustive_search",
     "random_search",
     "coordinate_descent",
+    "CoordinateDescentResult",
+    "BanditMetaTuner",
+    "STRATEGIES",
+    "STRATEGY_CHOICES",
+    "SearchOutcome",
+    "SearchSettings",
+    "SearchStrategy",
+    "SearchTuner",
+    "Subspace",
+    "make_strategy",
+    "run_search",
 ]

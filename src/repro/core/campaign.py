@@ -250,7 +250,8 @@ def _run_grid_cell(payload) -> tuple:
     writes its own JSONL trace there (processes cannot share a sink); the
     parent merges the per-worker files afterwards.
     """
-    spec, device_key, settings, seed, shard_path, trace_path, faults = payload
+    (spec, device_key, settings, seed, shard_path, trace_path, faults,
+     strategy) = payload
     device = get_device(device_key)
     shard = MeasurementDB(Path(shard_path)) if shard_path else MeasurementDB()
     if trace_path:
@@ -261,13 +262,24 @@ def _run_grid_cell(payload) -> tuple:
                 device=device.name,
                 settings=asdict(settings),
                 seed=seed,
+                strategy=strategy,
             ),
         )
     else:
         tracer = NULL_TRACER
     ctx = Context(device, seed=seed, tracer=tracer, faults=faults)
     measurer = Measurer(ctx, spec, repeats=settings.repeats, db=shard)
-    tuner = MLAutoTuner(ctx, spec, settings, measurer=measurer)
+    if strategy != "ml":
+        from repro.core.strategies import SearchSettings, SearchTuner
+
+        search_settings = SearchSettings(
+            budget=settings.n_train + settings.m_candidates,
+            repeats=settings.repeats,
+        )
+        tuner = SearchTuner(ctx, spec, strategy, search_settings,
+                            measurer=measurer)
+    else:
+        tuner = MLAutoTuner(ctx, spec, settings, measurer=measurer)
     try:
         result = tuner.tune(np.random.default_rng(seed), model_seed=seed)
     finally:
@@ -286,6 +298,7 @@ def run_campaign_grid(
     seed: int = 0,
     tracer=None,
     faults=None,
+    strategy: str = "ml",
 ) -> GridReport:
     """Tune every kernel on every device, cells in parallel processes.
 
@@ -308,6 +321,11 @@ def run_campaign_grid(
     name — picklable, so it crosses the process boundary) arms every
     worker's runtime with the same fault injector; cells then tune through
     the resilient path and their stats carry the fault counters.
+
+    ``strategy`` swaps the per-cell tuner: ``"ml"`` (default) runs the
+    paper's two-stage ANN tuner; any strategy-zoo name or ``"bandit"``
+    runs a model-free :class:`~repro.core.strategies.SearchTuner` with
+    the same measurement allowance (``n_train + m_candidates``).
     """
     specs = list(specs)
     devices = list(devices)
@@ -315,6 +333,14 @@ def run_campaign_grid(
         raise ValueError("need at least one kernel and one device")
     if settings is None:
         settings = TunerSettings(n_train=800, m_candidates=80)
+    if strategy != "ml":
+        from repro.core.strategies import STRATEGY_CHOICES
+
+        if strategy not in STRATEGY_CHOICES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected 'ml' or one of "
+                f"{sorted(STRATEGY_CHOICES)}"
+            )
     if tracer is None:
         tracer = NULL_TRACER
     cells = [(spec, key) for spec in specs for key in devices]
@@ -336,7 +362,8 @@ def run_campaign_grid(
                 else None
             )
             payloads.append(
-                (spec, key, settings, seed, str(shard_path), trace_path, faults)
+                (spec, key, settings, seed, str(shard_path), trace_path,
+                 faults, strategy)
             )
 
         with tracer.span("campaign.grid", cells=len(cells)):

@@ -6,11 +6,18 @@ equal-budget control for the two-stage ablation; coordinate descent is the
 strategy the paper argues *cannot* work ("since the parameters are not
 independent, the best values cannot be found by varying the values of one
 parameter at a time", §5.1).
+
+``random_search`` and ``coordinate_descent`` are thin wrappers over the
+strategy zoo (:mod:`repro.core.strategies`) — same draws, same
+measurements, now with honest accounting: free ``is_valid()`` probes are
+reported as ``n_probed`` instead of inflating ``n_measured``, and a
+digits tuple already measured in this run (the incumbent included) is
+served from the run's memo instead of billing the ledger again.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -56,20 +63,26 @@ def exhaustive_search(
             "search.exhaustive", n=int(idx.size), chunk_size=chunk_size
         ) as sp:
             n_checkpoints = 0
+            final_chunk_saved = False
             for k, start in enumerate(range(0, idx.size, chunk_size), start=1):
                 result = result.merged_with(
                     measurer.measure_batch(idx[start : start + chunk_size])
                 )
+                final_chunk_saved = False
                 if durable and checkpoint_every and k % checkpoint_every == 0:
                     db.save()
                     n_checkpoints += 1
+                    final_chunk_saved = True
                     if tracer.enabled:
                         tracer.event(
                             "search.checkpoint",
                             chunk=k,
                             measured=result.n_valid + result.n_invalid,
                         )
-            if durable:
+            if durable and not final_chunk_saved:
+                # The final chunk may have just checkpointed (``k`` on a
+                # boundary); saving again would double-count and re-write
+                # an identical snapshot.
                 db.save()
                 n_checkpoints += 1
             sp.set(checkpoints=n_checkpoints)
@@ -84,12 +97,30 @@ def random_search(
 ) -> MeasurementSet:
     """Measure ``budget`` uniform random configurations (the Fig. 14
     comparison point: best of 50K random samples)."""
+    from repro.core.strategies import RandomStrategy, SearchSettings, run_search
+
     if budget < 1:
         raise ValueError("budget must be >= 1")
-    indices = measurer.spec.space.sample_indices(
-        min(budget, measurer.spec.space.size), rng
+    settings = SearchSettings(budget=budget, batch=budget)
+    outcome = run_search(
+        measurer, RandomStrategy(measurer, settings), rng, settings
     )
-    return measurer.measure_batch(indices)
+    return outcome.measurements
+
+
+class CoordinateDescentResult(NamedTuple):
+    """Return value of :func:`coordinate_descent`.
+
+    ``n_measured`` counts ledger-charged measurements only;
+    ``n_probed`` counts the free static-validity checks of the start
+    scan (``is_valid()`` bills nothing since the PR-5 validity split, so
+    it must not inflate the measurement count).
+    """
+
+    best_index: int
+    best_time_s: float
+    n_measured: int
+    n_probed: int
 
 
 def coordinate_descent(
@@ -97,7 +128,7 @@ def coordinate_descent(
     rng: np.random.Generator,
     max_sweeps: int = 4,
     start_index: Optional[int] = None,
-) -> tuple:
+) -> CoordinateDescentResult:
     """One-parameter-at-a-time greedy search.
 
     From a random valid starting configuration, repeatedly sweep the
@@ -106,48 +137,33 @@ def coordinate_descent(
     improve — a local optimum that parameter interactions routinely trap
     far from the global one.
 
-    Returns ``(best_index, best_time_s, n_measured)``; ``best_index`` is
-    ``-1`` (time NaN) if no valid starting point was found — including a
-    caller-supplied ``start_index`` that turns out to be invalid.
+    Returns a :class:`CoordinateDescentResult`; ``best_index`` is ``-1``
+    (time NaN) if no valid starting point was found — including a
+    caller-supplied ``start_index`` that turns out to be invalid (its
+    probe is a real measurement, so it *is* counted in ``n_measured``).
+
+    Trial tuples already measured in this run — including the incumbent
+    when a sweep revisits it — are served from the run's memo, so
+    ``n_measured`` matches ledger spend.
     """
-    space = measurer.spec.space
-    n_measured = 0
+    from repro.core.strategies import (
+        CoordinateDescentStrategy,
+        SearchSettings,
+        run_search,
+    )
 
-    if start_index is None:
-        start_index = -1
-        for i in space.sample_indices(min(200, space.size), rng):
-            n_measured += 1
-            if measurer.is_valid(int(i)):
-                start_index = int(i)
-                break
-        if start_index < 0:
-            return -1, float("nan"), n_measured
-
-    digits = list(space.digits_of(start_index))
-    best_time = measurer.measure(start_index)
-    n_measured += 1
-    if best_time is None:
-        # A caller-supplied start_index may be invalid on this device;
-        # treat it like the no-valid-start path (the probe above is still
-        # counted — it burned a measurement).
-        return -1, float("nan"), n_measured
-
-    for _ in range(max_sweeps):
-        improved = False
-        for j, p in enumerate(space.parameters):
-            best_d = digits[j]
-            for d in range(p.cardinality):
-                if d == digits[j]:
-                    continue
-                trial = digits.copy()
-                trial[j] = d
-                t = measurer.measure(space.index_of_digits(trial))
-                n_measured += 1
-                if t is not None and t < best_time:
-                    best_time = t
-                    best_d = d
-                    improved = True
-            digits[j] = best_d
-        if not improved:
-            break
-    return space.index_of_digits(digits), float(best_time), n_measured
+    settings = SearchSettings(budget=10**9, batch=4096)
+    strategy = CoordinateDescentStrategy(
+        measurer, settings, max_sweeps=max_sweeps, start_index=start_index
+    )
+    outcome = run_search(measurer, strategy, rng, settings)
+    if strategy.incumbent < 0 or not np.isfinite(strategy.incumbent_time_s):
+        return CoordinateDescentResult(
+            -1, float("nan"), outcome.n_measured, strategy.n_probed
+        )
+    return CoordinateDescentResult(
+        strategy.incumbent,
+        float(strategy.incumbent_time_s),
+        outcome.n_measured,
+        strategy.n_probed,
+    )

@@ -1,0 +1,81 @@
+"""The search-strategy zoo (see docs/tuning_guide.md).
+
+A common :class:`SearchStrategy` interface over the paper's baselines
+(random, coordinate descent, exhaustive) plus the metaheuristics the
+related work tunes OpenCL spaces with (simulated annealing and PSO from
+CLTune, a genetic searcher à la OpenTuner), and a UCB bandit meta-tuner
+that splits one measurement budget across all of them.  Every strategy
+measures through :meth:`~repro.core.measure.Measurer.measure_batch`
+(wave-engine resilience included) and supports user-pinned parameters.
+"""
+
+from repro.core.strategies.annealing import AnnealingStrategy
+from repro.core.strategies.bandit import (
+    ArmStats,
+    BanditMetaTuner,
+    BanditOutcome,
+    DEFAULT_ARMS,
+)
+from repro.core.strategies.base import (
+    SearchOutcome,
+    SearchSettings,
+    SearchStrategy,
+    Subspace,
+    run_search,
+)
+from repro.core.strategies.baselines import (
+    CoordinateDescentStrategy,
+    ExhaustiveStrategy,
+    RandomStrategy,
+)
+from repro.core.strategies.genetic import GeneticStrategy
+from repro.core.strategies.pso import PSOStrategy
+from repro.core.strategies.tuner import SearchTuner
+
+#: name -> class; ``bandit`` is separate (a meta-tuner over these).
+STRATEGIES = {
+    RandomStrategy.name: RandomStrategy,
+    CoordinateDescentStrategy.name: CoordinateDescentStrategy,
+    ExhaustiveStrategy.name: ExhaustiveStrategy,
+    AnnealingStrategy.name: AnnealingStrategy,
+    PSOStrategy.name: PSOStrategy,
+    GeneticStrategy.name: GeneticStrategy,
+}
+
+#: Everything a ``strategy=`` option accepts (CLI, campaign, serve).
+STRATEGY_CHOICES = tuple(sorted(STRATEGIES)) + ("bandit",)
+
+
+def make_strategy(name, measurer, settings) -> SearchStrategy:
+    """Instantiate a zoo strategy by name (not ``"bandit"`` — that is a
+    meta-tuner, built via :class:`BanditMetaTuner`)."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; expected one of {sorted(STRATEGIES)}"
+        ) from None
+    return cls(measurer, settings)
+
+
+__all__ = [
+    "AnnealingStrategy",
+    "ArmStats",
+    "BanditMetaTuner",
+    "BanditOutcome",
+    "CoordinateDescentStrategy",
+    "DEFAULT_ARMS",
+    "ExhaustiveStrategy",
+    "GeneticStrategy",
+    "PSOStrategy",
+    "RandomStrategy",
+    "STRATEGIES",
+    "STRATEGY_CHOICES",
+    "SearchOutcome",
+    "SearchSettings",
+    "SearchStrategy",
+    "SearchTuner",
+    "Subspace",
+    "make_strategy",
+    "run_search",
+]

@@ -1,0 +1,123 @@
+"""Simulated annealing over the digit lattice (CLTune-style).
+
+A population of independent walkers anneals in parallel — one neighbour
+per walker per round, so every round is one vectorized
+``measure_batch`` call.  Energy is ``log(time)`` (scale-free Metropolis
+acceptance); invalid configurations carry infinite energy and are never
+accepted over a finite incumbent.  Acceptance uniforms are drawn at the
+*next* ``propose`` (the only place the strategy sees an RNG), which
+keeps the determinism contract of the zoo.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.measure import MeasurementSet, Measurer
+from repro.core.strategies.base import SearchSettings, SearchStrategy
+
+
+class AnnealingStrategy(SearchStrategy):
+    name = "annealing"
+
+    def __init__(
+        self,
+        measurer: Measurer,
+        settings: SearchSettings,
+        walkers: int = 16,
+        t0: float = 0.35,
+        cooling: float = 0.92,
+        t_min: float = 0.01,
+    ):
+        super().__init__(measurer, settings)
+        if walkers < 1:
+            raise ValueError("walkers must be >= 1")
+        self.walkers = walkers
+        self.t0 = t0
+        self.cooling = cooling
+        self.t_min = t_min
+        self.temp = t0
+        self._pos: Optional[np.ndarray] = None       # (W, k) digits
+        self._energy: Optional[np.ndarray] = None    # (W,) log-time
+        self._cand: Optional[np.ndarray] = None      # (W', k) pending moves
+        self._cand_energy: Optional[np.ndarray] = None
+        self._active: Optional[np.ndarray] = None    # walker ids of _cand
+
+    def _accept_pending(self, rng: np.random.Generator) -> None:
+        """Metropolis-accept the last round's moves (uniforms drawn here,
+        where the RNG lives)."""
+        if self._cand is None or self._cand_energy is None:
+            return
+        u = rng.random(self._active.size)
+        for row, (w, e_new) in enumerate(zip(self._active, self._cand_energy)):
+            e_old = self._energy[w]
+            if e_new <= e_old or (
+                np.isfinite(e_new)
+                and u[row] < np.exp((e_old - e_new) / max(self.temp, 1e-9))
+            ):
+                self._pos[w] = self._cand[row]
+                self._energy[w] = e_new
+        self._cand = self._cand_energy = self._active = None
+        self.temp = max(self.temp * self.cooling, self.t_min)
+
+    def propose(self, rng: np.random.Generator, budget: int) -> np.ndarray:
+        self._accept_pending(rng)
+        if self._pos is None:
+            n = min(self.walkers, budget, self.sub.size)
+            self._pos = self.sub.random_digits(n, rng)
+            self._energy = np.full(n, np.inf)
+            self._active = np.arange(n)
+            self._cand = self._pos.copy()
+            return self.sub.flat_of_digits(self._cand)
+        n = min(self._pos.shape[0], budget)
+        self._active = np.arange(n)
+        cand = self._pos[:n].copy()
+        if self.sub.n_free:
+            axes = rng.integers(0, self.sub.n_free, size=n)
+            for row, j in enumerate(axes):
+                card = int(self.sub.cards[j])
+                if card < 2:
+                    continue
+                step = int(rng.integers(1, card))
+                cand[row, j] = (cand[row, j] + step) % card
+        self._cand = cand
+        return self.sub.flat_of_digits(cand)
+
+    def observe(self, indices: np.ndarray, ms: MeasurementSet) -> None:
+        times = {int(i): float(t) for i, t in zip(ms.indices, ms.times_s)}
+        energy = np.full(len(indices), np.inf)
+        for row, i in enumerate(indices):
+            t = times.get(int(i))
+            if t is not None and t > 0:
+                energy[row] = np.log(t)
+        # Truncate bookkeeping to what was actually measured (the run
+        # loop may have clipped the batch to the remaining budget).
+        self._cand = self._cand[: len(indices)]
+        self._active = self._active[: len(indices)]
+        self._cand_energy = energy
+
+    def state(self) -> Dict[str, Any]:
+        def arr(a):
+            return None if a is None else np.asarray(a).tolist()
+
+        return {
+            "temp": self.temp,
+            "pos": arr(self._pos),
+            "energy": arr(self._energy),
+            "cand": arr(self._cand),
+            "cand_energy": arr(self._cand_energy),
+            "active": arr(self._active),
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        def arr(v, dtype):
+            return None if v is None else np.asarray(v, dtype=dtype)
+
+        self.temp = float(state.get("temp", self.t0))
+        self._pos = arr(state.get("pos"), np.int64)
+        self._energy = arr(state.get("energy"), np.float64)
+        self._cand = arr(state.get("cand"), np.int64)
+        self._cand_energy = arr(state.get("cand_energy"), np.float64)
+        self._active = arr(state.get("active"), np.int64)

@@ -1,0 +1,291 @@
+"""UCB bandit meta-tuner: allocate one budget across the strategy zoo.
+
+Which searcher wins depends on the (kernel, device) pair — Cummins et
+al.'s observation — so instead of picking one up front, the meta-tuner
+treats each strategy as a bandit arm and pulls the arm with the best
+upper confidence bound.  One pull = one strategy round (one
+``measure_batch``).  The reward of a pull is the *improvement it bought
+per ledger-second*: ``log(best_before / best_after) / spend_s``,
+normalized by the best reward seen so far so UCB's exploration term is
+scale-free.
+
+All arms share one :class:`~repro.core.measure.Measurer` and one
+:class:`~repro.core.results.MeasurementDB` (attached for the run if the
+measurer has none), so a configuration measured by one strategy is free
+for every other — the meta-tuner's incumbent is the best measurement
+*anyone* made.  Per-arm spend, pulls, and best times are emitted as
+``strategy.<name>.*`` gauges: the leaderboard ``repro trace-summary``
+renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.measure import Measurer
+from repro.core.results import MeasurementDB
+from repro.core.strategies.base import (
+    SearchOutcome,
+    SearchSettings,
+    SearchStrategy,
+    _charged,
+)
+
+#: Default arm lineup.  ``exhaustive`` is deliberately absent — it only
+#: makes sense on tiny (sub)spaces and would drown the bandit in cost.
+DEFAULT_ARMS: Tuple[str, ...] = (
+    "random",
+    "annealing",
+    "pso",
+    "genetic",
+    "coordinate",
+)
+
+
+@dataclass
+class ArmStats:
+    """Bookkeeping of one bandit arm."""
+
+    name: str
+    pulls: int = 0
+    reward_sum: float = 0.0
+    spend_s: float = 0.0
+    n_proposed: int = 0
+    n_measured: int = 0
+    best_time_s: float = float("inf")
+    exhausted: bool = False
+
+    @property
+    def mean_reward(self) -> float:
+        return self.reward_sum / self.pulls if self.pulls else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "strategy": self.name,
+            "pulls": self.pulls,
+            "spend_s": round(self.spend_s, 6),
+            "n_proposed": self.n_proposed,
+            "n_measured": self.n_measured,
+            "best_time_s": (
+                float(self.best_time_s)
+                if np.isfinite(self.best_time_s)
+                else None
+            ),
+            "mean_reward": round(self.mean_reward, 9),
+        }
+
+
+@dataclass
+class BanditOutcome(SearchOutcome):
+    """A :class:`SearchOutcome` plus the strategy-vs-strategy leaderboard."""
+
+    arms: List[ArmStats] = field(default_factory=list)
+
+    def leaderboard(self) -> List[ArmStats]:
+        """Arms sorted best-time-first (never-successful arms last)."""
+        return sorted(
+            self.arms,
+            key=lambda a: (not np.isfinite(a.best_time_s), a.best_time_s),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = super().as_dict()
+        out["leaderboard"] = [a.as_dict() for a in self.leaderboard()]
+        return out
+
+
+class BanditMetaTuner:
+    """Interleave strategy rounds under one budget via UCB1.
+
+    Not a :class:`SearchStrategy` itself — it owns the measurement loop
+    (it must attribute each pull's ledger delta to an arm) — but it
+    honours the same stopping rules and emits the same telemetry, so a
+    ``strategy="bandit"`` run drops into every place a single strategy
+    does.
+    """
+
+    name = "bandit"
+
+    def __init__(
+        self,
+        measurer: Measurer,
+        settings: SearchSettings,
+        arms: Optional[Sequence[str]] = None,
+        explore: float = 1.0,
+    ):
+        from repro.core.strategies import make_strategy
+
+        self.measurer = measurer
+        self.settings = settings
+        self.explore = explore
+        names = tuple(arms) if arms else DEFAULT_ARMS
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate arms: {names}")
+        self.strategies: Dict[str, SearchStrategy] = {
+            name: make_strategy(name, measurer, settings) for name in names
+        }
+        self.arms: Dict[str, ArmStats] = {
+            name: ArmStats(name) for name in names
+        }
+
+    def _pick(self, total_pulls: int) -> Optional[str]:
+        """UCB1 with rewards normalized by the best mean seen so far.
+
+        Unpulled arms go first, in lineup order; ties break by lineup
+        order too — both keep the schedule deterministic.
+        """
+        live = [a for a in self.arms.values() if not a.exhausted]
+        if not live:
+            return None
+        for arm in live:
+            if arm.pulls == 0:
+                return arm.name
+        scale = max((a.mean_reward for a in live), default=0.0)
+        scale = scale if scale > 0 else 1.0
+        best_name, best_ucb = None, -np.inf
+        for arm in live:
+            ucb = arm.mean_reward / scale + self.explore * np.sqrt(
+                2.0 * np.log(max(total_pulls, 1)) / arm.pulls
+            )
+            if ucb > best_ucb:
+                best_name, best_ucb = arm.name, ucb
+        return best_name
+
+    def run(self, rng: np.random.Generator) -> BanditOutcome:
+        measurer = self.measurer
+        ledger = measurer.context.ledger
+        tracer = measurer.context.tracer
+        stats = measurer.stats
+        settings = self.settings
+        outcome = BanditOutcome(
+            strategy=self.name,
+            pins=settings.pins_dict(),
+            arms=list(self.arms.values()),
+        )
+        best_time = float("inf")
+        best_index = -1
+        cost0 = ledger.total_s
+        charged0 = _charged(stats)
+        db_hits0 = stats.n_db_hits
+        # One shared DB across arms: cross-strategy repeats are free.
+        own_db = measurer.db is None
+        prev_db = measurer.db
+        if own_db:
+            measurer.db = MeasurementDB()
+        total_pulls = 0
+        try:
+            with tracer.span(
+                "search.bandit",
+                budget=settings.budget,
+                arms=len(self.arms),
+            ) as sp:
+                while True:
+                    remaining = settings.budget - outcome.n_proposed
+                    if remaining <= 0:
+                        outcome.stop_reason = "budget"
+                        break
+                    if (
+                        settings.max_cost_s is not None
+                        and ledger.total_s - cost0 >= settings.max_cost_s
+                    ):
+                        outcome.stop_reason = "cost"
+                        break
+                    name = self._pick(total_pulls)
+                    if name is None:
+                        outcome.stop_reason = "exhausted"
+                        break
+                    arm = self.arms[name]
+                    strategy = self.strategies[name]
+                    if strategy.exhausted():
+                        arm.exhausted = True
+                        continue
+                    batch = np.asarray(
+                        strategy.propose(
+                            rng, min(settings.batch, remaining)
+                        ),
+                        dtype=np.int64,
+                    ).ravel()
+                    if batch.size == 0:
+                        arm.exhausted = True
+                        continue
+                    batch = batch[:remaining]
+                    spend0 = ledger.total_s
+                    pull_charged0 = _charged(stats)
+                    with tracer.span(
+                        "search.pull", strategy=name, n=int(batch.size)
+                    ):
+                        ms = measurer.measure_batch(batch)
+                    strategy.observe(batch, ms)
+                    spend = ledger.total_s - spend0
+                    prev_best = best_time
+                    if ms.n_valid:
+                        i, t = ms.best()
+                        if t < arm.best_time_s:
+                            arm.best_time_s = float(t)
+                        if t < best_time:
+                            best_time = float(t)
+                            best_index = int(i)
+                    outcome.n_invalid += ms.n_invalid
+                    outcome.n_quarantined += ms.n_quarantined
+                    if np.isfinite(prev_best):
+                        improvement = max(
+                            0.0, float(np.log(prev_best / best_time))
+                        )
+                    else:
+                        # First valid measurement: one nat of credit.
+                        improvement = 1.0 if np.isfinite(best_time) else 0.0
+                    reward = improvement / max(spend, 1e-9)
+                    arm.pulls += 1
+                    arm.reward_sum += reward
+                    arm.spend_s += spend
+                    arm.n_proposed += int(batch.size)
+                    arm.n_measured += _charged(stats) - pull_charged0
+                    total_pulls += 1
+                    outcome.rounds += 1
+                    outcome.n_proposed += int(batch.size)
+                outcome.best_index = best_index
+                outcome.best_time_s = (
+                    best_time if best_index >= 0 else float("nan")
+                )
+                outcome.n_measured = _charged(stats) - charged0
+                outcome.n_free = stats.n_db_hits - db_hits0
+                outcome.cost_s = ledger.total_s - cost0
+                sp.set(
+                    pulls=total_pulls,
+                    proposed=outcome.n_proposed,
+                    measured=outcome.n_measured,
+                    best_index=outcome.best_index,
+                    stop=outcome.stop_reason,
+                )
+        finally:
+            measurer.db = prev_db
+        self._emit_leaderboard(tracer, outcome)
+        return outcome
+
+    def _emit_leaderboard(self, tracer, outcome: BanditOutcome) -> None:
+        if not tracer.enabled:
+            return
+        for arm in outcome.arms:
+            best_ms = (
+                arm.best_time_s * 1e3
+                if np.isfinite(arm.best_time_s)
+                else float("nan")
+            )
+            tracer.gauge(f"strategy.{arm.name}.best_ms", round(best_ms, 6))
+            tracer.gauge(f"strategy.{arm.name}.spend_s", round(arm.spend_s, 6))
+            tracer.gauge(f"strategy.{arm.name}.pulls", arm.pulls)
+            tracer.gauge(f"strategy.{arm.name}.measured", arm.n_measured)
+            tracer.gauge(
+                f"strategy.{arm.name}.mean_reward",
+                round(arm.mean_reward, 9),
+            )
+        best_ms = (
+            outcome.best_time_s * 1e3 if outcome.best_index >= 0 else float("nan")
+        )
+        tracer.gauge("search.bandit.best_ms", round(best_ms, 6))
+        tracer.gauge("search.bandit.spend_s", round(outcome.cost_s, 6))
+        tracer.count("search.bandit.pulls", outcome.rounds)
+        tracer.count("search.measured", outcome.n_measured)

@@ -1,0 +1,101 @@
+"""Genetic search over digit vectors (OpenTuner-style evolutionary arm).
+
+Generational GA: tournament selection on ``log(time)`` fitness, uniform
+crossover, per-digit mutation, elitism.  Elites are *not* re-proposed —
+their fitness carries over, so a generation's measurement bill is only
+its children.  All randomness comes from the ``propose`` RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+import numpy as np
+
+from repro.core.measure import MeasurementSet, Measurer
+from repro.core.strategies.base import SearchSettings, SearchStrategy
+
+
+class GeneticStrategy(SearchStrategy):
+    name = "genetic"
+
+    def __init__(
+        self,
+        measurer: Measurer,
+        settings: SearchSettings,
+        population: int = 32,
+        elite: int = 2,
+        tournament: int = 3,
+        mutation: float = 0.0,  # 0 -> 1/n_free per digit
+    ):
+        super().__init__(measurer, settings)
+        if population < 2:
+            raise ValueError("population must be >= 2")
+        self.population = population
+        self.elite = min(elite, population - 1)
+        self.tournament = max(2, tournament)
+        self.mutation = mutation
+        self._pool: List[np.ndarray] = []     # digit rows, fitness-sorted
+        self._fitness: List[float] = []
+        self._pending: np.ndarray = np.empty((0, 0), dtype=np.int64)
+
+    def _mutation_rate(self) -> float:
+        if self.mutation > 0:
+            return self.mutation
+        return 1.0 / max(self.sub.n_free, 1)
+
+    def _select(self, rng: np.random.Generator) -> np.ndarray:
+        picks = rng.integers(0, len(self._pool), size=self.tournament)
+        best = min(int(p) for p in picks)  # pool is fitness-sorted
+        return self._pool[best]
+
+    def propose(self, rng: np.random.Generator, budget: int) -> np.ndarray:
+        k = self.sub.n_free
+        if not self._pool:
+            n = min(self.population, budget, max(self.sub.size, 1))
+            self._pending = self.sub.random_digits(n, rng)
+            return self.sub.flat_of_digits(self._pending)
+        n_children = min(self.population - self.elite, budget)
+        rate = self._mutation_rate()
+        children = np.empty((n_children, k), dtype=np.int64)
+        for c in range(n_children):
+            mother = self._select(rng)
+            father = self._select(rng)
+            mask = rng.random(k) < 0.5
+            child = np.where(mask, mother, father)
+            mut = rng.random(k) < rate
+            if mut.any() and k:
+                draws = rng.integers(0, self.sub.cards, size=k)
+                child = np.where(mut, draws, child)
+            children[c] = child
+        self._pending = children
+        return self.sub.flat_of_digits(children)
+
+    def observe(self, indices: np.ndarray, ms: MeasurementSet) -> None:
+        times = {int(i): float(t) for i, t in zip(ms.indices, ms.times_s)}
+        survivors = list(zip(self._fitness, self._pool))[: self.elite] if (
+            self._pool
+        ) else []
+        for row, i in enumerate(indices):
+            t = times.get(int(i))
+            e = np.log(t) if t is not None and t > 0 else float("inf")
+            survivors.append((e, self._pending[row].copy()))
+        survivors.sort(key=lambda fe: fe[0])
+        survivors = survivors[: self.population]
+        self._fitness = [f for f, _ in survivors]
+        self._pool = [d for _, d in survivors]
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "pool": [d.tolist() for d in self._pool],
+            "fitness": list(self._fitness),
+            "pending": self._pending.tolist(),
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        self._pool = [
+            np.asarray(d, dtype=np.int64) for d in state.get("pool", [])
+        ]
+        self._fitness = [float(f) for f in state.get("fitness", [])]
+        pending = state.get("pending", [])
+        self._pending = np.asarray(pending, dtype=np.int64)

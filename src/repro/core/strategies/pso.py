@@ -1,0 +1,140 @@
+"""Particle-swarm optimization over the digit lattice (CLTune's PSO).
+
+Particles live in continuous digit coordinates; each round every
+particle's position is rounded to the nearest lattice point and the
+whole swarm is measured in one batch.  Fitness is ``log(time)``
+(invalid = +inf, so personal/global bests only ever track valid
+configurations).  Velocity updates draw their ``r1``/``r2`` uniforms in
+``propose`` — the strategy's only RNG access point.
+
+A converged swarm re-proposes the same lattice points forever; those
+re-measures are served from the measurement cache almost for free, so a
+ledger-capped run could spin for tens of thousands of rounds without
+spending budget.  When the global best goes ``restart_after`` rounds
+without improving, the swarm is re-seeded from the propose RNG (the
+global best survives as the social attractor), keeping runs deterministic
+while guaranteeing fresh proposals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.measure import MeasurementSet, Measurer
+from repro.core.strategies.base import SearchSettings, SearchStrategy
+
+
+class PSOStrategy(SearchStrategy):
+    name = "pso"
+
+    def __init__(
+        self,
+        measurer: Measurer,
+        settings: SearchSettings,
+        particles: int = 24,
+        inertia: float = 0.70,
+        cognitive: float = 1.60,
+        social: float = 1.60,
+        restart_after: int = 12,
+    ):
+        super().__init__(measurer, settings)
+        if particles < 1:
+            raise ValueError("particles must be >= 1")
+        if restart_after < 1:
+            raise ValueError("restart_after must be >= 1")
+        self.particles = particles
+        self.inertia = inertia
+        self.cognitive = cognitive
+        self.social = social
+        self.restart_after = restart_after
+        self._stall = 0
+        self._pos: Optional[np.ndarray] = None      # (P, k) float
+        self._vel: Optional[np.ndarray] = None
+        self._pbest: Optional[np.ndarray] = None    # (P, k) float
+        self._pbest_e: Optional[np.ndarray] = None  # (P,)
+        self._gbest: Optional[np.ndarray] = None    # (k,)
+        self._gbest_e = float("inf")
+        self._n_active = 0
+
+    def _quantize(self, pos: np.ndarray) -> np.ndarray:
+        hi = np.maximum(self.sub.cards - 1, 0).astype(np.float64)
+        return np.rint(np.clip(pos, 0.0, hi)).astype(np.int64)
+
+    def propose(self, rng: np.random.Generator, budget: int) -> np.ndarray:
+        k = self.sub.n_free
+        if self._pos is not None and self._stall >= self.restart_after:
+            # Stagnated: scatter the swarm again.  The global best is kept
+            # (it keeps pulling via the social term) but personal bests are
+            # wiped so the fresh particles explore on their own merit.
+            self._pos = None
+            self._stall = 0
+        if self._pos is None:
+            n = min(self.particles, budget, max(self.sub.size, 1))
+            self._pos = rng.uniform(0.0, 1.0, size=(n, k)) * np.maximum(
+                self.sub.cards - 1, 0
+            )
+            self._vel = rng.uniform(-1.0, 1.0, size=(n, k)) * np.maximum(
+                self.sub.cards - 1, 0
+            ) * 0.25
+            self._pbest = self._pos.copy()
+            self._pbest_e = np.full(n, np.inf)
+        else:
+            r1 = rng.uniform(size=self._pos.shape)
+            r2 = rng.uniform(size=self._pos.shape)
+            gbest = self._gbest if self._gbest is not None else self._pos.mean(0)
+            self._vel = (
+                self.inertia * self._vel
+                + self.cognitive * r1 * (self._pbest - self._pos)
+                + self.social * r2 * (gbest[None, :] - self._pos)
+            )
+            hi = np.maximum(self.sub.cards - 1, 0).astype(np.float64)
+            self._pos = np.clip(self._pos + self._vel, 0.0, hi)
+        self._n_active = min(self._pos.shape[0], budget)
+        digits = self._quantize(self._pos[: self._n_active])
+        return self.sub.flat_of_digits(digits)
+
+    def observe(self, indices: np.ndarray, ms: MeasurementSet) -> None:
+        times = {int(i): float(t) for i, t in zip(ms.indices, ms.times_s)}
+        n = min(self._n_active, len(indices))
+        improved = False
+        for p in range(n):
+            t = times.get(int(indices[p]))
+            e = np.log(t) if t is not None and t > 0 else float("inf")
+            if e < self._pbest_e[p]:
+                self._pbest_e[p] = e
+                self._pbest[p] = self._pos[p]
+            if e < self._gbest_e:
+                self._gbest_e = e
+                self._gbest = self._pos[p].copy()
+                improved = True
+        self._stall = 0 if improved else self._stall + 1
+
+    def state(self) -> Dict[str, Any]:
+        def arr(a):
+            return None if a is None else np.asarray(a).tolist()
+
+        return {
+            "pos": arr(self._pos),
+            "vel": arr(self._vel),
+            "pbest": arr(self._pbest),
+            "pbest_e": arr(self._pbest_e),
+            "gbest": arr(self._gbest),
+            "gbest_e": self._gbest_e,
+            "n_active": self._n_active,
+            "stall": self._stall,
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        def arr(v):
+            return None if v is None else np.asarray(v, dtype=np.float64)
+
+        self._pos = arr(state.get("pos"))
+        self._vel = arr(state.get("vel"))
+        self._pbest = arr(state.get("pbest"))
+        self._pbest_e = arr(state.get("pbest_e"))
+        self._gbest = arr(state.get("gbest"))
+        self._gbest_e = float(state.get("gbest_e", float("inf")))
+        self._n_active = int(state.get("n_active", 0))
+        self._stall = int(state.get("stall", 0))

@@ -1,0 +1,103 @@
+"""Adapter: run a zoo strategy (or the bandit) as a drop-in tuner.
+
+``SearchTuner.tune(rng)`` follows the :class:`~repro.core.tuner.MLAutoTuner`
+contract — same :class:`~repro.core.results.TuningResult` payload, same
+engine-stats swap, same ledger accounting — so ``strategy=`` plugs into
+the CLI ``tune`` path, campaign grids, and the serving daemon without
+those layers knowing which searcher ran.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.measure import Measurer
+from repro.core.results import TuningResult
+from repro.core.strategies.base import (
+    SearchOutcome,
+    SearchSettings,
+    run_search,
+)
+from repro.kernels.base import KernelSpec
+from repro.runtime import Context
+
+
+class SearchTuner:
+    """Tune with one search strategy (or ``"bandit"``) instead of the ANN.
+
+    ``model`` is always ``None`` — search strategies fit nothing, so the
+    serving layer's model cache simply has nothing to store.
+    """
+
+    def __init__(
+        self,
+        context: Context,
+        spec: KernelSpec,
+        strategy: str = "bandit",
+        settings: Optional[SearchSettings] = None,
+        measurer: Optional[Measurer] = None,
+    ):
+        from repro.core.strategies import STRATEGY_CHOICES
+
+        if strategy not in STRATEGY_CHOICES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; "
+                f"expected one of {sorted(STRATEGY_CHOICES)}"
+            )
+        self.context = context
+        self.spec = spec
+        self.strategy = strategy
+        self.settings = settings or SearchSettings()
+        self.measurer = measurer or Measurer(
+            context, spec, repeats=self.settings.repeats
+        )
+        self.model = None
+        self.outcome: Optional[SearchOutcome] = None
+
+    def tune(self, rng: np.random.Generator, model_seed=None) -> TuningResult:
+        """Run the search; ``model_seed`` is accepted (and ignored) for
+        call-site parity with the ML tuners."""
+        from repro.core.strategies import make_strategy
+        from repro.core.strategies.bandit import BanditMetaTuner
+
+        measurer = self.measurer
+        ledger = self.context.ledger
+        cost0 = ledger.total_s
+        stats0 = measurer.stats
+        measurer.stats = type(stats0)()
+        try:
+            if self.strategy == "bandit":
+                outcome = BanditMetaTuner(measurer, self.settings).run(rng)
+            else:
+                outcome = run_search(
+                    measurer,
+                    make_strategy(self.strategy, measurer, self.settings),
+                    rng,
+                    self.settings,
+                )
+            run_stats = measurer.stats
+        finally:
+            measurer.stats = stats0.merge(measurer.stats)
+        self.outcome = outcome
+
+        breakdown = dict(run_stats.failure_breakdown())
+        degraded = outcome.n_quarantined > 0 and not outcome.failed
+        reason = "quarantined configurations" if degraded else ""
+        if degraded:
+            breakdown["degraded"] = breakdown.get("degraded", 0) + 1
+        return TuningResult(
+            kernel=self.spec.name,
+            device=self.context.device.name,
+            best_index=outcome.best_index,
+            best_time_s=outcome.best_time_s,
+            n_trained=0,
+            n_stage2=outcome.n_measured,
+            stage2_invalid=outcome.n_invalid,
+            evaluated_fraction=outcome.n_proposed / self.spec.space.size,
+            total_cost_s=ledger.total_s - cost0,
+            degraded=degraded,
+            degraded_reason=reason,
+            failure_breakdown=breakdown,
+        )

@@ -1,0 +1,163 @@
+"""Strategy-vs-strategy leaderboard: the search zoo at equal budget.
+
+Every strategy in the zoo — plus the UCB bandit meta-tuner that splits
+its budget across all of them — searches the same kernel on the same
+device under the same simulated-seconds cap, and the picks are scored
+against the oracle optimum.  This is the §5.1 comparison the paper makes
+qualitatively ("neither random search nor hill climbing is reliable
+across devices"), run as a reproducible experiment::
+
+    python -m repro.experiments.search_zoo
+    python -m repro.experiments.search_zoo --budget-s 600 --seed 3
+
+The bandit's job is visible in the output: it rarely wins outright, but
+it tracks the per-device winner and never sits at the bottom — on a new
+device you don't know which single strategy the bottom one will be.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict
+
+from repro.experiments.reporting import header, ms, table
+from repro.kernels import get_benchmark
+from repro.simulator.devices import DEVICES, MAIN_DEVICES
+
+#: Default equal-budget cap, in simulated seconds.  Roughly what the
+#: paper's small (N=500) ANN tuning run spends on convolution.
+DEFAULT_BUDGET_S = 300.0
+
+
+def run(
+    kernel: str = "convolution",
+    devices=MAIN_DEVICES,
+    budget_s: float = DEFAULT_BUDGET_S,
+    batch: int = 48,
+    seed: int = 0,
+) -> Dict:
+    """Run every strategy and the bandit on each device at equal budget.
+
+    Returns
+    -------
+    dict with ``rows``: device -> strategy -> {"best_s", "vs_opt",
+    "proposed", "measured", "spend_s"} (the bandit appears as
+    ``"bandit"``), plus ``optimum_s`` per device.
+    """
+    import numpy as np
+
+    from repro.core.measure import Measurer
+    from repro.core.strategies import (
+        DEFAULT_ARMS,
+        BanditMetaTuner,
+        SearchSettings,
+        make_strategy,
+        run_search,
+    )
+    from repro.experiments.oracle import TrueTimeOracle
+    from repro.runtime import Context
+
+    spec = get_benchmark(kernel)
+    settings = SearchSettings(budget=10**9, batch=batch, max_cost_s=budget_s)
+    rows: Dict[str, Dict[str, Dict]] = {}
+    optima: Dict[str, float] = {}
+    for dev in devices:
+        oracle = TrueTimeOracle(spec, DEVICES[dev])
+        _, opt = oracle.global_optimum()
+        optima[dev] = opt
+        rows[dev] = {}
+        for name in DEFAULT_ARMS:
+            m = Measurer(Context(DEVICES[dev], seed=seed), spec)
+            out = run_search(
+                m, make_strategy(name, m, settings),
+                np.random.default_rng(seed), settings,
+            )
+            true = oracle.time_of(out.best_index) if out.best_index >= 0 else float("nan")
+            rows[dev][name] = {
+                "best_s": true,
+                "vs_opt": true / opt,
+                "proposed": out.n_proposed,
+                "measured": out.n_measured,
+                "spend_s": m.context.ledger.total_s,
+            }
+        m = Measurer(Context(DEVICES[dev], seed=seed), spec)
+        out = BanditMetaTuner(m, settings, explore=0.5).run(
+            np.random.default_rng(seed)
+        )
+        true = oracle.time_of(out.best_index) if out.best_index >= 0 else float("nan")
+        rows[dev]["bandit"] = {
+            "best_s": true,
+            "vs_opt": true / opt,
+            "proposed": out.n_proposed,
+            "measured": out.n_measured,
+            "spend_s": m.context.ledger.total_s,
+        }
+    return {
+        "kernel": kernel,
+        "devices": tuple(devices),
+        "budget_s": budget_s,
+        "seed": seed,
+        "optimum_s": optima,
+        "rows": rows,
+    }
+
+
+def format_text(results: Dict) -> str:
+    lines = [
+        header(
+            f"Search-strategy leaderboard - {results['kernel']}, "
+            f"{results['budget_s']:.0f} simulated-second budget, "
+            f"seed {results['seed']}"
+        )
+    ]
+    for dev in results["devices"]:
+        per = results["rows"][dev]
+        ranked = sorted(per.items(), key=lambda kv: kv[1]["vs_opt"])
+        body = [
+            (
+                name,
+                ms(r["best_s"]),
+                f"{r['vs_opt']:.3f}x",
+                r["proposed"],
+                r["measured"],
+                f"{r['spend_s']:.0f}",
+            )
+            for name, r in ranked
+        ]
+        lines.append("")
+        lines.append(
+            f"{dev} (oracle optimum {ms(results['optimum_s'][dev])})\n"
+            + table(
+                body,
+                headers=(
+                    "strategy", "best", "vs opt", "proposed", "measured",
+                    "spend s",
+                ),
+            )
+        )
+        bandit_rank = [name for name, _ in ranked].index("bandit") + 1
+        lines.append(f"bandit rank: {bandit_rank}/{len(ranked)}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernel", default="convolution")
+    parser.add_argument("--budget-s", type=float, default=DEFAULT_BUDGET_S)
+    parser.add_argument("--batch", type=int, default=48)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    print(
+        format_text(
+            run(
+                kernel=args.kernel,
+                budget_s=args.budget_s,
+                batch=args.batch,
+                seed=args.seed,
+            )
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

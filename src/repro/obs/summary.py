@@ -188,6 +188,45 @@ def render_summary(path_or_records) -> str:
             block += f"\nrun_all total: {_as_float(total):.3f} s wall"
         blocks.append(block)
 
+    arms: Dict[str, Dict[str, Any]] = {}
+    for key, value in s.gauges.items():
+        if not key.startswith("strategy."):
+            continue
+        _, name, field = key.split(".", 2)
+        arms.setdefault(name, {})[field] = value
+    if arms:
+        def _best(fields):
+            try:
+                best = _as_float(fields.get("best_ms", "nan"))
+            except (TypeError, ValueError):
+                return float("inf")
+            return best if best == best else float("inf")
+
+        rows = []
+        for name in sorted(arms, key=lambda n: _best(arms[n])):
+            fields = arms[name]
+            best = _best(fields)
+            rows.append(
+                (
+                    name,
+                    "-" if best == float("inf") else f"{best:.3f}",
+                    f"{fields.get('pulls', '-')}",
+                    f"{fields.get('measured', '-')}",
+                    f"{_as_float(fields.get('spend_s', 0.0)):.1f}",
+                    f"{_as_float(fields.get('mean_reward', 0.0)):.6f}",
+                )
+            )
+        blocks.append(
+            "strategy leaderboard (best measured time per search strategy)\n"
+            + table(
+                rows,
+                headers=(
+                    "strategy", "best ms", "pulls", "measured", "spend s",
+                    "reward/s",
+                ),
+            )
+        )
+
     faults = {
         k[len("fault."):]: s.counters[k]
         for k in sorted(s.counters)

@@ -105,6 +105,16 @@ class ParameterSpace:
     def names(self) -> tuple:
         return tuple(p.name for p in self._parameters)
 
+    @property
+    def places(self) -> tuple:
+        """Mixed-radix place values, aligned with :attr:`parameters`.
+
+        ``flat_index = sum(digit[j] * places[j])`` — the contract search
+        subspaces (``core.strategies``) use to slice pinned parameters
+        arithmetically instead of enumerating the space.
+        """
+        return self._places
+
     def parameter(self, name: str) -> Parameter:
         """Look a parameter up by name."""
         try:

@@ -69,16 +69,34 @@ def run_campaign(
     device = get_device(key.device)
     tracer = Tracer(sink=sink) if sink is not None else NULL_TRACER
     ctx = Context(device, seed=key.seed, tracer=tracer, faults=key.faults)
-    settings = TunerSettings(
-        n_train=key.n_train,
-        m_candidates=key.m_candidates,
-        max_cost_s=key.budget_s,
-        fit_mode=key.fit_mode,
-    )
-    measurer = Measurer(ctx, spec, repeats=settings.repeats, batcher=batcher)
-    if register is not None:
-        register(measurer)
-    tuner = MLAutoTuner(ctx, spec, settings, measurer=measurer)
+    if key.strategy != "ml":
+        from repro.core.strategies import SearchSettings, SearchTuner
+
+        search_settings = SearchSettings(
+            budget=key.n_train + key.m_candidates,
+            max_cost_s=key.budget_s,
+        )
+        measurer = Measurer(
+            ctx, spec, repeats=search_settings.repeats, batcher=batcher
+        )
+        if register is not None:
+            register(measurer)
+        tuner = SearchTuner(
+            ctx, spec, key.strategy, search_settings, measurer=measurer
+        )
+    else:
+        settings = TunerSettings(
+            n_train=key.n_train,
+            m_candidates=key.m_candidates,
+            max_cost_s=key.budget_s,
+            fit_mode=key.fit_mode,
+        )
+        measurer = Measurer(
+            ctx, spec, repeats=settings.repeats, batcher=batcher
+        )
+        if register is not None:
+            register(measurer)
+        tuner = MLAutoTuner(ctx, spec, settings, measurer=measurer)
     rng = np.random.default_rng(key.seed)
     t0 = time.perf_counter()
     try:

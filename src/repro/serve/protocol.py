@@ -64,6 +64,7 @@ TUNE_DEFAULTS: Dict[str, Any] = {
     "budget_s": None,
     "faults": None,
     "fit_mode": "adaptive",
+    "strategy": "ml",
     "stream": False,
 }
 
@@ -156,6 +157,15 @@ def validate_tune(req: Mapping[str, Any]) -> Dict[str, Any]:
         if req["fit_mode"] not in ("adaptive", "classic"):
             raise ProtocolError("'fit_mode' must be 'adaptive' or 'classic'")
         out["fit_mode"] = req["fit_mode"]
+    if "strategy" in req and req["strategy"] is not None:
+        from repro.core.strategies import STRATEGY_CHOICES
+
+        choices = ("ml",) + STRATEGY_CHOICES
+        if req["strategy"] not in choices:
+            raise ProtocolError(
+                f"'strategy' must be one of {sorted(choices)}"
+            )
+        out["strategy"] = req["strategy"]
     out["stream"] = bool(req.get("stream", False))
     return out
 

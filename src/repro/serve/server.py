@@ -339,6 +339,7 @@ class TuningServer:
             budget_s=budget,
             faults=spec_req["faults"],
             fit_mode=spec_req["fit_mode"],
+            strategy=spec_req["strategy"],
         )
         pending = _Connection.Pending(
             conn, req_id, spec_req["stream"], initiator=False
@@ -575,6 +576,7 @@ class TuningServer:
             "budget_s": key.budget_s,
             "faults": key.faults,
             "fit_mode": key.fit_mode,
+            "strategy": key.strategy,
         }
 
     def _send_result(

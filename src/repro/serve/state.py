@@ -50,6 +50,7 @@ class CampaignKey:
     budget_s: Optional[float] = None
     faults: Optional[str] = None
     fit_mode: str = "adaptive"
+    strategy: str = "ml"
 
     def model_key(self) -> Tuple[str, str, int, int, str]:
         """What determines the fitted stage-one model (see ModelCache).

@@ -52,13 +52,65 @@ class TestRandomSearch:
         assert ms.n_valid + ms.n_invalid == small.space.size
 
 
+class TestExhaustiveCheckpointAccounting:
+    """Regression: when the final chunk landed exactly on a checkpoint
+    boundary, the sweep saved the DB twice and counted both saves."""
+
+    def _run(self, tmp_path, n, chunk_size, checkpoint_every, monkeypatch):
+        from repro.obs import Tracer
+
+        spec = ConvolutionKernel()
+        db = MeasurementDB(tmp_path / "db.json")
+        saves = []
+        real_save = db.save
+        monkeypatch.setattr(
+            db, "save", lambda: (saves.append(1), real_save())[1]
+        )
+        records = []
+        tracer = Tracer(sink=records.append)
+        m = Measurer(Context(NVIDIA_K40, seed=6, tracer=tracer), spec)
+        exhaustive_search(
+            m,
+            db=db,
+            indices=list(range(n)),
+            chunk_size=chunk_size,
+            checkpoint_every=checkpoint_every,
+        )
+        tracer.close()
+        counted = sum(
+            r["values"].get("search.checkpoints", 0)
+            for r in records
+            if r.get("type") == "counters"
+        )
+        return len(saves), counted
+
+    def test_boundary_final_chunk_saves_once(self, tmp_path, monkeypatch):
+        # 4 chunks of 64, checkpoint every 2 -> chunk 4 checkpoints; the
+        # post-loop save must be skipped.
+        saves, counted = self._run(tmp_path, 256, 64, 2, monkeypatch)
+        assert saves == 2
+        assert counted == 2
+
+    def test_off_boundary_final_chunk_gets_trailing_save(
+        self, tmp_path, monkeypatch
+    ):
+        # 5 chunks of 64, checkpoint every 2 -> checkpoints after chunks
+        # 2 and 4, plus the trailing save of chunk 5.
+        saves, counted = self._run(tmp_path, 320, 64, 2, monkeypatch)
+        assert saves == 3
+        assert counted == 3
+
+
 class TestCoordinateDescent:
     def test_reaches_single_axis_local_optimum(self, measurer):
         rng = np.random.default_rng(7)
-        idx, t, budget = coordinate_descent(measurer, rng, max_sweeps=2)
+        idx, t, n_measured, n_probed = coordinate_descent(
+            measurer, rng, max_sweeps=2
+        )
         assert idx >= 0
         assert t > 0
-        assert budget > 0
+        assert n_measured > 0
+        assert n_probed > 0  # the free validity scan that picked the start
         # Verify local optimality along one axis: no single change of the
         # first parameter improves the *true* time by more than noise.
         space = measurer.spec.space
@@ -80,7 +132,9 @@ class TestCoordinateDescent:
             if measurer.is_valid(i):
                 start = i
                 break
-        idx, t, _ = coordinate_descent(measurer, rng, max_sweeps=1, start_index=start)
+        idx, t, _, _ = coordinate_descent(
+            measurer, rng, max_sweeps=1, start_index=start
+        )
         assert measurer.true_time(idx) <= measurer.true_time(start) * 1.05
 
     def test_invalid_given_start_returns_failure_not_crash(self, measurer):
@@ -94,12 +148,31 @@ class TestCoordinateDescent:
                 invalid = i
                 break
         assert invalid is not None
-        idx, t, n_measured = coordinate_descent(
+        idx, t, n_measured, n_probed = coordinate_descent(
             measurer, np.random.default_rng(0), max_sweeps=1, start_index=invalid
         )
         assert idx == -1
         assert t != t  # NaN
         assert n_measured == 1  # the probe of the bad start still counts
+        assert n_probed == 0  # no free scan: the start was caller-supplied
+
+    def test_probes_not_counted_and_sweeps_deduped(self):
+        """The two accounting fixes: free ``is_valid`` probes of the start
+        scan must not inflate ``n_measured``, and a sweep revisiting an
+        already-measured tuple (the incumbent included) must be served
+        from the run's memo instead of re-billing the ledger."""
+        m = Measurer(Context(NVIDIA_K40, seed=11), ConvolutionKernel())
+        idx, t, n_measured, n_probed = coordinate_descent(
+            m, np.random.default_rng(11), max_sweeps=3
+        )
+        assert idx >= 0
+        # Every reported measurement actually billed the ledger: nothing
+        # was double-measured (cache hits re-bill, so they must be zero)
+        # and the free probes are reported separately.
+        assert m.stats.n_cache_hits == 0
+        assert n_measured == m.stats.n_simulated
+        assert n_probed > 0
+        assert m.stats.n_requested == n_measured
 
     def test_interactions_trap_it_above_global_optimum(self, measurer):
         """The §5.1 claim: one-at-a-time search cannot find the best
@@ -111,7 +184,7 @@ class TestCoordinateDescent:
         _, opt = oracle.global_optimum()
         worst_gap = 0.0
         for seed in (0, 1, 2):
-            idx, _, _ = coordinate_descent(
+            idx, _, _, _ = coordinate_descent(
                 measurer, np.random.default_rng(seed), max_sweeps=3
             )
             worst_gap = max(worst_gap, oracle.time_of(idx) / opt)

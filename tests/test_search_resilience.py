@@ -1,0 +1,189 @@
+"""Fault/drift coverage for the search baselines.
+
+Two halves:
+
+* Seeded fault-injection runs of ``random_search`` / ``coordinate_descent``
+  (and their strategy-zoo forms) under the ``flaky-gpu`` profile: the
+  searches must degrade — quarantined configurations reported, results
+  still produced — never crash, and stay bit-deterministic per seed.
+* The zero-fault gate: with no profile attached (or the all-zeros
+  ``"none"`` profile) the baselines must be **bit-identical** to
+  ``tests/data/search_baseline_fixtures.json``, recorded at the commit
+  that introduced the accounting fixes — resilience and the strategy
+  refactor must cost nothing when nothing fails.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.measure import Measurer
+from repro.core.search import coordinate_descent, random_search
+from repro.core.strategies import BanditMetaTuner, SearchSettings
+from repro.kernels import get_benchmark
+from repro.runtime import Context
+from repro.simulator import NVIDIA_K40
+
+pytestmark = pytest.mark.search
+
+FIXTURES = json.loads(
+    (Path(__file__).parent / "data" / "search_baseline_fixtures.json")
+    .read_text()
+)
+
+
+def _ledger_hex(ledger) -> dict:
+    return {
+        "compile_s": float.hex(ledger.compile_s),
+        "run_s": float.hex(ledger.run_s),
+        "failed_s": float.hex(ledger.failed_s),
+        "total_s": float.hex(ledger.total_s),
+    }
+
+
+def _rng_word(ctx) -> str:
+    return str(ctx.measurement.rng.bit_generator.state["state"]["state"])
+
+
+def _ctx(seed, faults=None, drift=None):
+    return Context(NVIDIA_K40, seed=seed, faults=faults, drift=drift)
+
+
+@pytest.mark.fault
+class TestFaultResilience:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_search_degrades_not_crashes(self, seed):
+        m = Measurer(_ctx(seed, faults="flaky-gpu"), get_benchmark("convolution"))
+        ms = random_search(m, 150, np.random.default_rng(seed))
+        # Every slot is accounted for: valid + invalid + quarantined = 150.
+        assert ms.n_valid + ms.n_invalid + ms.n_quarantined == 150
+        assert ms.n_valid > 0
+        # The run survived real faults (the profile guarantees some at
+        # this volume) and the retry bucket caught their cost.
+        assert m.stats.n_faults > 0
+        assert m.context.ledger.retry_s > 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_search_deterministic_under_faults(self, seed):
+        def once():
+            m = Measurer(
+                _ctx(seed, faults="flaky-gpu"), get_benchmark("convolution")
+            )
+            ms = random_search(m, 150, np.random.default_rng(seed))
+            return (
+                [int(i) for i in ms.indices],
+                [float.hex(float(t)) for t in ms.times_s],
+                sorted(m.quarantine),
+                _ledger_hex(m.context.ledger),
+            )
+
+        assert once() == once()
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_coordinate_descent_survives_faults(self, seed):
+        def once():
+            m = Measurer(
+                _ctx(seed, faults="flaky-gpu"), get_benchmark("convolution")
+            )
+            r = coordinate_descent(m, np.random.default_rng(seed), max_sweeps=2)
+            return r, m
+
+        r1, m1 = once()
+        r2, m2 = once()
+        # Degraded, not crashed: a pick (or an honest failure) either way,
+        # with hang quarantines tracked instead of raising.
+        assert r1.best_index == r2.best_index
+        assert float.hex(r1.best_time_s) == float.hex(r2.best_time_s)
+        assert r1.n_measured == r2.n_measured
+        assert r1.n_probed == r2.n_probed
+        assert sorted(m1.quarantine) == sorted(m2.quarantine)
+        if r1.best_index >= 0:
+            assert r1.best_time_s > 0
+
+    def test_bandit_reports_quarantines_as_degraded(self):
+        # p_hang=0.5 so some configurations hang through all retry
+        # attempts and get quarantined (0.5^4 per attempt chain).
+        m = Measurer(
+            _ctx(1, faults="flaky-gpu:p_hang=0.5,hang_duration_s=2"),
+            get_benchmark("convolution"),
+        )
+        settings = SearchSettings(budget=250, batch=40)
+        out = BanditMetaTuner(m, settings).run(np.random.default_rng(1))
+        assert out.best_index >= 0
+        assert out.n_quarantined > 0
+        assert m.stats.n_quarantined > 0
+
+    def test_search_tuner_degrades_on_quarantine(self):
+        from repro.core.strategies import SearchTuner
+
+        ctx = _ctx(1, faults="flaky-gpu:p_hang=0.5,hang_duration_s=2")
+        tuner = SearchTuner(
+            ctx, get_benchmark("convolution"), "random",
+            SearchSettings(budget=250, batch=50),
+        )
+        result = tuner.tune(np.random.default_rng(1))
+        assert not result.failed
+        assert result.degraded
+        assert result.degraded_reason == "quarantined configurations"
+        assert result.failure_breakdown.get("degraded", 0) >= 1
+
+
+@pytest.mark.drift
+class TestDriftResilience:
+    def test_random_search_under_drift_is_deterministic(self):
+        def once():
+            m = Measurer(
+                _ctx(2, drift="thermal-throttle:onset_s=10,ramp_s=30"),
+                get_benchmark("convolution"),
+            )
+            ms = random_search(m, 150, np.random.default_rng(2))
+            return (
+                [int(i) for i in ms.indices],
+                [float.hex(float(t)) for t in ms.times_s],
+            )
+
+        assert once() == once()
+
+    def test_coordinate_descent_completes_under_drift(self):
+        m = Measurer(
+            _ctx(3, drift="thermal-throttle:onset_s=5,ramp_s=20"),
+            get_benchmark("convolution"),
+        )
+        r = coordinate_descent(m, np.random.default_rng(3), max_sweeps=2)
+        assert r.best_index >= 0
+        assert np.isfinite(r.best_time_s)
+
+
+class TestZeroFaultBitEquivalence:
+    """The recorded-fixture gate (cf. tests/test_zero_fault_equivalence.py)."""
+
+    @pytest.mark.parametrize("faults", [None, "none"])
+    def test_random_search_matches_fixture(self, faults):
+        want = FIXTURES["random_search"]
+        ctx = _ctx(5, faults=faults)
+        m = Measurer(ctx, get_benchmark("convolution"))
+        ms = random_search(m, want["budget"], np.random.default_rng(5))
+        assert [int(i) for i in ms.indices] == want["valid_indices"]
+        assert [float.hex(float(t)) for t in ms.times_s] == want["times"]
+        assert [int(i) for i in ms.invalid_indices] == want["invalid_indices"]
+        assert ms.n_quarantined == 0
+        assert _ledger_hex(ctx.ledger) == want["ledger"]
+        assert ctx.ledger.retry_s == 0.0
+        assert _rng_word(ctx) == want["rng_state"]
+
+    @pytest.mark.parametrize("faults", [None, "none"])
+    def test_coordinate_descent_matches_fixture(self, faults):
+        want = FIXTURES["coordinate_descent"]
+        ctx = _ctx(5, faults=faults)
+        m = Measurer(ctx, get_benchmark("convolution"))
+        r = coordinate_descent(
+            m, np.random.default_rng(5), max_sweeps=want["max_sweeps"]
+        )
+        assert r.best_index == want["best_index"]
+        assert float.hex(r.best_time_s) == want["best_time_s"]
+        assert r.n_measured == want["n_measured"]
+        assert r.n_probed == want["n_probed"]
+        assert _ledger_hex(ctx.ledger) == want["ledger"]
+        assert _rng_word(ctx) == want["rng_state"]
